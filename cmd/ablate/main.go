@@ -1,0 +1,202 @@
+// Command ablate runs the counterfactual experiments behind the
+// paper's implications (DESIGN.md §7) and prints one table per sweep:
+// the §4.1 availability-timeout tradeoff, the §4.2 redirect-validation
+// parameters, the §5.1 capture-on-post delay, the §3 re-check cadence,
+// and the WaybackMedic intervention.
+//
+// Usage:
+//
+//	ablate [-scale f] [-seed n]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"permadead/internal/ablation"
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/figures"
+	"permadead/internal/simweb"
+	"permadead/internal/stats"
+	"permadead/internal/worldgen"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.1, "universe scale")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		figsDir = flag.String("figs", "", "write sweep SVG figures into this directory")
+	)
+	flag.Parse()
+
+	params := worldgen.DefaultParams().Scale(*scale)
+	params.Seed = *seed
+	fmt.Fprintf(os.Stderr, "generating universe (scale %.2f)...\n", *scale)
+	u := worldgen.Generate(params)
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.SampleSize = params.SampleSize
+	cfg.CrawlArticles = 0
+	study := &core.Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+		Ranks:  u.World,
+	}
+	records := study.Collect()
+	fmt.Fprintf(os.Stderr, "sampled %d permanently dead links\n\n", len(records))
+	n := float64(len(records))
+	_ = context.Background()
+
+	timeoutPts := ablation.TimeoutSweep(u.Archive, records, []time.Duration{
+		500 * time.Millisecond, time.Second, ablation.Baseline.AvailabilityTimeout,
+		5 * time.Second, 30 * time.Second, 0,
+	})
+	delayPts := ablation.ArchiveDelaySweep(u.World, records,
+		[]int{0, 7, 30, 90, 180, 365, 730, 1460})
+	recheckPts := ablation.RecheckSweep(u.World, records, u.Params.StudyTime,
+		[]int{0, 30, 90, 180, 365})
+
+	// --- §4.1: availability-lookup timeout. ---
+	t1 := stats.Table{
+		Title:   "Ablation §4.1: IABot availability-lookup timeout",
+		Headers: []string{"Timeout", "Copies found", "Copies missed", "Total lookup time"},
+	}
+	for _, pt := range timeoutPts {
+		label := pt.Timeout.String()
+		if pt.Timeout == 0 {
+			label = "none (WaybackMedic)"
+		} else if pt.Timeout == ablation.Baseline.AvailabilityTimeout {
+			label += " (production)"
+		}
+		t1.AddRow(label, fmt.Sprint(pt.FoundCopies),
+			fmt.Sprintf("%d (%.1f%%)", pt.Missed, float64(pt.Missed)/n*100),
+			pt.LookupCost.Round(time.Second).String())
+	}
+	fmt.Println(t1.String())
+
+	// --- §4.2: redirect validation parameters. ---
+	t2 := stats.Table{
+		Title:   "Ablation §4.2: archived-redirect validation parameters",
+		Headers: []string{"Window (days)", "Max siblings", "Validated", "Condemned"},
+	}
+	for _, pt := range ablation.RedirectSweep(u.Archive, records,
+		[]int{30, 90, 180, 365}, []int{2, 6, 12}) {
+		marker := ""
+		if pt.WindowDays == 90 && pt.MaxSiblings == 6 {
+			marker = " (paper)"
+		}
+		t2.AddRow(fmt.Sprintf("%d%s", pt.WindowDays, marker), fmt.Sprint(pt.MaxSiblings),
+			fmt.Sprintf("%d (%.1f%%)", pt.Validated, float64(pt.Validated)/n*100),
+			fmt.Sprint(pt.Condemned))
+	}
+	fmt.Println(t2.String())
+
+	// --- §5.1: capture-on-post delay. ---
+	t3 := stats.Table{
+		Title:   "Ablation §5.1: capture delay after posting",
+		Headers: []string{"Delay (days)", "Would have usable copy", "Host unreachable"},
+	}
+	for _, pt := range delayPts {
+		t3.AddRow(fmt.Sprint(pt.DelayDays),
+			fmt.Sprintf("%d (%.1f%%)", pt.WouldHaveUsableCopy, float64(pt.WouldHaveUsableCopy)/n*100),
+			fmt.Sprint(pt.Unreachable))
+	}
+	fmt.Println(t3.String())
+
+	// --- §3: re-check cadence for marked links. ---
+	t4 := stats.Table{
+		Title:   "Ablation §3: re-check cadence for links marked dead",
+		Headers: []string{"Interval (days)", "Answer 200 again", "Genuinely recovered", "Fetches spent", "Mean days to recovery"},
+	}
+	for _, pt := range recheckPts {
+		label := fmt.Sprint(pt.IntervalDays)
+		if pt.IntervalDays == 0 {
+			label = "never (production)"
+		}
+		t4.AddRow(label, fmt.Sprint(pt.Recovered), fmt.Sprint(pt.Genuine),
+			fmt.Sprint(pt.Fetches), fmt.Sprintf("%.0f", pt.MeanDaysToRecovery))
+	}
+	fmt.Println(t4.String())
+
+	// --- §5.2 implication (b): query-parameter permutation rescue. ---
+	qr := ablation.QueryPermutationRescue(u.Archive, records)
+	t6 := stats.Table{
+		Title:   "Extension §5.2(b): rescuing query URLs via parameter-order permutations",
+		Headers: []string{"Quantity", "Value"},
+	}
+	t6.AddRow("Never-archived links with query parameters", fmt.Sprint(qr.QueryLinks))
+	t6.AddRow("…with an archived permuted-order variant", fmt.Sprintf("%d (%.1f%%)",
+		qr.Rescuable, pctOf(qr.Rescuable, qr.QueryLinks)))
+	fmt.Println(t6.String())
+
+	// --- Edit-time link checking. ---
+	ec := ablation.EditTimeCheck(u.World, records)
+	t7 := stats.Table{
+		Title:   "Extension: edit-time link check (alert users posting dead URLs)",
+		Headers: []string{"Quantity", "Value"},
+	}
+	t7.AddRow("Links probed on their posting day", fmt.Sprint(ec.Checked))
+	t7.AddRow("Would have been flagged at edit time", fmt.Sprintf("%d (%.1f%%)",
+		ec.WouldHaveFlagged, pctOf(ec.WouldHaveFlagged, ec.Checked)))
+	t7.AddRow("…of which unreachable (DNS/timeout)", fmt.Sprint(ec.FlaggedUnreachable))
+	fmt.Println(t7.String())
+
+	// --- Bot cadence (generation-level design knob). ---
+	sc := ablation.ScanIntervalSweep(worldgen.DefaultParams().Scale(0.03), []int{60, 150, 365})
+	t8 := stats.Table{
+		Title:   "Ablation: IABot scan cadence (0.03-scale regenerations)",
+		Headers: []string{"Interval (days)", "Mean days death→mark", "P90", "Fetches over timeline"},
+	}
+	for _, pt := range sc {
+		marker := ""
+		if pt.IntervalDays == 150 {
+			marker = " (default)"
+		}
+		t8.AddRow(fmt.Sprintf("%d%s", pt.IntervalDays, marker),
+			fmt.Sprintf("%.0f", pt.MeanMarkLatency),
+			fmt.Sprintf("%.0f", pt.P90MarkLatency),
+			fmt.Sprint(pt.LinksChecked))
+	}
+	fmt.Println(t8.String())
+
+	// --- §4.1: the WaybackMedic intervention. ---
+	res := ablation.MedicExperiment(u.Wiki, u.Archive, u.Params.StudyTime)
+	t5 := stats.Table{
+		Title:   "WaybackMedic intervention (§4.1; the real run patched 20,080 links)",
+		Headers: []string{"Variant", "Rescued (200 copies)", "Rescued (redirect copies)", "Unfixable"},
+	}
+	t5.AddRow("untimed lookups", fmt.Sprint(res.Basic.Patched), "-", fmt.Sprint(res.Basic.Unfixable))
+	t5.AddRow("+ validated redirects (§4.2)", fmt.Sprint(res.WithRedirects.Patched),
+		fmt.Sprint(res.WithRedirects.RedirectPatched), fmt.Sprint(res.WithRedirects.Unfixable))
+	fmt.Println(t5.String())
+
+	if *figsDir != "" {
+		if err := os.MkdirAll(*figsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+			os.Exit(1)
+		}
+		for name, svg := range figures.AblationSweeps(timeoutPts, delayPts, recheckPts) {
+			path := filepath.Join(*figsDir, name)
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+func pctOf(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return float64(n) / float64(of) * 100
+}

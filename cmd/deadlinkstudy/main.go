@@ -1,0 +1,168 @@
+// Command deadlinkstudy reproduces the IMC 2022 study end to end: it
+// generates the simulated universe (web + Wikipedia + archive), runs
+// the IABot timeline, executes the measurement pipeline, and prints
+// every table and figure the paper reports, followed by a
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	deadlinkstudy [-scale f] [-seed n] [-sample n] [-random] [-quiet]
+//
+// -scale 1.0 regenerates the full 10,000-link study (≈30s of timeline
+// simulation); -scale 0.1 gives a 1,000-link study in a few seconds.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/figures"
+	"permadead/internal/persist"
+	mdreport "permadead/internal/report"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.25, "universe scale relative to the paper's 10,000-link study")
+		seed    = flag.Int64("seed", 1, "generation and sampling seed")
+		sample  = flag.Int("sample", 0, "sample size override (0 = scaled default)")
+		random  = flag.Bool("random", false, "sample links across random articles (the paper's September 2022 representativeness check)")
+		quiet   = flag.Bool("quiet", false, "print only the paper-vs-measured comparison")
+		figs    = flag.String("figs", "", "also write SVG figures into this directory")
+		load    = flag.String("load", "", "measure a universe saved by 'worldgen -save' instead of generating one")
+		md      = flag.String("md", "", "write a Markdown experiment report to this file")
+		compare = flag.Bool("compare", false, "with -figs: also run the random sample and write both-sample overlays (the paper's Figure 3/4 style)")
+		timeout = flag.Duration("timeout", 15*time.Minute, "overall run timeout")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var bundle *persist.Bundle
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		bundle, err = persist.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded universe from %s in %.1fs\n", *load, time.Since(start).Seconds())
+	} else {
+		params := worldgen.DefaultParams().Scale(*scale)
+		params.Seed = *seed
+		params.Progress = func(stage string, done, total int) {
+			if total > 0 {
+				fmt.Fprintf(os.Stderr, "\r  %s: %d/%d        ", stage, done, total)
+			} else {
+				fmt.Fprintf(os.Stderr, "\r  %-40s\n", stage)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "generating universe (scale %.2f, seed %d)...\n", *scale, *seed)
+		start := time.Now()
+		u := worldgen.Generate(params)
+		fmt.Fprintf(os.Stderr, "generated in %.1fs\n%s", time.Since(start).Seconds(), u.Summary())
+		bundle = persist.FromUniverse(u)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.SampleSize = bundle.Params.SampleSize
+	if *sample > 0 {
+		cfg.SampleSize = *sample
+	}
+	cfg.CrawlArticles = 0
+	cfg.RandomArticles = *random
+
+	study := &core.Study{
+		Config: cfg,
+		Wiki:   bundle.Wiki,
+		Arch:   bundle.Archive,
+		Client: fetch.New(simweb.NewTransport(bundle.World, cfg.StudyTime)),
+		Ranks:  bundle.World,
+	}
+
+	fmt.Fprintf(os.Stderr, "running study pipeline...\n")
+	start := time.Now()
+	report, err := study.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "measured %d links in %.1fs\n\n", report.N(), time.Since(start).Seconds())
+
+	if !*quiet {
+		fmt.Println(report.Render())
+		fmt.Println()
+	}
+	fmt.Println(report.RenderComparison())
+
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+			os.Exit(1)
+		}
+		err = mdreport.WriteMarkdown(f, report, mdreport.Options{
+			Title:          "Experiments — paper vs. measured",
+			Command:        strings.Join(os.Args, " "),
+			IncludeFigures: true,
+		})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Markdown report to %s\n", *md)
+	}
+
+	if *figs != "" {
+		paths, err := figures.WriteAll(report, *figs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+			os.Exit(1)
+		}
+		if *compare {
+			cfg2 := cfg
+			cfg2.RandomArticles = true
+			cfg2.Seed = cfg.Seed + 1000
+			study2 := &core.Study{
+				Config: cfg2,
+				Wiki:   bundle.Wiki,
+				Arch:   bundle.Archive,
+				Client: fetch.New(simweb.NewTransport(bundle.World, cfg.StudyTime)),
+				Ranks:  bundle.World,
+			}
+			fmt.Fprintf(os.Stderr, "running random representativeness sample...\n")
+			report2, err := study2.Run(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+				os.Exit(1)
+			}
+			for name, svg := range figures.CompareReport(report, report2) {
+				path := filepath.Join(*figs, name)
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
+					os.Exit(1)
+				}
+				paths = append(paths, path)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d SVG figures to %s\n", len(paths), *figs)
+	}
+}

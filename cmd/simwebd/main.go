@@ -1,0 +1,95 @@
+// Command simwebd serves a generated synthetic web over real HTTP and
+// HTTPS on the loopback interface, so the simulation can be explored
+// with curl or a browser. Virtual hosting is by Host header:
+//
+//	simwebd -scale 0.05
+//	curl -s -H 'Host: www.example.simnews' http://127.0.0.1:PORT/some/path
+//
+// The -day flag selects the simulated date the web is served "as of";
+// requests may override it per call with the X-Sim-Day header.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.05, "universe scale")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		day   = flag.String("day", "", "serve the web as of this date (YYYY-MM-DD; default: the study date)")
+		show  = flag.Int("show", 10, "print this many sample URLs")
+	)
+	flag.Parse()
+
+	at := simclock.StudyTime
+	if *day != "" {
+		t, err := time.Parse("2006-01-02", *day)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simwebd: bad -day: %v\n", err)
+			os.Exit(1)
+		}
+		at = simclock.FromTime(t)
+	}
+
+	params := worldgen.DefaultParams().Scale(*scale)
+	params.Seed = *seed
+	fmt.Fprintf(os.Stderr, "generating universe (scale %.2f)...\n", *scale)
+	u := worldgen.Generate(params)
+
+	srv := simweb.NewServer(u.World, at)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "simwebd: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	// The simulated Wayback Machine's HTTP APIs (availability + CDX)
+	// ride along on their own listener.
+	apiLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simwebd: %v\n", err)
+		os.Exit(1)
+	}
+	apiSrv := &http.Server{Handler: u.Archive.Handler()}
+	go apiSrv.Serve(apiLn) //nolint:errcheck
+	defer apiSrv.Close()
+
+	fmt.Printf("serving %d sites as of %s\n", u.World.Sites(), at)
+	fmt.Printf("  http        %s\n", srv.HTTPAddr())
+	fmt.Printf("  https       %s (self-signed)\n", srv.HTTPSAddr())
+	fmt.Printf("  archive API %s  (/wayback/available, /cdx/search/cdx)\n", apiLn.Addr())
+	fmt.Println("\nsample archive API queries:")
+	for i, lp := range u.Plan.Links {
+		if i >= 2 {
+			break
+		}
+		fmt.Printf("  curl -s 'http://%s/wayback/available?url=%s'\n", apiLn.Addr(), lp.URL)
+		fmt.Printf("  curl -s 'http://%s/cdx/search/cdx?url=%s&matchType=host&output=json'\n", apiLn.Addr(), lp.Host)
+	}
+
+	fmt.Println("\nsample permanently dead links to try:")
+	for i, lp := range u.Plan.Links {
+		if i >= *show {
+			break
+		}
+		fmt.Printf("  curl -si -H 'Host: %s' 'http://%s%s' | head -1   # destined: %s\n",
+			lp.Host, srv.HTTPAddr(), lp.Path, lp.Live)
+	}
+	fmt.Println("\nCtrl-C to stop.")
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("\nshutting down")
+}

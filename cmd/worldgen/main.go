@@ -1,0 +1,100 @@
+// Command worldgen generates a simulated universe and reports what it
+// built: generation summary, fate quotas vs. realized counts, and
+// (optionally) a JSON dump of the link plans for external analysis.
+//
+// Usage:
+//
+//	worldgen [-scale f] [-seed n] [-json plans.json] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"permadead/internal/persist"
+	"permadead/internal/worldgen"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0.25, "universe scale relative to the paper's 10,000-link study")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		jsonPath = flag.String("json", "", "write link plans as JSON to this file")
+		savePath = flag.String("save", "", "persist the generated universe (gob) to this file")
+		dumpPath = flag.String("dump", "", "export the simulated wiki as a MediaWiki XML dump to this file")
+		verbose  = flag.Bool("v", false, "print per-fate counts")
+	)
+	flag.Parse()
+
+	params := worldgen.DefaultParams().Scale(*scale)
+	params.Seed = *seed
+
+	start := time.Now()
+	u := worldgen.Generate(params)
+	fmt.Printf("generated in %.1fs\n", time.Since(start).Seconds())
+	fmt.Print(u.Summary())
+
+	if *verbose {
+		live := map[string]int{}
+		hist := map[string]int{}
+		for _, lp := range u.Plan.Links {
+			live[lp.Live.String()]++
+			hist[lp.Hist.String()]++
+		}
+		fmt.Println("\nplanned live outcomes:")
+		for _, k := range []string{"dns", "404", "timeout", "other", "200-real", "200-soft"} {
+			fmt.Printf("  %-10s %d\n", k, live[k])
+		}
+		fmt.Println("planned archive histories:")
+		for _, k := range []string{"pre200", "redir-valid", "redir-err", "err-only", "none"} {
+			fmt.Printf("  %-12s %d\n", k, hist[k])
+		}
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := persist.Save(f, persist.FromUniverse(u)); err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: save: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("saved universe to %s\n", *savePath)
+	}
+
+	if *dumpPath != "" {
+		f, err := os.Create(*dumpPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := u.Wiki.WriteDump(f); err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: dump: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote MediaWiki XML dump to %s\n", *dumpPath)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(u.Plan.Links); err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: encode: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d link plans to %s\n", len(u.Plan.Links), *jsonPath)
+	}
+}

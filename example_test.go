@@ -1,0 +1,22 @@
+package permadead_test
+
+import (
+	"fmt"
+
+	"permadead"
+)
+
+// Example reproduces the study at a small scale and checks a headline
+// number: the share of "permanently dead" links that answer 200 today
+// (paper: ~16.5%; small samples drift a point or two).
+func Example() {
+	report, err := permadead.Run(permadead.Options{Scale: 0.05, Seed: 42})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	share := report.LiveBreakdown.Fraction("200")
+	fmt.Printf("sampled %d links; %.0f%% answer 200 today\n",
+		report.N(), share*100)
+	// Output: sampled 500 links; 15% answer 200 today
+}

@@ -1,0 +1,76 @@
+// Archive-federation: the paper notes IABot can patch links with
+// copies from the Wayback Machine "or one of more than 20 other web
+// archives" (§2.1). This example federates a primary and a secondary
+// archive into a Pool and measures what the secondary buys: copies the
+// primary never captured, and resilience to slow primary lookups.
+//
+//	go run ./examples/archive-federation
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"permadead/internal/archive"
+	"permadead/internal/simclock"
+)
+
+func main() {
+	wayback := archive.New()
+	archiveToday := archive.New()
+	day := simclock.FromDate(2015, 6, 1)
+
+	urls := make([]string, 0, 30)
+	for i := 0; i < 30; i++ {
+		url := fmt.Sprintf("http://paper%02d.simnews/story/%d.html", i, 1000+i)
+		urls = append(urls, url)
+		switch {
+		case i%3 == 0:
+			// Captured by both.
+			wayback.Add(okSnap(url, day))
+			archiveToday.Add(okSnap(url, day.Add(40)))
+		case i%3 == 1:
+			// Only the secondary archive got it.
+			archiveToday.Add(okSnap(url, day.Add(15)))
+		default:
+			// Never archived anywhere.
+		}
+	}
+
+	pool := archive.NewPool(
+		archive.Member{Name: "wayback", Archive: wayback},
+		archive.Member{Name: "archive.today", Archive: archiveToday},
+	)
+
+	gain := pool.CoverageGain(urls, simclock.FromDate(2022, 3, 1))
+	fmt.Printf("links usable only via the secondary archive: %d of %d\n\n", gain, len(urls))
+
+	// A per-link availability query falls through automatically.
+	for _, url := range urls[:6] {
+		res, ok, err := pool.Query(archive.AvailabilityQuery{
+			URL: url, Want: day, Accept: archive.AcceptUsable,
+		})
+		switch {
+		case err != nil:
+			fmt.Printf("%-45s lookup error: %v\n", url, err)
+		case ok:
+			fmt.Printf("%-45s copy from %-13s (%s)\n", url, res.Member, res.Snapshot.Day)
+		default:
+			fmt.Printf("%-45s no copies anywhere\n", url)
+		}
+	}
+
+	// Slow primary, fast secondary: the federation still answers
+	// within the timeout.
+	slow := urls[1] // captured only by the secondary
+	wayback.SetLookupLatency(slow, 30*time.Second)
+	res, ok, err := pool.Query(archive.AvailabilityQuery{
+		URL: slow, Want: day, Accept: archive.AcceptUsable, Timeout: 2 * time.Second,
+	})
+	fmt.Printf("\nslow-primary lookup for %s:\n  ok=%v member=%s err=%v\n", slow, ok, res.Member, err)
+	fmt.Printf("  federation-wide lookup cost: %v\n", pool.TotalLookupLatency(slow))
+}
+
+func okSnap(url string, day simclock.Day) archive.Snapshot {
+	return archive.Snapshot{URL: url, Day: day, InitialStatus: 200, FinalStatus: 200}
+}

@@ -1,0 +1,3 @@
+module permadead
+
+go 1.22

@@ -1,0 +1,182 @@
+package permadead
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+// TestStudyOverRealHTTP runs the live-check stage of the study through
+// a real HTTP server and TCP sockets — the same state machine the
+// in-process transport uses, but exercised end-to-end through
+// net/http's server, dialer, and TLS stack. The two paths must agree.
+func TestStudyOverRealHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-HTTP integration")
+	}
+	params := worldgen.DefaultParams().Scale(0.01) // ~100 links
+	params.Seed = 11
+	u := worldgen.Generate(params)
+
+	srv := simweb.NewServer(u.World, simclock.StudyTime)
+	srv.TimeoutHang = 1500 * time.Millisecond
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	mkStudy := func(client *fetch.Client) *core.Study {
+		cfg := core.DefaultConfig()
+		cfg.SampleSize = 0
+		cfg.CrawlArticles = 0
+		cfg.Concurrency = 16
+		return &core.Study{
+			Config: cfg,
+			Wiki:   u.Wiki,
+			Arch:   u.Archive,
+			Client: client,
+			Ranks:  u.World,
+		}
+	}
+
+	// Path A: in-process transport.
+	inproc := mkStudy(fetch.New(simweb.NewTransport(u.World, simclock.StudyTime)))
+	// Path B: real HTTP over loopback, with a dial timeout far below
+	// the server's hang duration so simulated timeouts classify fast.
+	real := mkStudy(fetch.New(srv.Transport(300*time.Millisecond),
+		fetch.WithTimeout(2*time.Second)))
+
+	ctx := context.Background()
+	ra := &core.Report{Config: inproc.Config, Records: inproc.Collect()}
+	if err := inproc.LiveCheck(ctx, ra); err != nil {
+		t.Fatal(err)
+	}
+	rb := &core.Report{Config: real.Config, Records: ra.Records}
+	if err := real.LiveCheck(ctx, rb); err != nil {
+		t.Fatal(err)
+	}
+
+	if ra.LiveBreakdown.Total() != rb.LiveBreakdown.Total() {
+		t.Fatalf("totals differ: %d vs %d", ra.LiveBreakdown.Total(), rb.LiveBreakdown.Total())
+	}
+	for _, cat := range ra.LiveBreakdown.Categories() {
+		a, b := ra.LiveBreakdown.Count(cat), rb.LiveBreakdown.Count(cat)
+		if a != b {
+			t.Errorf("category %q differs between transports: in-process %d, real HTTP %d", cat, a, b)
+		}
+	}
+	// Soft-404 verdicts agree too.
+	if math.Abs(float64(ra.NumFunctional-rb.NumFunctional)) > 0 {
+		t.Errorf("functional counts differ: %d vs %d", ra.NumFunctional, rb.NumFunctional)
+	}
+}
+
+// TestRealHTTPBehaviours spot-checks individual HTTP behaviours over
+// real sockets: virtual hosting, redirects with Location headers, TLS,
+// DNS failures from the dialer, and per-request day override.
+func TestRealHTTPBehaviours(t *testing.T) {
+	world := simweb.NewWorld()
+	created := simclock.FromDate(2008, 1, 1)
+	site := world.AddSite("vh1.simtest", created)
+	site.AddPage("/page.html", created)
+	pg := site.AddPage("/old.html", created)
+	pg.MovedAt = created.Add(100)
+	pg.NewPath = "/new.html"
+	pg.RedirectFrom = created.Add(100)
+	site.AddPage("/new.html", created.Add(100))
+	world.AddSite("vh2.simtest", created)
+	dead := world.AddSite("gone.simtest", created)
+	dead.DNSDiesAt = created.Add(10)
+
+	srv := simweb.NewServer(world, simclock.StudyTime)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Transport: srv.Transport(200 * time.Millisecond)}
+
+	// Virtual hosting: two hosts answer differently.
+	b1 := get(t, client, "http://vh1.simtest/page.html", 200)
+	b2 := get(t, client, "http://vh2.simtest/", 200)
+	if b1 == b2 {
+		t.Error("virtual hosts served identical bodies")
+	}
+
+	// Redirect chain over real HTTP.
+	resp, err := client.Get("http://vh1.simtest/old.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasSuffix(resp.Request.URL.Path, "/new.html") {
+		t.Errorf("redirect landed at %v (%d)", resp.Request.URL, resp.StatusCode)
+	}
+
+	// HTTPS with the self-signed simulation certificate.
+	get(t, client, "https://vh1.simtest/page.html", 200)
+
+	// DNS-dead host fails in the dialer.
+	if _, err := client.Get("http://gone.simtest/"); err == nil {
+		t.Error("DNS-dead host should not resolve")
+	}
+	if _, err := client.Get("http://unknown.simtest/"); err == nil {
+		t.Error("unknown host should not resolve")
+	}
+
+	// Per-request day override: before the move, /old.html worked.
+	req, _ := http.NewRequest(http.MethodGet, "http://vh1.simtest/old.html", nil)
+	req.Header.Set(simweb.DayHeader, "1461") // 2008-01-02
+	resp2, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 || resp2.Request.URL.Path != "/old.html" {
+		t.Errorf("day override: got %d at %v", resp2.StatusCode, resp2.Request.URL)
+	}
+}
+
+func get(t *testing.T, c *http.Client, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestFacadeRun exercises the one-call public API.
+func TestFacadeRun(t *testing.T) {
+	report, err := Run(Options{Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.N() == 0 {
+		t.Fatal("empty report")
+	}
+	if report.LiveBreakdown.Total() != report.N() {
+		t.Error("breakdown total mismatch")
+	}
+	if !strings.Contains(report.RenderComparison(), "Paper vs. measured") {
+		t.Error("comparison missing")
+	}
+}

@@ -1,0 +1,254 @@
+package ablation
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+var (
+	sharedU       *worldgen.Universe
+	sharedRecords []core.LinkRecord
+)
+
+func setup(t *testing.T) (*worldgen.Universe, []core.LinkRecord) {
+	t.Helper()
+	if sharedU == nil {
+		sharedU = worldgen.Generate(worldgen.SmallParams())
+		cfg := core.DefaultConfig()
+		cfg.SampleSize = sharedU.Params.SampleSize
+		cfg.CrawlArticles = 0
+		s := &core.Study{
+			Config: cfg,
+			Wiki:   sharedU.Wiki,
+			Arch:   sharedU.Archive,
+			Client: fetch.New(simweb.NewTransport(sharedU.World, cfg.StudyTime)),
+		}
+		sharedRecords = s.Collect()
+		if len(sharedRecords) == 0 {
+			t.Fatal("no records")
+		}
+	}
+	return sharedU, sharedRecords
+}
+
+func TestTimeoutSweepMonotone(t *testing.T) {
+	u, recs := setup(t)
+	pts := TimeoutSweep(u.Archive, recs, []time.Duration{
+		500 * time.Millisecond, 2 * time.Second, 10 * time.Second, 0,
+	})
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// A longer timeout never finds fewer copies.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FoundCopies < pts[i-1].FoundCopies {
+			t.Errorf("found copies not monotone: %+v", pts)
+		}
+	}
+	// The untimed lookup misses nothing; the production 2s timeout
+	// misses the §4.1 population (~11% of the sample).
+	last := pts[len(pts)-1]
+	if last.Missed != 0 {
+		t.Errorf("untimed lookup missed %d", last.Missed)
+	}
+	prod := pts[1]
+	missFrac := float64(prod.Missed) / float64(len(recs))
+	if missFrac < 0.05 || missFrac > 0.20 {
+		t.Errorf("production-timeout miss fraction = %.3f, expected ~0.11", missFrac)
+	}
+	// Longer timeouts cost more lookup time.
+	if pts[2].LookupCost <= pts[0].LookupCost {
+		t.Errorf("lookup cost should grow with timeout: %v vs %v", pts[2].LookupCost, pts[0].LookupCost)
+	}
+}
+
+func TestRedirectSweep(t *testing.T) {
+	u, recs := setup(t)
+	pts := RedirectSweep(u.Archive, recs, []int{30, 90, 365}, []int{6})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Validated+pt.Condemned == 0 {
+			t.Errorf("no redirect-copy links at %+v", pt)
+		}
+	}
+	// A wider window can only find more comparable siblings; with the
+	// generator's unique targets, validation yield grows (or holds).
+	if pts[2].Validated < pts[0].Validated {
+		t.Errorf("validated not monotone in window: %+v", pts)
+	}
+	// The paper's parameters validate a nontrivial minority.
+	mid := pts[1]
+	frac := float64(mid.Validated) / float64(len(recs))
+	if frac < 0.02 || frac > 0.10 {
+		t.Errorf("validated share at paper params = %.3f, expected ~0.05", frac)
+	}
+}
+
+func TestArchiveDelaySweep(t *testing.T) {
+	u, recs := setup(t)
+	pts := ArchiveDelaySweep(u.World, recs, []int{0, 30, 365, 1460})
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Capturing on the posting day records a working (initial-200)
+	// page for most links — but not all: typos never worked, and the
+	// §5.1 pre-posting movers were already redirecting when posted.
+	day0 := float64(pts[0].WouldHaveUsableCopy) / float64(len(recs))
+	if day0 < 0.75 {
+		t.Errorf("capture-on-post usable share = %.2f, want >0.75", day0)
+	}
+	// Usable share decays as the capture delay grows.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].WouldHaveUsableCopy > pts[i-1].WouldHaveUsableCopy {
+			t.Errorf("usable copies not decaying: %+v", pts)
+		}
+	}
+	// After 4 years most links are dead.
+	late := float64(pts[3].WouldHaveUsableCopy) / float64(len(recs))
+	if late > day0*0.8 {
+		t.Errorf("4-year delay should lose most copies: %.2f vs %.2f", late, day0)
+	}
+}
+
+func TestRecheckSweep(t *testing.T) {
+	u, recs := setup(t)
+	pts := RecheckSweep(u.World, recs, u.Params.StudyTime, []int{0, 90, 180})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// interval=0 models IABot's never-recheck baseline.
+	if pts[0].Recovered != 0 || pts[0].Fetches != 0 {
+		t.Errorf("baseline should recover nothing: %+v", pts[0])
+	}
+	// The naive 200 criterion "recovers" the works-now links AND the
+	// soft-404s (§3's caveat): ~16.5% of the sample answers 200 by
+	// study time.
+	naive := float64(pts[1].Recovered) / float64(len(recs))
+	if naive < 0.08 || naive > 0.25 {
+		t.Errorf("90-day naive recovery = %.3f, expected ~0.16", naive)
+	}
+	// The probe-checked criterion recovers only the genuine ~3%.
+	genuine := float64(pts[1].Genuine) / float64(len(recs))
+	if genuine < 0.01 || genuine > 0.08 {
+		t.Errorf("90-day genuine recovery = %.3f, expected ~0.03", genuine)
+	}
+	if pts[1].Genuine > pts[1].Recovered {
+		t.Error("genuine recoveries exceed naive")
+	}
+	// More frequent re-checks cost more fetches and find links sooner.
+	if pts[1].Fetches <= pts[2].Fetches {
+		t.Errorf("denser rechecks should cost more fetches: %+v", pts)
+	}
+	if pts[1].Recovered > 0 && pts[2].Recovered > 0 &&
+		pts[1].MeanDaysToRecovery > pts[2].MeanDaysToRecovery+90 {
+		t.Errorf("denser rechecks should not find links much later: %+v", pts)
+	}
+}
+
+func TestMedicExperiment(t *testing.T) {
+	u, recs := setup(t)
+	res := MedicExperiment(u.Wiki, u.Archive, u.Params.StudyTime)
+
+	// The untimed bot rescues the §4.1 timeout-missed population.
+	basicFrac := float64(res.Basic.Patched) / float64(len(recs))
+	if basicFrac < 0.05 || basicFrac > 0.20 {
+		t.Errorf("medic basic rescue share = %.3f, expected ~0.11", basicFrac)
+	}
+	// Redirect rescue adds the §4.2 validated copies on top.
+	if res.WithRedirects.RedirectPatched == 0 {
+		t.Error("redirect-aware medic rescued no redirect copies")
+	}
+	if res.WithRedirects.Patched < res.Basic.Patched {
+		t.Error("redirect-aware medic lost basic rescues")
+	}
+	// The original wiki is untouched.
+	study := &core.Study{
+		Config: core.Config{SampleSize: 0, StudyTime: u.Params.StudyTime, Concurrency: 8},
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, u.Params.StudyTime)),
+	}
+	after := study.Collect()
+	if len(after) < len(recs) {
+		t.Errorf("medic experiment mutated the wiki: %d -> %d records", len(recs), len(after))
+	}
+	_ = context.Background()
+}
+
+func TestBaselineConstants(t *testing.T) {
+	if Baseline.AvailabilityTimeout <= 0 {
+		t.Error("baseline timeout unset")
+	}
+	if Baseline.RecheckInterval != 0 {
+		t.Error("IABot never re-checks")
+	}
+}
+
+func TestQueryPermutationRescue(t *testing.T) {
+	u, recs := setup(t)
+	res := QueryPermutationRescue(u.Archive, recs)
+	if res.QueryLinks == 0 {
+		t.Fatal("no query-parameter links among never-archived sample")
+	}
+	if res.Rescuable == 0 {
+		t.Error("no permuted-order rescues found; the generator plants ~40%")
+	}
+	if res.Rescuable > res.QueryLinks {
+		t.Error("rescuable exceeds query-link count")
+	}
+	frac := float64(res.Rescuable) / float64(res.QueryLinks)
+	if frac < 0.10 || frac > 0.75 {
+		t.Errorf("rescuable share = %.2f, generator plants ~0.40", frac)
+	}
+}
+
+func TestEditTimeCheck(t *testing.T) {
+	u, recs := setup(t)
+	res := EditTimeCheck(u.World, recs)
+	if res.Checked != len(recs) {
+		t.Fatalf("checked %d of %d", res.Checked, len(recs))
+	}
+	// Typos never worked (~5% of sample) and some §5.1 pre-posting
+	// movers were already soft-broken; expect a flagged share in the
+	// 2–20% band.
+	frac := float64(res.WouldHaveFlagged) / float64(res.Checked)
+	if frac < 0.02 || frac > 0.20 {
+		t.Errorf("flagged share = %.3f", frac)
+	}
+	if res.FlaggedUnreachable > res.WouldHaveFlagged {
+		t.Error("unreachable exceeds flagged")
+	}
+}
+
+func TestScanIntervalSweep(t *testing.T) {
+	base := worldgen.SmallParams().Scale(0.3) // tiny: three full generations
+	pts := ScanIntervalSweep(base, []int{60, 150, 360})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Marked == 0 {
+			t.Fatalf("no links marked at interval %d", pt.IntervalDays)
+		}
+		// Latency is bounded by one interval (plus the per-article
+		// phase offset, which is < interval).
+		if pt.MeanMarkLatency < 0 || pt.P90MarkLatency > float64(2*pt.IntervalDays) {
+			t.Errorf("interval %d: mean %.0f p90 %.0f", pt.IntervalDays, pt.MeanMarkLatency, pt.P90MarkLatency)
+		}
+	}
+	// Denser scans mark sooner and fetch more.
+	if pts[0].MeanMarkLatency >= pts[2].MeanMarkLatency {
+		t.Errorf("latency not improving with cadence: %+v", pts)
+	}
+	if pts[0].LinksChecked <= pts[2].LinksChecked {
+		t.Errorf("fetch cost not growing with cadence: %+v", pts)
+	}
+}

@@ -1,0 +1,321 @@
+// Package archive simulates the Internet Archive's Wayback Machine as
+// the study interacts with it: a snapshot store fed by a capture
+// crawler, the Wayback Availability API (including the lookup latency
+// that IABot's timeout interacts with, §4.1), and the CDX index used
+// for prefix/host coverage queries (§5.2).
+//
+// Each snapshot records the *initial* HTTP status observed when the
+// copy was captured — the field IABot's usability policy keys on — and
+// the redirect target for 3xx captures, which the §4.2 redirect
+// validation cross-examines.
+//
+// Besides explicit snapshots, a host may carry "bulk coverage"
+// regions: deterministic families of successfully archived sibling
+// URLs (e.g. the rest of a news site's /archive/ directory). Bulk
+// regions answer count queries in O(1) and enumerate lazily, so the
+// simulation can model hosts with tens of thousands of archived pages
+// (Figure 6's x-axis) without materializing them up front.
+package archive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+)
+
+// Snapshot is one archived capture of a URL.
+type Snapshot struct {
+	// URL is the original URL as captured.
+	URL string
+	// Day the capture was taken.
+	Day simclock.Day
+	// InitialStatus is the HTTP status of the first response at
+	// capture time, before any redirections (§2.4's definition).
+	InitialStatus int
+	// FinalStatus is the status after the crawler followed redirects.
+	FinalStatus int
+	// RedirectTo is the absolute target URL for 3xx captures.
+	RedirectTo string
+	// Body is the captured final body, truncated to BodyLimit.
+	Body string
+	// Digest is a hash of the captured body, used to compare copies
+	// without retaining full bodies.
+	Digest uint64
+}
+
+// IsRedirect reports whether the capture observed a redirection.
+func (s Snapshot) IsRedirect() bool {
+	return s.InitialStatus >= 300 && s.InitialStatus < 400
+}
+
+// WaybackURL renders the snapshot's replay URL in Wayback Machine
+// format.
+func (s Snapshot) WaybackURL() string {
+	return fmt.Sprintf("https://web.archive.org/web/%s/%s", s.Day.Timestamp(), s.URL)
+}
+
+// BodyLimit bounds how much of a captured body each snapshot retains.
+const BodyLimit = 4 << 10
+
+// BulkRegion is a family of successfully archived URLs under one
+// directory, represented by count rather than individual snapshots.
+// Paths enumerate deterministically from the seed.
+type BulkRegion struct {
+	// Host the region belongs to.
+	Host string
+	// DirPrefix is the directory ("/news/2014/") the URLs live under.
+	DirPrefix string
+	// Count is how many distinct archived URLs the region contains.
+	Count int
+	// FirstDay/LastDay bound the capture days; enumerated entries are
+	// spread uniformly across the range.
+	FirstDay, LastDay simclock.Day
+	// Seed drives deterministic path generation.
+	Seed uint64
+}
+
+// PathAt returns the i-th URL path in the region (0 <= i < Count).
+func (r BulkRegion) PathAt(i int) string {
+	v := mix64(r.Seed + uint64(i)*0x9e3779b97f4a7c15)
+	return fmt.Sprintf("%sitem-%06d-%04x.html", r.DirPrefix, i, v&0xffff)
+}
+
+// DayAt returns the capture day of the i-th entry.
+func (r BulkRegion) DayAt(i int) simclock.Day {
+	if r.Count <= 1 || r.LastDay <= r.FirstDay {
+		return r.FirstDay
+	}
+	span := int(r.LastDay - r.FirstDay)
+	return r.FirstDay.Add(int(mix64(r.Seed^uint64(i)) % uint64(span+1)))
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Archive is the snapshot store. Reads are safe concurrently with
+// other reads; captures take the write lock.
+type Archive struct {
+	mu sync.RWMutex
+	// byKey maps urlutil.SchemeAgnosticKey(url) → snapshots sorted by Day.
+	byKey map[string][]Snapshot
+	// byHost maps hostname → capture records for CDX queries.
+	byHost map[string]*hostIndex
+	// latency overrides for the Availability API, keyed like byKey.
+	latency map[string]int // milliseconds
+}
+
+type hostIndex struct {
+	// entries are explicit captures: parallel to snapshots but storing
+	// only what CDX queries need.
+	entries []cdxRecord
+	bulk    []BulkRegion
+}
+
+type cdxRecord struct {
+	pathQuery     string
+	day           simclock.Day
+	initialStatus int
+}
+
+// New returns an empty archive.
+func New() *Archive {
+	return &Archive{
+		byKey:   make(map[string][]Snapshot),
+		byHost:  make(map[string]*hostIndex),
+		latency: make(map[string]int),
+	}
+}
+
+// Add inserts a snapshot, keeping per-URL snapshots sorted by day.
+func (a *Archive) Add(s Snapshot) {
+	key := urlutil.SchemeAgnosticKey(s.URL)
+	host := urlutil.Hostname(s.URL)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snaps := a.byKey[key]
+	i := sort.Search(len(snaps), func(i int) bool { return snaps[i].Day > s.Day })
+	snaps = append(snaps, Snapshot{})
+	copy(snaps[i+1:], snaps[i:])
+	snaps[i] = s
+	a.byKey[key] = snaps
+
+	hi := a.byHost[host]
+	if hi == nil {
+		hi = &hostIndex{}
+		a.byHost[host] = hi
+	}
+	hi.entries = append(hi.entries, cdxRecord{
+		pathQuery:     pathQueryOf(s.URL),
+		day:           s.Day,
+		initialStatus: s.InitialStatus,
+	})
+}
+
+// AddBulkCoverage attaches a bulk region to its host.
+func (a *Archive) AddBulkCoverage(r BulkRegion) {
+	if r.Count <= 0 {
+		return
+	}
+	r.Host = strings.ToLower(r.Host)
+	if !strings.HasPrefix(r.DirPrefix, "/") {
+		r.DirPrefix = "/" + r.DirPrefix
+	}
+	if !strings.HasSuffix(r.DirPrefix, "/") {
+		r.DirPrefix += "/"
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hi := a.byHost[r.Host]
+	if hi == nil {
+		hi = &hostIndex{}
+		a.byHost[r.Host] = hi
+	}
+	hi.bulk = append(hi.bulk, r)
+}
+
+// Snapshots returns all captures of url (any scheme/www variant),
+// oldest first. The returned slice must not be modified.
+func (a *Archive) Snapshots(url string) []Snapshot {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.byKey[urlutil.SchemeAgnosticKey(url)]
+}
+
+// SnapshotsBetween returns captures of url with from <= Day < to.
+func (a *Archive) SnapshotsBetween(url string, from, to simclock.Day) []Snapshot {
+	snaps := a.Snapshots(url)
+	lo := sort.Search(len(snaps), func(i int) bool { return snaps[i].Day >= from })
+	hi := sort.Search(len(snaps), func(i int) bool { return snaps[i].Day >= to })
+	return snaps[lo:hi]
+}
+
+// First returns the earliest capture of url.
+func (a *Archive) First(url string) (Snapshot, bool) {
+	snaps := a.Snapshots(url)
+	if len(snaps) == 0 {
+		return Snapshot{}, false
+	}
+	return snaps[0], true
+}
+
+// FirstAfter returns the earliest capture of url on or after day.
+func (a *Archive) FirstAfter(url string, day simclock.Day) (Snapshot, bool) {
+	snaps := a.Snapshots(url)
+	i := sort.Search(len(snaps), func(i int) bool { return snaps[i].Day >= day })
+	if i == len(snaps) {
+		return Snapshot{}, false
+	}
+	return snaps[i], true
+}
+
+// Closest returns the capture of url closest in time to want among
+// those accepted by the filter (nil filter accepts all) — the Wayback
+// Availability API's contract.
+func (a *Archive) Closest(url string, want simclock.Day, accept func(Snapshot) bool) (Snapshot, bool) {
+	snaps := a.Snapshots(url)
+	best := -1
+	bestDist := 0
+	for i := range snaps {
+		if accept != nil && !accept(snaps[i]) {
+			continue
+		}
+		d := snaps[i].Day.Sub(want)
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return Snapshot{}, false
+	}
+	return snaps[best], true
+}
+
+// TotalSnapshots returns the number of explicit snapshots stored.
+func (a *Archive) TotalSnapshots() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	n := 0
+	for _, s := range a.byKey {
+		n += len(s)
+	}
+	return n
+}
+
+// Hosts returns every hostname with explicit or bulk coverage, sorted.
+func (a *Archive) Hosts() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	hs := make([]string, 0, len(a.byHost))
+	for h := range a.byHost {
+		hs = append(hs, h)
+	}
+	sort.Strings(hs)
+	return hs
+}
+
+func pathQueryOf(rawURL string) string {
+	rest := rawURL
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[i:]
+	}
+	return "/"
+}
+
+// EachSnapshot calls fn for every explicit snapshot, grouped by URL
+// key in unspecified order, oldest-first within a key.
+func (a *Archive) EachSnapshot(fn func(Snapshot)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, snaps := range a.byKey {
+		for _, s := range snaps {
+			fn(s)
+		}
+	}
+}
+
+// EachBulkRegion calls fn for every bulk-coverage region.
+func (a *Archive) EachBulkRegion(fn func(BulkRegion)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, hi := range a.byHost {
+		for _, r := range hi.bulk {
+			fn(r)
+		}
+	}
+}
+
+// EachLookupLatency calls fn for every per-URL availability-latency
+// override (key is the scheme-agnostic URL key, latency in
+// milliseconds).
+func (a *Archive) EachLookupLatency(fn func(key string, ms int)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for k, ms := range a.latency {
+		fn(k, ms)
+	}
+}
+
+// SetLookupLatencyKey sets a latency override by pre-computed key
+// (used when restoring a persisted archive).
+func (a *Archive) SetLookupLatencyKey(key string, ms int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.latency[key] = ms
+}

@@ -1,0 +1,106 @@
+package archive
+
+import (
+	"errors"
+	"time"
+
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+)
+
+// The Wayback Availability API (§4.1): given a URL and a desired
+// timestamp, return the closest usable capture. Real lookups take
+// variable time — for some URLs, long enough that IABot's efficiency
+// timeout fires and the bot concludes (wrongly) that no copies exist.
+// The simulation models per-URL lookup latency deterministically so
+// that policy interaction is reproducible.
+
+// ErrAvailabilityTimeout is returned by Query when the simulated
+// lookup latency exceeds the caller's timeout.
+var ErrAvailabilityTimeout = errors.New("archive: availability lookup timed out")
+
+// DefaultLookupLatency is the baseline per-lookup latency when no
+// override is set.
+const DefaultLookupLatency = 120 * time.Millisecond
+
+// SetLookupLatency overrides the simulated Availability API latency
+// for one URL (scheme/www-insensitively keyed, like snapshots).
+func (a *Archive) SetLookupLatency(url string, d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.latency[urlutil.SchemeAgnosticKey(url)] = int(d / time.Millisecond)
+}
+
+// LookupLatency returns the simulated latency of an availability
+// lookup for url.
+func (a *Archive) LookupLatency(url string) time.Duration {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if ms, ok := a.latency[urlutil.SchemeAgnosticKey(url)]; ok {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return DefaultLookupLatency
+}
+
+// AvailabilityQuery is one request to the Availability API.
+type AvailabilityQuery struct {
+	// URL to look up.
+	URL string
+	// Want is the desired capture day; the closest capture wins.
+	Want simclock.Day
+	// Before, when positive, restricts results to captures strictly
+	// earlier than the given day (used to ask "what existed before the
+	// link was marked dead?"). Zero or Never means unbounded.
+	Before simclock.Day
+	// AsOf, when positive, hides captures taken after the given day —
+	// a bot scanning in 2018 cannot see copies captured in 2020. Zero
+	// or Never means "now" (everything visible).
+	AsOf simclock.Day
+	// Accept filters candidate snapshots (nil accepts all). IABot
+	// passes a filter accepting only initial-status-200, non-redirect
+	// captures.
+	Accept func(Snapshot) bool
+	// Timeout bounds the simulated lookup; zero means no bound.
+	Timeout time.Duration
+}
+
+// Query serves an availability lookup. It returns
+// ErrAvailabilityTimeout when the simulated latency exceeds
+// q.Timeout — the caller cannot distinguish "slow" from "absent",
+// exactly the failure mode §4.1 documents.
+func (a *Archive) Query(q AvailabilityQuery) (Snapshot, bool, error) {
+	if q.Timeout > 0 && a.LookupLatency(q.URL) > q.Timeout {
+		return Snapshot{}, false, ErrAvailabilityTimeout
+	}
+	accept := q.Accept
+	if q.Before > 0 {
+		inner := accept
+		accept = func(s Snapshot) bool {
+			if !s.Day.Before(q.Before) {
+				return false
+			}
+			return inner == nil || inner(s)
+		}
+	}
+	if q.AsOf > 0 {
+		inner := accept
+		accept = func(s Snapshot) bool {
+			if s.Day.After(q.AsOf) {
+				return false
+			}
+			return inner == nil || inner(s)
+		}
+	}
+	snap, ok := a.Closest(q.URL, q.Want, accept)
+	return snap, ok, nil
+}
+
+// AcceptUsable is the filter IABot applies when looking for a copy to
+// patch a broken link with: the capture's initial status must be 200 —
+// archived redirections are conservatively ignored (§4.2).
+func AcceptUsable(s Snapshot) bool {
+	return s.InitialStatus == 200
+}
+
+// AcceptAny accepts every snapshot.
+func AcceptAny(Snapshot) bool { return true }

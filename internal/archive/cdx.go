@@ -1,0 +1,273 @@
+package archive
+
+import (
+	"sort"
+	"strings"
+
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+)
+
+// The CDX API (§5.2): query the archive's index by host or URL prefix.
+// The study uses it to ask, for a never-archived URL, how many *other*
+// URLs in the same directory or on the same hostname have 200-status
+// captures — distinguishing page-specific coverage gaps from
+// directory- or host-wide ones.
+
+// CDXEntry is one index row.
+type CDXEntry struct {
+	URL           string
+	Day           simclock.Day
+	InitialStatus int
+}
+
+// CDXQuery selects index rows.
+type CDXQuery struct {
+	// Host restricts rows to one hostname (required).
+	Host string
+	// PathPrefix, when non-empty, restricts rows to URLs whose
+	// path?query begins with it (e.g. "/news/2014/").
+	PathPrefix string
+	// Status, when non-zero, keeps only rows with that initial status.
+	Status int
+	// Limit bounds how many rows List returns (0 = DefaultCDXLimit).
+	Limit int
+}
+
+// DefaultCDXLimit bounds enumeration so bulk regions with very large
+// counts cannot blow up memory; Count is exact regardless.
+const DefaultCDXLimit = 10000
+
+// CDXCount returns the number of index rows matching the query,
+// including bulk-coverage regions (which count as initial-status-200
+// rows). Bulk regions are counted in O(1).
+func (a *Archive) CDXCount(q CDXQuery) int {
+	host := strings.ToLower(q.Host)
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	hi := a.byHost[host]
+	if hi == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range hi.entries {
+		if matchEntry(e, q) {
+			n++
+		}
+	}
+	if q.Status == 0 || q.Status == 200 {
+		for _, r := range hi.bulk {
+			n += bulkMatchCount(r, q)
+		}
+	}
+	return n
+}
+
+// CDXList enumerates matching rows up to the limit. Bulk-region rows
+// materialize deterministically.
+func (a *Archive) CDXList(q CDXQuery) []CDXEntry {
+	host := strings.ToLower(q.Host)
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultCDXLimit
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	hi := a.byHost[host]
+	if hi == nil {
+		return nil
+	}
+	var out []CDXEntry
+	for _, e := range hi.entries {
+		if len(out) >= limit {
+			return out
+		}
+		if matchEntry(e, q) {
+			out = append(out, CDXEntry{
+				URL:           "http://" + host + e.pathQuery,
+				Day:           e.day,
+				InitialStatus: e.initialStatus,
+			})
+		}
+	}
+	if q.Status == 0 || q.Status == 200 {
+		for _, r := range hi.bulk {
+			if len(out) >= limit {
+				break
+			}
+			out = appendBulk(out, r, q, limit)
+		}
+	}
+	return out
+}
+
+func matchEntry(e cdxRecord, q CDXQuery) bool {
+	if q.Status != 0 && e.initialStatus != q.Status {
+		return false
+	}
+	if q.PathPrefix != "" && !strings.HasPrefix(e.pathQuery, q.PathPrefix) {
+		return false
+	}
+	return true
+}
+
+// bulkMatchCount counts how many of a bulk region's entries fall under
+// the query's path prefix. All bulk paths live directly in DirPrefix,
+// so the answer is all-or-nothing except when the query prefix is
+// deeper than the region's directory.
+func bulkMatchCount(r BulkRegion, q CDXQuery) int {
+	switch {
+	case q.PathPrefix == "" || strings.HasPrefix(r.DirPrefix, q.PathPrefix):
+		return r.Count
+	case strings.HasPrefix(q.PathPrefix, r.DirPrefix):
+		// A deeper prefix matches only entries whose generated name
+		// happens to extend it; generated names are leaves, so none do.
+		return 0
+	default:
+		return 0
+	}
+}
+
+func appendBulk(out []CDXEntry, r BulkRegion, q CDXQuery, limit int) []CDXEntry {
+	if bulkMatchCount(r, q) == 0 {
+		return out
+	}
+	for i := 0; i < r.Count && len(out) < limit; i++ {
+		out = append(out, CDXEntry{
+			URL:           "http://" + r.Host + r.PathAt(i),
+			Day:           r.DayAt(i),
+			InitialStatus: 200,
+		})
+	}
+	return out
+}
+
+// CountInDirectory answers the Figure 6 directory-level question: how
+// many *other* URLs in the same directory as url have initial-status-
+// 200 captures.
+func (a *Archive) CountInDirectory(url string) int {
+	host := urlutil.Hostname(url)
+	dir := pathDirOf(url)
+	self := pathQueryOf(url)
+	n := a.CDXCount(CDXQuery{Host: host, PathPrefix: dir, Status: 200})
+	// Exclude captures of the URL itself.
+	n -= a.countSelf(host, self)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// CountOnHostname answers the hostname-level question.
+func (a *Archive) CountOnHostname(url string) int {
+	host := urlutil.Hostname(url)
+	self := pathQueryOf(url)
+	n := a.CDXCount(CDXQuery{Host: host, Status: 200})
+	n -= a.countSelf(host, self)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func (a *Archive) countSelf(host, pathQuery string) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	hi := a.byHost[host]
+	if hi == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range hi.entries {
+		if e.pathQuery == pathQuery && e.initialStatus == 200 {
+			n++
+		}
+	}
+	return n
+}
+
+// ArchivedURLsUnderDomain lists distinct archived URLs (any status)
+// across every indexed hostname belonging to the registrable domain,
+// up to limit. The §5.2 typo analysis compares a never-archived URL
+// against these.
+func (a *Archive) ArchivedURLsUnderDomain(domain string, limit int) []string {
+	if limit <= 0 {
+		limit = DefaultCDXLimit
+	}
+	domain = strings.ToLower(domain)
+	var hosts []string
+	a.mu.RLock()
+	for h := range a.byHost {
+		if urlutil.DomainOfHost(h) == domain {
+			hosts = append(hosts, h)
+		}
+	}
+	a.mu.RUnlock()
+	sort.Strings(hosts)
+
+	seen := make(map[string]struct{})
+	var out []string
+	for _, h := range hosts {
+		for _, e := range a.CDXList(CDXQuery{Host: h, Limit: limit}) {
+			if _, dup := seen[e.URL]; dup {
+				continue
+			}
+			seen[e.URL] = struct{}{}
+			out = append(out, e.URL)
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// pathDirOf returns the directory part of a URL's path ("/a/b/" for
+// "/a/b/c.html"), query excluded.
+func pathDirOf(rawURL string) string {
+	pq := pathQueryOf(rawURL)
+	if i := strings.IndexAny(pq, "?#"); i >= 0 {
+		pq = pq[:i]
+	}
+	if i := strings.LastIndexByte(pq, '/'); i >= 0 {
+		return pq[:i+1]
+	}
+	return "/"
+}
+
+// FindQueryPermutation looks for an archived URL that is identical to
+// rawURL except for the order of its query parameters — the paper's
+// §5.2 implication (b): some query-heavy URLs were archived under a
+// permuted parameter order and can be rescued by canonicalizing.
+// It scans the URL's host index (explicit entries only; bulk regions
+// carry no query strings) and returns the first match.
+func (a *Archive) FindQueryPermutation(rawURL string) (string, bool) {
+	if !urlutil.HasQuery(rawURL) {
+		return "", false
+	}
+	want := urlutil.CanonicalQueryKey(rawURL)
+	self := urlutil.Normalize(rawURL)
+	host := urlutil.Hostname(rawURL)
+
+	a.mu.RLock()
+	hi := a.byHost[host]
+	var candidates []string
+	if hi != nil {
+		for _, e := range hi.entries {
+			if strings.ContainsRune(e.pathQuery, '?') {
+				candidates = append(candidates, "http://"+host+e.pathQuery)
+			}
+		}
+	}
+	a.mu.RUnlock()
+
+	for _, cand := range candidates {
+		if urlutil.Normalize(cand) == self {
+			continue
+		}
+		if urlutil.CanonicalQueryKey(cand) == want {
+			return cand, true
+		}
+	}
+	return "", false
+}

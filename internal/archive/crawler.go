@@ -1,0 +1,94 @@
+package archive
+
+import (
+	"errors"
+	"hash/fnv"
+	"strings"
+
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+	"permadead/internal/urlutil"
+)
+
+// Crawler captures URLs from the simulated web into the archive, the
+// way the Internet Archive's crawlers capture the live web. A capture
+// records the page exactly as it answered on the capture day — if the
+// URL was already broken, the archive faithfully stores the erroneous
+// response, which is precisely how dead links end up with unusable
+// copies (§5.1).
+type Crawler struct {
+	World   *simweb.World
+	Archive *Archive
+	// MaxRedirects bounds redirect following during capture.
+	MaxRedirects int
+}
+
+// NewCrawler wires a crawler between a world and an archive.
+func NewCrawler(w *simweb.World, a *Archive) *Crawler {
+	return &Crawler{World: w, Archive: a, MaxRedirects: 5}
+}
+
+// ErrUnreachable is returned when a capture attempt could not reach
+// the server at all (DNS failure or timeout); the Wayback Machine
+// stores no snapshot in that case.
+var ErrUnreachable = errors.New("archive: target unreachable at capture time")
+
+// Capture fetches url from the world as of day and stores a snapshot.
+// It returns the stored snapshot, or ErrUnreachable when the host did
+// not answer (in which case nothing is stored).
+func (c *Crawler) Capture(url string, day simclock.Day) (Snapshot, error) {
+	res := c.World.Get(url, day)
+	if res.Kind != simweb.KindResponse {
+		return Snapshot{}, ErrUnreachable
+	}
+
+	snap := Snapshot{
+		URL:           url,
+		Day:           day,
+		InitialStatus: res.Status,
+	}
+
+	// Follow redirects to determine the final status and body, as the
+	// Wayback crawler does when it records a capture chain.
+	current := url
+	cur := res
+	for hops := 0; cur.Status >= 300 && cur.Status < 400 && cur.Location != "" && hops < c.MaxRedirects; hops++ {
+		next := simweb.ResolveLocation(schemeOf(current), urlutil.Hostname(current), cur.Location)
+		if hops == 0 {
+			snap.RedirectTo = next
+		}
+		nres := c.World.Get(next, day)
+		if nres.Kind != simweb.KindResponse {
+			// Redirect into the void: keep what we have.
+			snap.FinalStatus = cur.Status
+			c.store(&snap, cur.Body)
+			return snap, nil
+		}
+		current, cur = next, nres
+	}
+	snap.FinalStatus = cur.Status
+	c.store(&snap, cur.Body)
+	return snap, nil
+}
+
+func (c *Crawler) store(snap *Snapshot, body string) {
+	if len(body) > BodyLimit {
+		body = body[:BodyLimit]
+	}
+	snap.Body = body
+	snap.Digest = digest(body)
+	c.Archive.Add(*snap)
+}
+
+func digest(body string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(body))
+	return h.Sum64()
+}
+
+func schemeOf(url string) string {
+	if strings.HasPrefix(strings.ToLower(url), "https://") {
+		return "https"
+	}
+	return "http"
+}

@@ -1,0 +1,155 @@
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"permadead/internal/simclock"
+)
+
+// HTTPClient consults a remote archive through its HTTP APIs (the
+// handlers served by Archive.Handler, or — in shape — the real Wayback
+// services). It deliberately mirrors the real APIs' limitations: the
+// availability endpoint takes only a URL and a desired timestamp, so
+// the Accept/AsOf refinements available against a local Archive cannot
+// be expressed; callers filter the single returned snapshot instead,
+// exactly as IABot does.
+type HTTPClient struct {
+	// BaseURL is the API root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient if nil).
+	HTTP *http.Client
+}
+
+// NewHTTPClient builds a client with a sane request timeout.
+func NewHTTPClient(baseURL string) *HTTPClient {
+	return &HTTPClient{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *HTTPClient) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Available queries the availability endpoint for the capture closest
+// to want. The boolean reports whether any snapshot was returned; the
+// caller applies its own usability policy to the result.
+func (c *HTTPClient) Available(target string, want simclock.Day) (CDXEntry, bool, error) {
+	q := url.Values{}
+	q.Set("url", target)
+	q.Set("timestamp", want.Timestamp())
+	resp, err := c.client().Get(c.BaseURL + "/wayback/available?" + q.Encode())
+	if err != nil {
+		return CDXEntry{}, false, fmt.Errorf("archive: availability request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return CDXEntry{}, false, fmt.Errorf("archive: availability request: status %d", resp.StatusCode)
+	}
+
+	var body struct {
+		ArchivedSnapshots struct {
+			Closest *struct {
+				Status    string `json:"status"`
+				Available bool   `json:"available"`
+				Timestamp string `json:"timestamp"`
+			} `json:"closest"`
+		} `json:"archived_snapshots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return CDXEntry{}, false, fmt.Errorf("archive: availability response: %w", err)
+	}
+	closest := body.ArchivedSnapshots.Closest
+	if closest == nil || !closest.Available {
+		return CDXEntry{}, false, nil
+	}
+	day, err := simclock.ParseTimestamp(closest.Timestamp)
+	if err != nil {
+		return CDXEntry{}, false, fmt.Errorf("archive: availability response: %w", err)
+	}
+	status, err := strconv.Atoi(closest.Status)
+	if err != nil {
+		return CDXEntry{}, false, fmt.Errorf("archive: availability response: bad status %q", closest.Status)
+	}
+	return CDXEntry{URL: target, Day: day, InitialStatus: status}, true, nil
+}
+
+// CDXMatch selects the server-side match mode for CDX queries.
+type CDXMatch string
+
+// CDX match modes mirroring the real server's matchType values.
+const (
+	MatchExact  CDXMatch = ""
+	MatchPrefix CDXMatch = "prefix"
+	MatchHost   CDXMatch = "host"
+)
+
+// CDX lists index rows for target. status filters by initial status
+// when non-zero; limit bounds the row count when positive.
+func (c *HTTPClient) CDX(target string, match CDXMatch, status, limit int) ([]CDXEntry, error) {
+	q := url.Values{}
+	q.Set("url", target)
+	q.Set("output", "json")
+	if match != MatchExact {
+		q.Set("matchType", string(match))
+	}
+	if status != 0 {
+		q.Set("filter", "statuscode:"+strconv.Itoa(status))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	resp, err := c.client().Get(c.BaseURL + "/cdx/search/cdx?" + q.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("archive: cdx request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("archive: cdx request: status %d", resp.StatusCode)
+	}
+
+	var rows [][]string
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("archive: cdx response: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	// First row is the header; locate the fields defensively.
+	idx := map[string]int{}
+	for i, name := range rows[0] {
+		idx[name] = i
+	}
+	tsI, okT := idx["timestamp"]
+	urlI, okU := idx["original"]
+	stI, okS := idx["statuscode"]
+	if !okT || !okU || !okS {
+		return nil, fmt.Errorf("archive: cdx response: unexpected header %v", rows[0])
+	}
+
+	out := make([]CDXEntry, 0, len(rows)-1)
+	for _, row := range rows[1:] {
+		if len(row) <= tsI || len(row) <= urlI || len(row) <= stI {
+			return nil, fmt.Errorf("archive: cdx response: short row %v", row)
+		}
+		day, err := simclock.ParseTimestamp(row[tsI])
+		if err != nil {
+			return nil, fmt.Errorf("archive: cdx response: %w", err)
+		}
+		st, err := strconv.Atoi(row[stI])
+		if err != nil {
+			return nil, fmt.Errorf("archive: cdx response: bad status %q", row[stI])
+		}
+		out = append(out, CDXEntry{URL: row[urlI], Day: day, InitialStatus: st})
+	}
+	return out, nil
+}

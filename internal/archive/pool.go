@@ -1,0 +1,138 @@
+package archive
+
+import (
+	"time"
+
+	"permadead/internal/simclock"
+)
+
+// Pool aggregates several web archives. The paper notes that IABot
+// patches broken links with copies "hosted either on the Internet
+// Archive's Wayback Machine or on one of more than 20 other web
+// archives" (§2.1); a Pool lets the bots and the study consult the
+// whole federation through one interface while the Wayback Machine
+// remains the primary (and by far largest) member.
+type Pool struct {
+	// Members in priority order; the first usable copy wins, so put
+	// the Wayback Machine first, as IABot does.
+	Members []Member
+}
+
+// Member is one archive in the federation.
+type Member struct {
+	// Name identifies the archive (e.g. "wayback", "archive.today").
+	Name string
+	// Archive is the member's snapshot store.
+	Archive *Archive
+}
+
+// NewPool builds a pool from named members.
+func NewPool(members ...Member) *Pool {
+	return &Pool{Members: members}
+}
+
+// PoolResult is a snapshot together with the member that held it.
+type PoolResult struct {
+	Snapshot Snapshot
+	Member   string
+}
+
+// Query runs the availability query against each member in order and
+// returns the first hit. Timeouts are per-member: one slow archive
+// does not hide the others — but every member timing out counts as
+// "no copies", just as with a single archive. The aggregate lookup
+// cost is the sum of per-member costs, which is why IABot queries only
+// its primary for most links.
+func (p *Pool) Query(q AvailabilityQuery) (PoolResult, bool, error) {
+	var firstErr error
+	for _, m := range p.Members {
+		snap, ok, err := m.Archive.Query(q)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ok {
+			return PoolResult{Snapshot: snap, Member: m.Name}, true, nil
+		}
+	}
+	if firstErr != nil {
+		return PoolResult{}, false, firstErr
+	}
+	return PoolResult{}, false, nil
+}
+
+// Snapshots merges every member's captures of url, oldest first.
+func (p *Pool) Snapshots(url string) []PoolResult {
+	var out []PoolResult
+	for _, m := range p.Members {
+		for _, s := range m.Archive.Snapshots(url) {
+			out = append(out, PoolResult{Snapshot: s, Member: m.Name})
+		}
+	}
+	// Insertion sort by day: member lists are already sorted and the
+	// total per URL is tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Snapshot.Day < out[j-1].Snapshot.Day; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// First returns the earliest capture of url across the federation.
+func (p *Pool) First(url string) (PoolResult, bool) {
+	all := p.Snapshots(url)
+	if len(all) == 0 {
+		return PoolResult{}, false
+	}
+	return all[0], true
+}
+
+// TotalLookupLatency sums the members' simulated lookup latencies for
+// url — the cost of consulting the whole federation.
+func (p *Pool) TotalLookupLatency(url string) time.Duration {
+	var total time.Duration
+	for _, m := range p.Members {
+		total += m.Archive.LookupLatency(url)
+	}
+	return total
+}
+
+// CoverageGain reports, for a set of URLs, how many gain their first
+// usable (initial-200, pre-cutoff) copy only through a secondary
+// member — quantifying what the >20 extra archives buy beyond the
+// Wayback Machine.
+func (p *Pool) CoverageGain(urls []string, before simclock.Day) int {
+	if len(p.Members) < 2 {
+		return 0
+	}
+	primary := p.Members[0].Archive
+	gain := 0
+	for _, url := range urls {
+		if hasUsableBefore(primary, url, before) {
+			continue
+		}
+		for _, m := range p.Members[1:] {
+			if hasUsableBefore(m.Archive, url, before) {
+				gain++
+				break
+			}
+		}
+	}
+	return gain
+}
+
+func hasUsableBefore(a *Archive, url string, before simclock.Day) bool {
+	snaps := a.Snapshots(url)
+	for _, s := range snaps {
+		if before > 0 && !s.Day.Before(before) {
+			break
+		}
+		if s.InitialStatus == 200 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package archive
+
+import (
+	"testing"
+	"time"
+)
+
+func poolFixture() (*Pool, *Archive, *Archive) {
+	wayback := New()
+	other := New()
+	// Wayback holds an erroneous copy; the secondary holds a usable one.
+	wayback.Add(snap("http://only-other.simtest/p", 100, 404))
+	other.Add(snap("http://only-other.simtest/p", 120, 200))
+	// Both hold copies of a common URL; wayback's is earlier.
+	wayback.Add(snap("http://both.simtest/p", 50, 200))
+	other.Add(snap("http://both.simtest/p", 80, 200))
+	return NewPool(
+		Member{Name: "wayback", Archive: wayback},
+		Member{Name: "archive.today", Archive: other},
+	), wayback, other
+}
+
+func TestPoolQueryPriority(t *testing.T) {
+	p, _, _ := poolFixture()
+	res, ok, err := p.Query(AvailabilityQuery{
+		URL: "http://both.simtest/p", Want: d(60), Accept: AcceptUsable,
+	})
+	if err != nil || !ok {
+		t.Fatalf("query: %v %v", ok, err)
+	}
+	if res.Member != "wayback" {
+		t.Errorf("primary should win: got %q", res.Member)
+	}
+}
+
+func TestPoolFallsThroughToSecondary(t *testing.T) {
+	p, _, _ := poolFixture()
+	res, ok, err := p.Query(AvailabilityQuery{
+		URL: "http://only-other.simtest/p", Want: d(100), Accept: AcceptUsable,
+	})
+	if err != nil || !ok {
+		t.Fatalf("query: %v %v", ok, err)
+	}
+	if res.Member != "archive.today" || res.Snapshot.Day != d(120) {
+		t.Errorf("secondary copy expected: %+v", res)
+	}
+}
+
+func TestPoolTimeoutPropagates(t *testing.T) {
+	p, wayback, other := poolFixture()
+	wayback.SetLookupLatency("http://only-other.simtest/p", 10*time.Second)
+	other.SetLookupLatency("http://only-other.simtest/p", 10*time.Second)
+	_, ok, err := p.Query(AvailabilityQuery{
+		URL: "http://only-other.simtest/p", Want: d(100),
+		Accept: AcceptUsable, Timeout: time.Second,
+	})
+	if ok || err != ErrAvailabilityTimeout {
+		t.Errorf("both-members-timeout: ok=%v err=%v", ok, err)
+	}
+	// A slow primary does not hide a fast secondary.
+	other.SetLookupLatency("http://only-other.simtest/p", time.Millisecond)
+	res, ok, err := p.Query(AvailabilityQuery{
+		URL: "http://only-other.simtest/p", Want: d(100),
+		Accept: AcceptUsable, Timeout: time.Second,
+	})
+	if err != nil || !ok || res.Member != "archive.today" {
+		t.Errorf("fast secondary hidden: %+v %v %v", res, ok, err)
+	}
+}
+
+func TestPoolSnapshotsMergedSorted(t *testing.T) {
+	p, _, _ := poolFixture()
+	all := p.Snapshots("http://both.simtest/p")
+	if len(all) != 2 {
+		t.Fatalf("merged = %d", len(all))
+	}
+	if all[0].Snapshot.Day != d(50) || all[0].Member != "wayback" {
+		t.Errorf("order wrong: %+v", all)
+	}
+	first, ok := p.First("http://both.simtest/p")
+	if !ok || first.Snapshot.Day != d(50) {
+		t.Errorf("first = %+v", first)
+	}
+	if _, ok := p.First("http://nowhere.simtest/"); ok {
+		t.Error("unknown URL should have no first")
+	}
+}
+
+func TestPoolTotalLookupLatency(t *testing.T) {
+	p, wayback, other := poolFixture()
+	wayback.SetLookupLatency("http://both.simtest/p", 100*time.Millisecond)
+	other.SetLookupLatency("http://both.simtest/p", 250*time.Millisecond)
+	if got := p.TotalLookupLatency("http://both.simtest/p"); got != 350*time.Millisecond {
+		t.Errorf("total latency = %v", got)
+	}
+}
+
+func TestPoolCoverageGain(t *testing.T) {
+	p, _, _ := poolFixture()
+	urls := []string{
+		"http://only-other.simtest/p", // usable only in secondary
+		"http://both.simtest/p",       // usable in primary: no gain
+		"http://nowhere.simtest/p",    // usable nowhere
+	}
+	if gain := p.CoverageGain(urls, d(1000)); gain != 1 {
+		t.Errorf("coverage gain = %d, want 1", gain)
+	}
+	// A cutoff before the secondary's capture removes the gain.
+	if gain := p.CoverageGain(urls, d(110)); gain != 0 {
+		t.Errorf("coverage gain before capture = %d, want 0", gain)
+	}
+	// Single-member pools gain nothing by definition.
+	single := NewPool(p.Members[0])
+	if gain := single.CoverageGain(urls, d(1000)); gain != 0 {
+		t.Errorf("single-member gain = %d", gain)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"strings"
+
+	"permadead/internal/archive"
+	"permadead/internal/fetch"
+	"permadead/internal/redircheck"
+	"permadead/internal/softerror"
+	"permadead/internal/stats"
+	"permadead/internal/urlutil"
+)
+
+// DatasetStats fills the §2.4 / Figure 3 dataset characterization
+// (domains, hostnames, per-domain URL counts, site ranks, posting
+// dates) for an already-collected sample.
+func (s *Study) DatasetStats(r *Report) {
+	domains := make(map[string]int)
+	hosts := make(map[string]struct{})
+	var ranks []float64
+	var years []float64
+	for i := range r.Records {
+		rec := &r.Records[i]
+		domains[rec.Domain]++
+		hosts[rec.Host] = struct{}{}
+		if s.Ranks != nil {
+			if rank, ok := s.Ranks.Rank(rec.Host); ok {
+				ranks = append(ranks, float64(rank))
+			}
+		}
+		// Fractional year for a smooth Figure 3(c) CDF.
+		t := rec.Added.Time()
+		years = append(years, float64(t.Year())+float64(t.YearDay())/365.0)
+	}
+	r.NumDomains = len(domains)
+	r.NumHosts = len(hosts)
+
+	perDomain := make([]int, 0, len(domains))
+	for _, n := range domains {
+		perDomain = append(perDomain, n)
+	}
+	r.URLsPerDomain = stats.NewCDFInts(perDomain)
+	r.SiteRanks = stats.NewCDF(ranks)
+	r.PostYears = stats.NewCDF(years)
+}
+
+// LiveCheck performs the §3 live-web measurement: one GET per sampled
+// URL, Figure 4 classification, and the soft-404 probe for the 200s.
+func (s *Study) LiveCheck(ctx context.Context, r *Report) error {
+	urls := make([]string, len(r.Records))
+	for i := range r.Records {
+		urls[i] = r.Records[i].URL
+	}
+	results := s.Client.FetchAll(ctx, urls, s.Config.Concurrency)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.LiveResults = results
+
+	r.LiveBreakdown = stats.NewBreakdown(
+		fetch.CatDNSFailure.String(), fetch.CatTimeout.String(),
+		fetch.Cat404.String(), fetch.Cat200.String(), fetch.CatOther.String())
+
+	detector := softerror.NewDetector(s.Client)
+	r.SoftVerdicts = make(map[int]softerror.Verdict)
+	for i, res := range results {
+		r.LiveBreakdown.Add(res.Category.String())
+		if res.Category != fetch.Cat200 {
+			continue
+		}
+		r.Num200++
+		v := detector.Check(ctx, res.URL, res)
+		r.SoftVerdicts[i] = v
+		if v.Broken {
+			continue
+		}
+		r.NumFunctional++
+		if res.Redirected {
+			r.FunctionalViaRedirect++
+		}
+	}
+	return nil
+}
+
+// ArchiveAnalysis performs §4: for every link, classify the archived
+// copies that existed before IABot marked it dead, and validate 3xx
+// copies via sibling cross-examination. It also computes §3's post-
+// mark first-copy erroneousness.
+func (s *Study) ArchiveAnalysis(r *Report) {
+	checker := redircheck.NewChecker(s.Arch)
+	for i := range r.Records {
+		rec := &r.Records[i]
+		pre := s.Arch.SnapshotsBetween(rec.URL, 0, rec.Marked)
+
+		has200 := false
+		var firstRedirect *archive.Snapshot
+		for j := range pre {
+			if pre[j].InitialStatus == 200 {
+				has200 = true
+				break
+			}
+			if pre[j].IsRedirect() && firstRedirect == nil {
+				firstRedirect = &pre[j]
+			}
+		}
+		switch {
+		case has200:
+			// §4.1: a usable copy existed; IABot's timed-out lookup
+			// missed it.
+			r.Pre200 = append(r.Pre200, i)
+		case firstRedirect != nil:
+			r.WithRedirCopies = append(r.WithRedirCopies, i)
+			if _, v, ok := checker.FindValidatedCopy(rec.URL, rec.Marked); ok && v.NonErroneous {
+				r.ValidRedirCopies = append(r.ValidRedirCopies, i)
+			}
+		}
+
+		// §3: the first capture after the link was marked dead.
+		if post, ok := s.Arch.FirstAfter(rec.URL, rec.Marked); ok {
+			r.PostMarkTotal++
+			if SnapshotErroneous(post) {
+				r.PostMarkFirstErroneous++
+			}
+		}
+	}
+}
+
+// TemporalAnalysis performs §5.1 on the links with no pre-mark 200
+// copy: partition by having any captures at all, then measure the
+// posting→first-capture gap (Figure 5).
+func (s *Study) TemporalAnalysis(r *Report) {
+	pre200 := make(map[int]struct{}, len(r.Pre200))
+	for _, i := range r.Pre200 {
+		pre200[i] = struct{}{}
+	}
+
+	var gaps []float64
+	for i := range r.Records {
+		if _, ok := pre200[i]; ok {
+			continue
+		}
+		rec := &r.Records[i]
+		r.NoPre200++
+		first, ok := s.Arch.First(rec.URL)
+		if !ok {
+			r.NoCopies = append(r.NoCopies, i)
+			continue
+		}
+		r.WithAnyCopies++
+		if first.Day.Before(rec.Added) {
+			// §5.1 sets aside the 619 links archived before posting.
+			r.PrePostCopies++
+			continue
+		}
+		gap := first.Day.Sub(rec.Added)
+		gaps = append(gaps, float64(gap))
+		if gap <= 0 {
+			r.SameDayCaptures++
+			if SnapshotErroneous(first) {
+				r.SameDayErroneous++
+			}
+		}
+	}
+	r.GapCDF = stats.NewCDF(gaps)
+}
+
+// SpatialAnalysis performs §5.2 on the never-archived links: CDX
+// coverage counts at directory and hostname granularity (Figure 6),
+// typo detection via a unique edit-distance-1 archived URL, and the
+// query-parameter share.
+func (s *Study) SpatialAnalysis(r *Report) {
+	var dirCounts, hostCounts []int
+	for _, i := range r.NoCopies {
+		rec := &r.Records[i]
+		d := s.Arch.CountInDirectory(rec.URL)
+		h := s.Arch.CountOnHostname(rec.URL)
+		dirCounts = append(dirCounts, d)
+		hostCounts = append(hostCounts, h)
+		if d == 0 {
+			r.ZeroDir++
+		}
+		if h == 0 {
+			r.ZeroHost++
+		}
+		if urlutil.HasQuery(rec.URL) {
+			r.QueryParamLinks++
+		}
+		if s.isTypo(rec.URL) {
+			r.Typos++
+		}
+	}
+	r.DirCounts = stats.NewCDFInts(dirCounts)
+	r.HostCounts = stats.NewCDFInts(hostCounts)
+}
+
+// isTypo applies the §5.2 methodology: the dead URL is deemed a
+// potential typo iff exactly one archived URL under the same domain
+// has edit distance exactly 1.
+func (s *Study) isTypo(url string) bool {
+	domain := urlutil.Domain(url)
+	if domain == "" {
+		return false
+	}
+	matches := 0
+	for _, cand := range s.Arch.ArchivedURLsUnderDomain(domain, 4000) {
+		if cand == url {
+			continue
+		}
+		if urlutil.EditDistanceAtMost(stripScheme(cand), stripScheme(url), 1) &&
+			urlutil.EditDistance(stripScheme(cand), stripScheme(url)) == 1 {
+			matches++
+			if matches > 1 {
+				return false
+			}
+		}
+	}
+	return matches == 1
+}
+
+// stripScheme drops the scheme so http/https variants of the same URL
+// compare at distance 0 in the typo probe, as the paper's URL
+// comparison does.
+func stripScheme(url string) string {
+	if i := strings.Index(url, "://"); i >= 0 {
+		return url[i+3:]
+	}
+	return url
+}
+
+// SnapshotErroneous applies the study's usability heuristic to one
+// archived copy (§3, §5.1: "erroneous (i.e., 404, soft-404, etc.)"):
+//
+//   - any 4xx/5xx initial status is erroneous;
+//   - an initial 200 whose body reads like parked-domain or
+//     page-not-found boilerplate is a soft error;
+//   - a redirect capture is erroneous when it failed to land on a 200
+//     or bounced to the site root (the mass-redirect signature).
+func SnapshotErroneous(s archive.Snapshot) bool {
+	switch {
+	case s.InitialStatus >= 400:
+		return true
+	case s.InitialStatus == 200:
+		return softerror.LooksParked(s.Body) || softerror.LooksErrorBoilerplate(s.Body)
+	case s.IsRedirect():
+		if s.FinalStatus != 200 {
+			return true
+		}
+		return isRootTarget(s.RedirectTo)
+	default:
+		return true // 1xx or malformed captures are not usable copies
+	}
+}
+
+func isRootTarget(target string) bool {
+	rest := stripScheme(target)
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[i:] == "/" || rest[i:] == ""
+	}
+	return true
+}

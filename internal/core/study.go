@@ -1,0 +1,176 @@
+// Package core implements the paper's measurement pipeline end to end:
+//
+//	§2.4 Collect — crawl the tracking category, mine edit histories,
+//	     filter to IABot-marked links, sample 10,000.
+//	§3   LiveCheck — GET every sampled URL on the (simulated) live web,
+//	     classify outcomes (Figure 4), and run the soft-404 probe on
+//	     the 200s.
+//	§4   ArchiveAnalysis — classify pre-mark archived copies: missed
+//	     200-status copies (§4.1) and validated redirects (§4.2).
+//	§5.1 TemporalAnalysis — posting→first-capture gaps (Figure 5).
+//	§5.2 SpatialAnalysis — directory/hostname coverage of the never-
+//	     archived links (Figure 6) and edit-distance-1 typo detection.
+//
+// The pipeline sees the world only through the same interfaces the
+// paper's measurement did: the wiki's articles and edit histories, the
+// archive's Availability/CDX APIs, and HTTP fetches of the live web.
+// It never reads the generator's ground-truth labels.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"permadead/internal/archive"
+	"permadead/internal/fetch"
+	"permadead/internal/iabot"
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+	"permadead/internal/wikimedia"
+)
+
+// Ranker supplies site popularity ranks (the paper used Alexa). The
+// simulated world implements it; a nil Ranker skips Figure 3(b).
+type Ranker interface {
+	// Rank returns the site's popularity rank (1 = most popular) and
+	// whether the host is ranked at all.
+	Rank(host string) (int, bool)
+}
+
+// Config tunes a study run.
+type Config struct {
+	// SampleSize is how many IABot-marked links to sample (paper:
+	// 10,000). Zero means "all".
+	SampleSize int
+	// Seed drives sampling.
+	Seed int64
+	// CrawlArticles bounds the category crawl to the first N articles
+	// in title order (§2.4 crawled the first 10,000). Zero means all.
+	CrawlArticles int
+	// RandomArticles, when true, selects links at random across ALL
+	// category articles instead of the alphabetical prefix — the
+	// paper's September 2022 representativeness sample.
+	RandomArticles bool
+	// StudyTime is the live-web measurement day.
+	StudyTime simclock.Day
+	// Concurrency bounds parallel live fetches.
+	Concurrency int
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		SampleSize:    10000,
+		Seed:          1,
+		CrawlArticles: 10000,
+		StudyTime:     simclock.StudyTime,
+		Concurrency:   32,
+	}
+}
+
+// Study wires the pipeline's data sources.
+type Study struct {
+	Config Config
+	Wiki   *wikimedia.Wiki
+	Arch   *archive.Archive
+	// Client fetches the live web as of Config.StudyTime.
+	Client *fetch.Client
+	// Ranks supplies Figure 3(b) data (may be nil).
+	Ranks Ranker
+}
+
+// LinkRecord is one sampled permanently-dead link with the §2.4 facts
+// mined from its article's edit history.
+type LinkRecord struct {
+	URL     string
+	Article string
+	Host    string
+	Domain  string
+	// Added is when the link was first posted to the article.
+	Added   simclock.Day
+	AddedBy string
+	// Marked is when IABot tagged it permanently dead.
+	Marked   simclock.Day
+	MarkedBy string
+}
+
+// Collect performs the §2.4 dataset construction: crawl the tracking
+// category, extract dead-tagged links, mine edit histories, keep the
+// IABot-marked ones, and sample. Returned records are in stable
+// (sampled) order.
+func (s *Study) Collect() []LinkRecord {
+	titles := s.Wiki.InCategory(iabot.Category)
+	if s.Config.RandomArticles {
+		rng := rand.New(rand.NewSource(s.Config.Seed + 7))
+		rng.Shuffle(len(titles), func(i, j int) { titles[i], titles[j] = titles[j], titles[i] })
+	}
+	if n := s.Config.CrawlArticles; n > 0 && n < len(titles) {
+		titles = titles[:n]
+	}
+
+	seen := make(map[string]struct{})
+	var candidates []LinkRecord
+	for _, title := range titles {
+		for _, cl := range s.Wiki.DeadLinks(title) {
+			if cl.URL == "" {
+				continue
+			}
+			if _, dup := seen[cl.URL]; dup {
+				continue
+			}
+			h, ok := s.Wiki.HistoryOf(title, cl.URL)
+			if !ok || !h.MarkedDead.Valid() {
+				continue
+			}
+			seen[cl.URL] = struct{}{}
+			// §2.4: the study keeps links marked by IABot, whose
+			// open-source policy it can reason about.
+			if h.MarkedDeadBy != iabot.DefaultName {
+				continue
+			}
+			candidates = append(candidates, LinkRecord{
+				URL:      cl.URL,
+				Article:  title,
+				Host:     urlutil.Hostname(cl.URL),
+				Domain:   urlutil.Domain(cl.URL),
+				Added:    h.Added,
+				AddedBy:  h.AddedBy,
+				Marked:   h.MarkedDead,
+				MarkedBy: h.MarkedDeadBy,
+			})
+		}
+	}
+
+	if n := s.Config.SampleSize; n > 0 && n < len(candidates) {
+		rng := rand.New(rand.NewSource(s.Config.Seed))
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		candidates = candidates[:n]
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].URL < candidates[j].URL })
+	}
+	return candidates
+}
+
+// Run executes the full pipeline and assembles the Report.
+func (s *Study) Run(ctx context.Context) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	records := s.Collect()
+	if len(records) == 0 {
+		return nil, fmt.Errorf("core: no IABot-marked permanently dead links found")
+	}
+	r := &Report{Config: s.Config, Records: records}
+
+	s.DatasetStats(r)
+	if err := s.LiveCheck(ctx, r); err != nil {
+		return nil, err
+	}
+	s.ArchiveAnalysis(r)
+	s.TemporalAnalysis(r)
+	s.SpatialAnalysis(r)
+	return r, nil
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"permadead/internal/archive"
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/wikimedia"
+	"permadead/internal/worldgen"
+)
+
+func wikimediaEmpty() *wikimedia.Wiki { return wikimedia.NewWiki() }
+
+// The small universe is expensive to generate (full timeline run), so
+// tests share one instance and one report.
+var (
+	sharedU      *worldgen.Universe
+	sharedReport *Report
+)
+
+func runStudy(t *testing.T) (*worldgen.Universe, *Report) {
+	t.Helper()
+	if sharedReport != nil {
+		return sharedU, sharedReport
+	}
+	u := worldgen.Generate(worldgen.SmallParams())
+	cfg := DefaultConfig()
+	cfg.SampleSize = u.Params.SampleSize
+	cfg.CrawlArticles = 0 // the small universe has few articles; crawl all
+	s := &Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+		Ranks:  u.World,
+	}
+	r, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedU, sharedReport = u, r
+	return u, r
+}
+
+// near asserts a measured fraction is within tol of the paper's.
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, paper %.3f (tol %.3f)", name, got, want, tol)
+	}
+}
+
+func TestCollectFiltersAndSamples(t *testing.T) {
+	u, r := runStudy(t)
+	if r.N() == 0 {
+		t.Fatal("empty sample")
+	}
+	if r.N() > u.Params.SampleSize {
+		t.Errorf("sample %d exceeds configured size %d", r.N(), u.Params.SampleSize)
+	}
+	seen := map[string]bool{}
+	for _, rec := range r.Records {
+		if seen[rec.URL] {
+			t.Errorf("duplicate URL in sample: %s", rec.URL)
+		}
+		seen[rec.URL] = true
+		if rec.MarkedBy != "InternetArchiveBot" {
+			t.Errorf("non-IABot link sampled: %s by %q", rec.URL, rec.MarkedBy)
+		}
+		if !rec.Added.Valid() || !rec.Marked.Valid() || rec.Added.After(rec.Marked) {
+			t.Errorf("inconsistent history for %s: added %v marked %v", rec.URL, rec.Added, rec.Marked)
+		}
+		if rec.Host == "" || rec.Domain == "" {
+			t.Errorf("missing host/domain for %s", rec.URL)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	_, r := runStudy(t)
+	b := r.LiveBreakdown
+	if b.Total() != r.N() {
+		t.Fatalf("breakdown total %d != sample %d", b.Total(), r.N())
+	}
+	// Paper: DNS + 404 > 70%; 200 ≈ 16.5%.
+	dns404 := b.Fraction("DNS Failure") + b.Fraction("404")
+	if dns404 < 0.60 {
+		t.Errorf("DNS+404 share = %.2f, paper >0.70", dns404)
+	}
+	near(t, "200 share", b.Fraction("200"), 0.165, 0.05)
+}
+
+func TestSection3Shape(t *testing.T) {
+	_, r := runStudy(t)
+	// Paper: 305/10000 functional; 79% via redirect.
+	near(t, "functional share", r.frac(r.NumFunctional), 0.0305, 0.015)
+	if r.NumFunctional > 0 {
+		near(t, "via-redirect share",
+			float64(r.FunctionalViaRedirect)/float64(r.NumFunctional), 0.79, 0.20)
+	}
+	// Paper: 95% of first post-mark copies erroneous.
+	if r.PostMarkTotal > 0 {
+		near(t, "post-mark erroneous",
+			float64(r.PostMarkFirstErroneous)/float64(r.PostMarkTotal), 0.95, 0.06)
+	}
+}
+
+func TestSection4Shape(t *testing.T) {
+	_, r := runStudy(t)
+	near(t, "pre-200 share (§4.1)", r.frac(len(r.Pre200)), 0.108, 0.03)
+	near(t, "3xx-copy share (§4.2)", r.frac(len(r.WithRedirCopies)), 0.378, 0.06)
+	near(t, "validated 3xx share (§4.2)", r.frac(len(r.ValidRedirCopies)), 0.048, 0.025)
+	// Validated redirects are a subset of redirect copies.
+	if len(r.ValidRedirCopies) > len(r.WithRedirCopies) {
+		t.Error("validated redirects exceed redirect copies")
+	}
+}
+
+func TestSection51Shape(t *testing.T) {
+	_, r := runStudy(t)
+	if r.NoPre200+len(r.Pre200) != r.N() {
+		t.Errorf("pre200 partition broken: %d + %d != %d", r.NoPre200, len(r.Pre200), r.N())
+	}
+	if r.WithAnyCopies+len(r.NoCopies) != r.NoPre200 {
+		t.Errorf("copy partition broken: %d + %d != %d", r.WithAnyCopies, len(r.NoCopies), r.NoPre200)
+	}
+	near(t, "no-copies share", r.frac(len(r.NoCopies)), 0.198, 0.04)
+	near(t, "pre-post share", r.frac(r.PrePostCopies), 0.062, 0.03)
+	// ~7% same-day captures among the Fig 5 population.
+	if r.GapCDF.N() > 0 {
+		near(t, "same-day share", float64(r.SameDayCaptures)/float64(r.GapCDF.N()), 0.07, 0.04)
+	}
+	// Figure 5's shape: a long tail — median at least ~3 months,
+	// noticeable mass beyond a year.
+	if med := r.GapCDF.Quantile(0.5); med < 60 {
+		t.Errorf("gap median = %.0f days, paper shows months-to-years", med)
+	}
+	if yearPlus := 1 - r.GapCDF.At(365); yearPlus < 0.2 {
+		t.Errorf("gap >1y share = %.2f, paper shows a long tail", yearPlus)
+	}
+}
+
+func TestSection52Shape(t *testing.T) {
+	_, r := runStudy(t)
+	n := len(r.NoCopies)
+	if n == 0 {
+		t.Fatal("no zero-copy links")
+	}
+	// Paper: 749/1982 zero dir, 256/1982 zero host, 219/1982 typos.
+	near(t, "zero-dir share", float64(r.ZeroDir)/float64(n), 0.378, 0.08)
+	near(t, "zero-host share", float64(r.ZeroHost)/float64(n), 0.129, 0.06)
+	near(t, "typo share", float64(r.Typos)/float64(n), 0.110, 0.06)
+	if r.ZeroHost > r.ZeroDir {
+		t.Error("zero-host must be a subset of zero-dir")
+	}
+	// Figure 6: dir-level counts sit below host-level counts.
+	if r.DirCounts.Quantile(0.9) > r.HostCounts.Quantile(0.9) {
+		t.Error("dir-level coverage should not exceed host-level")
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	_, r := runStudy(t)
+	// >70% of domains contribute one URL (Fig 3a).
+	oneURL := r.URLsPerDomain.At(1)
+	if oneURL < 0.6 || oneURL > 0.85 {
+		t.Errorf("single-URL domain share = %.2f, paper ~0.70", oneURL)
+	}
+	near(t, "posted after 2015", 1-r.PostYears.At(2016), 0.40, 0.10)
+	near(t, "posted after 2017", 1-r.PostYears.At(2018), 0.20, 0.10)
+	if r.SiteRanks.N() == 0 {
+		t.Error("no rank data for Figure 3(b)")
+	}
+}
+
+func TestRenderedReport(t *testing.T) {
+	_, r := runStudy(t)
+	out := r.Render()
+	for _, want := range []string{
+		"Figure 3(a)", "Figure 3(b)", "Figure 3(c)", "Figure 4",
+		"Figure 5", "Figure 6", "§3", "§4", "§5.1", "§5.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	cmp := r.RenderComparison()
+	if !strings.Contains(cmp, "Paper vs. measured") || !strings.Contains(cmp, "§4.1") {
+		t.Errorf("comparison table malformed:\n%s", cmp)
+	}
+	rows := r.PaperComparison()
+	if len(rows) < 20 {
+		t.Errorf("comparison rows = %d", len(rows))
+	}
+}
+
+func TestRandomArticleSampleIsSimilar(t *testing.T) {
+	// §2.4 representativeness: the random sample's Figure 4 breakdown
+	// should largely match the alphabetical dataset's.
+	u, r := runStudy(t)
+	cfg := r.Config
+	cfg.RandomArticles = true
+	cfg.Seed = 99
+	s := &Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+		Ranks:  u.World,
+	}
+	r2, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []string{"DNS Failure", "404", "200"} {
+		a, b := r.LiveBreakdown.Fraction(cat), r2.LiveBreakdown.Fraction(cat)
+		if math.Abs(a-b) > 0.08 {
+			t.Errorf("category %s differs between samples: %.2f vs %.2f", cat, a, b)
+		}
+	}
+}
+
+func TestSnapshotErroneous(t *testing.T) {
+	cases := []struct {
+		name string
+		snap archiveSnap
+		want bool
+	}{
+		{"404", archiveSnap{Initial: 404, Final: 404}, true},
+		{"503", archiveSnap{Initial: 503, Final: 503}, true},
+		{"plain 200", archiveSnap{Initial: 200, Final: 200, Body: "<html>real content here</html>"}, false},
+		{"parked 200", archiveSnap{Initial: 200, Final: 200, Body: "This domain may be for sale."}, true},
+		{"soft 200", archiveSnap{Initial: 200, Final: 200, Body: "Sorry, we could not find that page"}, true},
+		{"redirect to page", archiveSnap{Initial: 301, Final: 200, To: "http://h.com/new/page.html"}, false},
+		{"redirect to root", archiveSnap{Initial: 302, Final: 200, To: "http://h.com/"}, true},
+		{"redirect to 404", archiveSnap{Initial: 301, Final: 404, To: "http://h.com/x"}, true},
+	}
+	for _, c := range cases {
+		got := SnapshotErroneous(c.snap.toSnapshot())
+		if got != c.want {
+			t.Errorf("%s: erroneous = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+type archiveSnap struct {
+	Initial, Final int
+	To, Body       string
+}
+
+func (a archiveSnap) toSnapshot() archive.Snapshot {
+	return archive.Snapshot{
+		InitialStatus: a.Initial,
+		FinalStatus:   a.Final,
+		RedirectTo:    a.To,
+		Body:          a.Body,
+	}
+}
+
+func TestCollectCrawlBound(t *testing.T) {
+	u, _ := runStudy(t)
+	// Crawling only the first few articles yields a strict subset.
+	cfg := DefaultConfig()
+	cfg.SampleSize = 0
+	cfg.CrawlArticles = 10
+	s := &Study{Config: cfg, Wiki: u.Wiki, Arch: u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime))}
+	bounded := s.Collect()
+	cfg2 := cfg
+	cfg2.CrawlArticles = 0
+	s2 := &Study{Config: cfg2, Wiki: u.Wiki, Arch: u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime))}
+	all := s2.Collect()
+	if len(bounded) == 0 || len(bounded) >= len(all) {
+		t.Errorf("bounded crawl: %d vs all %d", len(bounded), len(all))
+	}
+	// The crawl is alphabetical: every bounded article title must be
+	// <= the 10th category title.
+	titles := u.Wiki.InCategory("Articles with permanently dead external links")
+	cutoff := titles[9]
+	for _, rec := range bounded {
+		if rec.Article > cutoff {
+			t.Errorf("article %q beyond alphabetical cutoff %q", rec.Article, cutoff)
+		}
+	}
+}
+
+func TestCollectSamplingDeterministic(t *testing.T) {
+	u, _ := runStudy(t)
+	mk := func(seed int64) []LinkRecord {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.SampleSize = 50
+		cfg.CrawlArticles = 0
+		s := &Study{Config: cfg, Wiki: u.Wiki, Arch: u.Archive,
+			Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime))}
+		return s.Collect()
+	}
+	a, b := mk(7), mk(7)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("sample sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].URL != b[i].URL {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	c := mk(8)
+	same := 0
+	for i := range a {
+		if a[i].URL == c[i].URL {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestRunWithCancelledContext(t *testing.T) {
+	u, _ := runStudy(t)
+	cfg := DefaultConfig()
+	cfg.SampleSize = 10
+	cfg.CrawlArticles = 0
+	s := &Study{Config: cfg, Wiki: u.Wiki, Arch: u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime))}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx); err == nil {
+		t.Error("cancelled context should abort the run")
+	}
+}
+
+func TestEmptyWikiErrors(t *testing.T) {
+	u, _ := runStudy(t)
+	s := &Study{
+		Config: DefaultConfig(),
+		Wiki:   wikimediaEmpty(),
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, DefaultConfig().StudyTime)),
+	}
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Error("empty wiki should error")
+	}
+}

@@ -1,0 +1,139 @@
+package eventstream
+
+import (
+	"testing"
+
+	"permadead/internal/archive"
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+	"permadead/internal/wikimedia"
+)
+
+func setup() (*simweb.World, *archive.Archive, *wikimedia.Wiki, *Service) {
+	w := simweb.NewWorld()
+	s := w.AddSite("site.simtest", simclock.Day(0))
+	s.AddPage("/a.html", simclock.Day(0))
+	s.AddPage("/b.html", simclock.Day(0))
+	arch := archive.New()
+	wiki := wikimedia.NewWiki()
+	svc := New(archive.NewCrawler(w, arch))
+	svc.Attach(wiki)
+	return w, arch, wiki, svc
+}
+
+func TestCapturesOnPost(t *testing.T) {
+	_, arch, wiki, svc := setup()
+	svc.Delay = func(wikimedia.LinkAddedEvent) (int, bool) { return 0, true }
+
+	day := simclock.FromDate(2015, 6, 1)
+	wiki.Create("Art", day, "User", "[http://site.simtest/a.html A]")
+
+	snaps := arch.Snapshots("http://site.simtest/a.html")
+	if len(snaps) != 1 {
+		t.Fatalf("snaps = %d", len(snaps))
+	}
+	if snaps[0].Day != day || snaps[0].InitialStatus != 200 {
+		t.Errorf("snap = %+v", snaps[0])
+	}
+	att := svc.Attempts()
+	if len(att) != 1 || !att[0].OK || att[0].Attempted != day {
+		t.Errorf("attempts = %+v", att)
+	}
+}
+
+func TestDelayedCapture(t *testing.T) {
+	_, arch, wiki, svc := setup()
+	svc.Delay = func(wikimedia.LinkAddedEvent) (int, bool) { return 400, true }
+
+	day := simclock.FromDate(2015, 6, 1)
+	wiki.Create("Art", day, "User", "[http://site.simtest/a.html A]")
+
+	snaps := arch.Snapshots("http://site.simtest/a.html")
+	if len(snaps) != 1 || snaps[0].Day != day.Add(400) {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+}
+
+func TestMissedLinkNotCaptured(t *testing.T) {
+	_, arch, wiki, svc := setup()
+	svc.Delay = func(wikimedia.LinkAddedEvent) (int, bool) { return 0, false }
+	wiki.Create("Art", simclock.FromDate(2015, 6, 1), "User", "[http://site.simtest/a.html A]")
+	if arch.TotalSnapshots() != 0 {
+		t.Error("missed link should not be captured")
+	}
+}
+
+func TestInactiveBeforeWNRT(t *testing.T) {
+	_, arch, wiki, svc := setup()
+	svc.Delay = func(wikimedia.LinkAddedEvent) (int, bool) { return 0, true }
+	// Posted in 2010: before any capture-on-post service existed.
+	wiki.Create("Art", simclock.FromDate(2010, 6, 1), "User", "[http://site.simtest/a.html A]")
+	if arch.TotalSnapshots() != 0 {
+		t.Error("pre-WNRT link should not be captured on post")
+	}
+}
+
+func TestCaptureOfDeadLinkRecordsError(t *testing.T) {
+	w, arch, wiki, svc := setup()
+	svc.Delay = func(wikimedia.LinkAddedEvent) (int, bool) { return 100, true }
+	// The page dies 10 days after posting; the delayed capture finds a 404.
+	site := w.Site("site.simtest")
+	day := simclock.FromDate(2015, 6, 1)
+	site.Page("/a.html").DeletedAt = day.Add(10)
+
+	wiki.Create("Art", day, "User", "[http://site.simtest/a.html A]")
+	snaps := arch.Snapshots("http://site.simtest/a.html")
+	if len(snaps) != 1 || snaps[0].InitialStatus != 404 {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+}
+
+func TestUnreachableCaptureLogged(t *testing.T) {
+	w, arch, wiki, svc := setup()
+	svc.Delay = func(wikimedia.LinkAddedEvent) (int, bool) { return 0, true }
+	site := w.Site("site.simtest")
+	site.DNSDiesAt = simclock.FromDate(2015, 1, 1)
+
+	wiki.Create("Art", simclock.FromDate(2015, 6, 1), "User", "[http://site.simtest/a.html A]")
+	if arch.TotalSnapshots() != 0 {
+		t.Error("unreachable host should store nothing")
+	}
+	att := svc.Attempts()
+	if len(att) != 1 || att[0].OK {
+		t.Errorf("attempts = %+v", att)
+	}
+}
+
+func TestDefaultDelayDeterministicAndBounded(t *testing.T) {
+	ev := wikimedia.LinkAddedEvent{URL: "http://site.simtest/a.html"}
+	d1, ok1 := DefaultDelay(ev)
+	d2, ok2 := DefaultDelay(ev)
+	if d1 != d2 || ok1 != ok2 {
+		t.Error("DefaultDelay should be deterministic per URL")
+	}
+	picked, missed := 0, 0
+	for i := 0; i < 2000; i++ {
+		ev.URL = "http://site.simtest/p" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('a'+(i/260)%26)) + ".html"
+		d, ok := DefaultDelay(ev)
+		if !ok {
+			missed++
+			continue
+		}
+		picked++
+		if d < 0 || d > 3*365+730 {
+			t.Fatalf("delay %d out of range", d)
+		}
+	}
+	if picked == 0 || missed == 0 {
+		t.Errorf("picked=%d missed=%d: both outcomes should occur", picked, missed)
+	}
+}
+
+func TestServiceEras(t *testing.T) {
+	if !WNRTStart.Before(EventStreamStart) {
+		t.Error("WNRT predates EventStream")
+	}
+	if WNRTStart.Year() != 2013 || EventStreamStart.Year() != 2018 {
+		t.Errorf("eras = %v, %v", WNRTStart, EventStreamStart)
+	}
+}

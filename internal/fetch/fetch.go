@@ -1,0 +1,263 @@
+// Package fetch is the study's live-web measurement client. It issues
+// HTTP GET requests, follows redirects while recording the full chain,
+// and classifies each fetch into the five outcome categories of
+// Figure 4: DNS Failure, Timeout, 404, 200, and Other.
+//
+// The paper distinguishes a URL's *initial* status code (the response
+// to the first request, before redirections) from its *final* status
+// code (after all redirections, §2.4); Result captures both plus every
+// intermediate hop.
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Category is the paper's five-way classification of a live fetch.
+type Category uint8
+
+const (
+	// CatDNSFailure: DNS resolution for the hostname returned an error.
+	CatDNSFailure Category = iota
+	// CatTimeout: TCP or TLS connection setup (or the request) timed out.
+	CatTimeout
+	// Cat404: the final status code was 404 (Not Found).
+	Cat404
+	// Cat200: the final status code was 200 (OK).
+	Cat200
+	// CatOther: any other final status code (e.g. 403, 503) or
+	// transport error.
+	CatOther
+)
+
+// Categories lists all categories in the order Figure 4 plots them.
+var Categories = []Category{CatDNSFailure, CatTimeout, Cat404, Cat200, CatOther}
+
+func (c Category) String() string {
+	switch c {
+	case CatDNSFailure:
+		return "DNS Failure"
+	case CatTimeout:
+		return "Timeout"
+	case Cat404:
+		return "404"
+	case Cat200:
+		return "200"
+	case CatOther:
+		return "Other"
+	default:
+		return "Unknown"
+	}
+}
+
+// Hop is one response in a redirect chain.
+type Hop struct {
+	URL      string
+	Status   int
+	Location string
+}
+
+// Result is the full outcome of fetching one URL.
+type Result struct {
+	URL      string
+	Category Category
+	// InitialStatus is the status code of the first response (0 when
+	// no response was received at all).
+	InitialStatus int
+	// FinalStatus is the status code after all redirections (0 when
+	// no final response was received).
+	FinalStatus int
+	// FinalURL is the URL that produced the final response.
+	FinalURL string
+	// Redirected reports whether at least one redirect was followed.
+	Redirected bool
+	// Hops is the redirect chain, ending with the final response.
+	Hops []Hop
+	// Body is the final response body (possibly truncated to
+	// MaxBodyBytes).
+	Body string
+	// Err is the transport error for DNS/timeout/other failures.
+	Err error
+}
+
+// Client fetches URLs and classifies outcomes. The zero value is not
+// usable; construct with New.
+type Client struct {
+	hc           *http.Client
+	maxRedirects int
+	maxBody      int64
+	userAgent    string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout bounds each fetch end-to-end. Default 30s.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithMaxRedirects bounds the redirect chain length. Default 10,
+// matching net/http's own limit.
+func WithMaxRedirects(n int) Option {
+	return func(c *Client) { c.maxRedirects = n }
+}
+
+// WithMaxBody bounds how much of the final body is retained. Default 256 KiB.
+func WithMaxBody(n int64) Option {
+	return func(c *Client) { c.maxBody = n }
+}
+
+// WithUserAgent sets the User-Agent header sent on every request.
+func WithUserAgent(ua string) Option {
+	return func(c *Client) { c.userAgent = ua }
+}
+
+// New builds a Client over the given transport. Pass a *simweb.Transport
+// for simulated fetches or an *http.Transport for real ones.
+func New(rt http.RoundTripper, opts ...Option) *Client {
+	c := &Client{
+		hc:           &http.Client{Transport: rt, Timeout: 30 * time.Second},
+		maxRedirects: 10,
+		maxBody:      256 << 10,
+		userAgent:    "permadead-study/1.0 (link-rot measurement)",
+	}
+	// Redirects are followed manually in Fetch so every hop is
+	// recorded; disable the client's own following.
+	c.hc.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Fetch GETs rawURL, following redirects up to the configured limit,
+// and classifies the outcome.
+func (c *Client) Fetch(ctx context.Context, rawURL string) Result {
+	res := Result{URL: rawURL}
+	current := rawURL
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, current, nil)
+		if err != nil {
+			// Unparseable URLs (typos in the dataset) cannot even be
+			// requested; treat as Other with the parse error attached.
+			res.Category, res.Err = CatOther, err
+			return res
+		}
+		req.Header.Set("User-Agent", c.userAgent)
+
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			res.Category, res.Err = classifyError(err), err
+			return res
+		}
+
+		body := readBody(resp, c.maxBody)
+		loc := resp.Header.Get("Location")
+		res.Hops = append(res.Hops, Hop{URL: current, Status: resp.StatusCode, Location: loc})
+		if hop == 0 {
+			res.InitialStatus = resp.StatusCode
+		}
+		res.FinalStatus = resp.StatusCode
+		res.FinalURL = current
+		res.Body = body
+
+		if !isRedirect(resp.StatusCode) || loc == "" {
+			res.Category = classifyStatus(resp.StatusCode)
+			return res
+		}
+		if hop+1 > c.maxRedirects {
+			res.Category = CatOther
+			res.Err = fmt.Errorf("fetch: stopped after %d redirects", c.maxRedirects)
+			return res
+		}
+		next, err := resp.Request.URL.Parse(loc)
+		if err != nil {
+			res.Category = CatOther
+			res.Err = fmt.Errorf("fetch: bad Location %q: %w", loc, err)
+			return res
+		}
+		res.Redirected = true
+		current = next.String()
+	}
+}
+
+// FetchAll fetches urls with the given concurrency, preserving input
+// order in the returned slice.
+func (c *Client) FetchAll(ctx context.Context, urls []string, concurrency int) []Result {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	results := make([]Result, len(urls))
+	sem := make(chan struct{}, concurrency)
+	done := make(chan int)
+	for i := range urls {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			results[i] = c.Fetch(ctx, urls[i])
+		}(i)
+	}
+	for range urls {
+		<-done
+	}
+	return results
+}
+
+func readBody(resp *http.Response, limit int64) string {
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, limit))
+	return string(b)
+}
+
+func isRedirect(status int) bool {
+	switch status {
+	case http.StatusMovedPermanently, http.StatusFound, http.StatusSeeOther,
+		http.StatusTemporaryRedirect, http.StatusPermanentRedirect:
+		return true
+	}
+	return false
+}
+
+func classifyStatus(status int) Category {
+	switch status {
+	case http.StatusOK:
+		return Cat200
+	case http.StatusNotFound:
+		return Cat404
+	default:
+		return CatOther
+	}
+}
+
+// classifyError maps a transport error to a Category the way the
+// paper's measurement does: DNS errors are DNS failures; deadline and
+// net timeouts are Timeouts; everything else is Other.
+func classifyError(err error) Category {
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return CatDNSFailure
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CatTimeout
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return CatTimeout
+	}
+	// http.Client wraps errors in *url.Error; a timeout may also
+	// surface as a string in exotic paths. Catch the common one.
+	if strings.Contains(err.Error(), "Client.Timeout exceeded") {
+		return CatTimeout
+	}
+	return CatOther
+}

@@ -1,0 +1,230 @@
+package fetch
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+)
+
+func testWorld() *simweb.World {
+	w := simweb.NewWorld()
+	created := simclock.FromDate(2008, 1, 1)
+
+	ok := w.AddSite("ok.simtest", created)
+	ok.AddPage("/page.html", created)
+
+	dead := w.AddSite("dnsdead.simtest", created)
+	dead.DNSDiesAt = simclock.FromDate(2020, 1, 1)
+
+	hang := w.AddSite("hang.simtest", created)
+	hang.TimeoutFrom = created
+
+	redir := w.AddSite("redir.simtest", created)
+	pg := redir.AddPage("/old.html", created)
+	pg.MovedAt = created.Add(10)
+	pg.NewPath = "/new.html"
+	pg.RedirectFrom = created.Add(10)
+	redir.AddPage("/new.html", created.Add(10))
+
+	soft := w.AddSite("soft.simtest", created)
+	soft.ErrorStyle = simweb.SoftRedirectHome
+
+	geo := w.AddSite("geo.simtest", created)
+	geo.GeoBlockedFrom = created
+
+	loop := w.AddSite("loop.simtest", created)
+	a := loop.AddPage("/a", created)
+	a.MovedAt = created
+	a.NewPath = "/b"
+	a.RedirectFrom = created
+	b := loop.AddPage("/b", created)
+	b.MovedAt = created
+	b.NewPath = "/a"
+	b.RedirectFrom = created
+
+	return w
+}
+
+func testClient(w *simweb.World, opts ...Option) *Client {
+	return New(simweb.NewTransport(w, simclock.StudyTime), opts...)
+}
+
+func TestFetch200(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://ok.simtest/page.html")
+	if res.Category != Cat200 {
+		t.Fatalf("category = %v, err = %v", res.Category, res.Err)
+	}
+	if res.InitialStatus != 200 || res.FinalStatus != 200 {
+		t.Errorf("statuses: initial=%d final=%d", res.InitialStatus, res.FinalStatus)
+	}
+	if res.Redirected {
+		t.Error("no redirect expected")
+	}
+	if !strings.Contains(res.Body, "<html>") {
+		t.Error("body missing")
+	}
+	if len(res.Hops) != 1 {
+		t.Errorf("hops = %d", len(res.Hops))
+	}
+}
+
+func TestFetch404(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://ok.simtest/missing.html")
+	if res.Category != Cat404 || res.FinalStatus != 404 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestFetchDNSFailure(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://dnsdead.simtest/x")
+	if res.Category != CatDNSFailure {
+		t.Fatalf("category = %v, err = %v", res.Category, res.Err)
+	}
+	if res.Err == nil {
+		t.Error("expected error")
+	}
+	res = c.Fetch(context.Background(), "http://neverexisted.simtest/")
+	if res.Category != CatDNSFailure {
+		t.Fatalf("unknown host category = %v", res.Category)
+	}
+}
+
+func TestFetchTimeout(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://hang.simtest/")
+	if res.Category != CatTimeout {
+		t.Fatalf("category = %v, err = %v", res.Category, res.Err)
+	}
+}
+
+func TestFetchRedirectChain(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://redir.simtest/old.html")
+	if res.Category != Cat200 {
+		t.Fatalf("category = %v, err = %v", res.Category, res.Err)
+	}
+	// The paper's initial vs final status distinction (§2.4).
+	if res.InitialStatus != 301 {
+		t.Errorf("initial status = %d, want 301", res.InitialStatus)
+	}
+	if res.FinalStatus != 200 {
+		t.Errorf("final status = %d, want 200", res.FinalStatus)
+	}
+	if !res.Redirected {
+		t.Error("Redirected should be true")
+	}
+	if len(res.Hops) != 2 {
+		t.Fatalf("hops = %v", res.Hops)
+	}
+	if !strings.HasSuffix(res.FinalURL, "/new.html") {
+		t.Errorf("final URL = %q", res.FinalURL)
+	}
+}
+
+func TestFetchSoftRedirect(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://soft.simtest/gone/article.html")
+	// Redirects home and answers 200: classified 200, the soft-404 case
+	// the detector must catch downstream.
+	if res.Category != Cat200 || !res.Redirected {
+		t.Fatalf("%+v", res)
+	}
+	if res.InitialStatus != 302 {
+		t.Errorf("initial = %d", res.InitialStatus)
+	}
+}
+
+func TestFetchOther(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://geo.simtest/")
+	if res.Category != CatOther || res.FinalStatus != 403 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestFetchRedirectLoop(t *testing.T) {
+	c := testClient(testWorld(), WithMaxRedirects(5))
+	res := c.Fetch(context.Background(), "http://loop.simtest/a")
+	if res.Category != CatOther {
+		t.Fatalf("loop category = %v", res.Category)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "redirects") {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func TestFetchInvalidURL(t *testing.T) {
+	c := testClient(testWorld())
+	res := c.Fetch(context.Background(), "http://bad url with spaces/")
+	if res.Category != CatOther || res.Err == nil {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestFetchAllPreservesOrder(t *testing.T) {
+	c := testClient(testWorld())
+	urls := []string{
+		"http://ok.simtest/page.html",
+		"http://ok.simtest/missing.html",
+		"http://dnsdead.simtest/x",
+		"http://geo.simtest/",
+	}
+	results := c.FetchAll(context.Background(), urls, 4)
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	want := []Category{Cat200, Cat404, CatDNSFailure, CatOther}
+	for i, r := range results {
+		if r.URL != urls[i] {
+			t.Errorf("result[%d] order broken: %q", i, r.URL)
+		}
+		if r.Category != want[i] {
+			t.Errorf("result[%d] = %v, want %v", i, r.Category, want[i])
+		}
+	}
+}
+
+func TestFetchContextCancelled(t *testing.T) {
+	c := testClient(testWorld())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := c.Fetch(ctx, "http://ok.simtest/page.html")
+	if res.Err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := []string{"DNS Failure", "Timeout", "404", "200", "Other"}
+	for i, cat := range Categories {
+		if cat.String() != want[i] {
+			t.Errorf("category %d = %q, want %q", i, cat.String(), want[i])
+		}
+	}
+	if Category(99).String() != "Unknown" {
+		t.Error("unknown category string")
+	}
+}
+
+func TestWithOptions(t *testing.T) {
+	w := testWorld()
+	c := New(simweb.NewTransport(w, simclock.StudyTime),
+		WithTimeout(5*time.Second),
+		WithMaxBody(10),
+		WithUserAgent("test-agent"),
+	)
+	res := c.Fetch(context.Background(), "http://ok.simtest/page.html")
+	if len(res.Body) > 10 {
+		t.Errorf("body length %d exceeds WithMaxBody(10)", len(res.Body))
+	}
+	if res.Category != Cat200 {
+		t.Errorf("category = %v", res.Category)
+	}
+}

@@ -1,0 +1,364 @@
+// Package figures renders the study's distributions as standalone SVG
+// files, one per figure in the paper: CDFs with linear or log-scaled x
+// axes (Figures 3, 5, 6) and the grouped bar chart of live-web
+// outcomes (Figure 4). The renderer is deliberately dependency-free:
+// hand-written SVG with a small layout engine, enough for clean,
+// legible plots of empirical CDFs.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"permadead/internal/stats"
+)
+
+// Size of the drawing canvas; margins leave room for axes and labels.
+const (
+	width      = 640
+	height     = 420
+	marginL    = 70
+	marginR    = 24
+	marginT    = 40
+	marginB    = 56
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	axisColor  = "#444444"
+	gridColor  = "#dddddd"
+	textColor  = "#222222"
+	fontFamily = "sans-serif"
+)
+
+// seriesColors cycles across plotted series.
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd"}
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	CDF  *stats.CDF
+}
+
+// CDFPlot describes one CDF figure.
+type CDFPlot struct {
+	Title  string
+	XLabel string
+	// LogX selects a log10 x axis (the paper's Figures 3a, 5, 6).
+	LogX bool
+	// Series holds one or more curves (Figure 6 plots two).
+	Series []Series
+}
+
+// RenderCDF produces a complete SVG document for the plot.
+func RenderCDF(p CDFPlot) string {
+	var b strings.Builder
+	svgHeader(&b, p.Title)
+
+	// X domain across all series.
+	lo, hi := xDomain(p)
+	xmap := linearMap(lo, hi)
+	if p.LogX {
+		xmap = logMap(lo, hi)
+	}
+
+	// Gridlines and axes.
+	yAxis(&b)
+	xAxis(&b, p, lo, hi, xmap)
+
+	// Curves: step functions through the sampled points.
+	for si, s := range p.Series {
+		color := seriesColors[si%len(seriesColors)]
+		drawCurve(&b, s.CDF, xmap, color)
+		// Legend entry.
+		lx := marginL + 14
+		ly := marginT + 16 + si*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="18" height="3" fill="%s"/>`, lx, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" font-family="%s">%s (n=%d)</text>`,
+			lx+24, ly, textColor, fontFamily, escape(s.Name), s.CDF.N())
+	}
+
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" fill="%s" font-family="%s" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-14, textColor, fontFamily, escape(p.XLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// BarPlot describes a categorical bar chart (Figure 4). Groups allows
+// a second series side by side (the paper overlays the random sample).
+type BarPlot struct {
+	Title  string
+	YLabel string
+	// Categories in display order.
+	Categories []string
+	// Groups maps a series name to per-category counts.
+	Groups []BarGroup
+}
+
+// BarGroup is one named series of bars.
+type BarGroup struct {
+	Name   string
+	Counts map[string]int
+}
+
+// RenderBars produces a complete SVG document for the bar chart.
+func RenderBars(p BarPlot) string {
+	var b strings.Builder
+	svgHeader(&b, p.Title)
+	yAxisOnly(&b)
+
+	maxCount := 1
+	for _, g := range p.Groups {
+		for _, c := range p.Categories {
+			if g.Counts[c] > maxCount {
+				maxCount = g.Counts[c]
+			}
+		}
+	}
+	// Round the y max up to a pleasant value.
+	yMax := niceCeil(maxCount)
+
+	// Horizontal gridlines with labels.
+	for i := 0; i <= 4; i++ {
+		v := yMax * i / 4
+		y := marginT + plotH - plotH*i/4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+			marginL, y, marginL+plotW, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s" font-family="%s" text-anchor="end">%d</text>`,
+			marginL-6, y+4, textColor, fontFamily, v)
+	}
+
+	ng := len(p.Groups)
+	if ng == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	slot := plotW / max(1, len(p.Categories))
+	barW := slot / (ng + 1)
+	for gi, g := range p.Groups {
+		color := seriesColors[gi%len(seriesColors)]
+		for ci, cat := range p.Categories {
+			v := g.Counts[cat]
+			h := plotH * v / max(1, yMax)
+			x := marginL + ci*slot + barW/2 + gi*barW
+			y := marginT + plotH - h
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.85"/>`,
+				x, y, barW-2, h, color)
+		}
+		// Legend.
+		lx := marginL + plotW - 170
+		ly := marginT + 16 + gi*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="10" fill="%s"/>`, lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" font-family="%s">%s</text>`,
+			lx+20, ly, textColor, fontFamily, escape(g.Name))
+	}
+	// Category labels.
+	for ci, cat := range p.Categories {
+		x := marginL + ci*slot + slot/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s" font-family="%s" text-anchor="middle">%s</text>`,
+			x, marginT+plotH+18, textColor, fontFamily, escape(cat))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" fill="%s" font-family="%s" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, textColor, fontFamily, marginT+plotH/2, escape(p.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// --- layout helpers ---
+
+func svgHeader(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" font-weight="bold" fill="%s" font-family="%s" text-anchor="middle">%s</text>`,
+		width/2, textColor, fontFamily, escape(title))
+}
+
+func yAxis(b *strings.Builder) {
+	yAxisOnly(b)
+	// 0–1 CDF gridlines.
+	for i := 0; i <= 5; i++ {
+		f := float64(i) / 5
+		y := marginT + plotH - int(f*float64(plotH))
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+			marginL, y, marginL+plotW, y, gridColor)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="%s" font-family="%s" text-anchor="end">%.1f</text>`,
+			marginL-6, y+4, textColor, fontFamily, f)
+	}
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" fill="%s" font-family="%s" transform="rotate(-90 16 %d)" text-anchor="middle">CDF</text>`,
+		marginT+plotH/2, textColor, fontFamily, marginT+plotH/2)
+}
+
+func yAxisOnly(b *strings.Builder) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.5"/>`,
+		marginL, marginT, marginL, marginT+plotH, axisColor)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.5"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH, axisColor)
+}
+
+// xDomain computes the plotted x range across series.
+func xDomain(p CDFPlot) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		if s.CDF.N() == 0 {
+			continue
+		}
+		mn, mx := s.CDF.Min(), s.CDF.Max()
+		if p.LogX && mn <= 0 {
+			mn = smallestPositive(s.CDF)
+		}
+		if mn < lo {
+			lo = mn
+		}
+		if mx > hi {
+			hi = mx
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if p.LogX && lo <= 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+func smallestPositive(c *stats.CDF) float64 {
+	for _, p := range c.Points(c.N()) {
+		if p.X > 0 {
+			return p.X
+		}
+	}
+	return 1
+}
+
+func linearMap(lo, hi float64) func(float64) float64 {
+	span := hi - lo
+	return func(x float64) float64 {
+		return float64(marginL) + (x-lo)/span*float64(plotW)
+	}
+}
+
+func logMap(lo, hi float64) func(float64) float64 {
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	span := lhi - llo
+	if span == 0 {
+		span = 1
+	}
+	return func(x float64) float64 {
+		if x < lo {
+			x = lo
+		}
+		return float64(marginL) + (math.Log10(x)-llo)/span*float64(plotW)
+	}
+}
+
+func xAxis(b *strings.Builder, p CDFPlot, lo, hi float64, xmap func(float64) float64) {
+	var ticks []float64
+	if p.LogX {
+		for d := math.Floor(math.Log10(lo)); d <= math.Ceil(math.Log10(hi)); d++ {
+			ticks = append(ticks, math.Pow(10, d))
+		}
+	} else {
+		for i := 0; i <= 5; i++ {
+			ticks = append(ticks, lo+(hi-lo)*float64(i)/5)
+		}
+	}
+	for _, tv := range ticks {
+		if tv < lo*0.999 || tv > hi*1.001 {
+			continue
+		}
+		x := int(xmap(tv))
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+			x, marginT, x, marginT+plotH, gridColor)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="%s" font-family="%s" text-anchor="middle">%s</text>`,
+			x, marginT+plotH+16, textColor, fontFamily, tickLabel(tv))
+	}
+}
+
+func tickLabel(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// drawCurve plots the empirical CDF as a step polyline.
+func drawCurve(b *strings.Builder, c *stats.CDF, xmap func(float64) float64, color string) {
+	n := c.N()
+	if n == 0 {
+		return
+	}
+	pts := c.Points(min(n, 400))
+	// Deduplicate identical x while keeping the max y per x.
+	type xy struct{ x, y float64 }
+	var path []xy
+	for _, p := range pts {
+		if len(path) > 0 && p.X == path[len(path)-1].x {
+			path[len(path)-1].y = p.Y
+			continue
+		}
+		path = append(path, xy{p.X, p.Y})
+	}
+	sort.Slice(path, func(i, j int) bool { return path[i].x < path[j].x })
+
+	var d strings.Builder
+	for i, p := range path {
+		px := xmap(p.x)
+		py := float64(marginT+plotH) - p.y*float64(plotH)
+		if i == 0 {
+			fmt.Fprintf(&d, "M%.1f,%.1f", px, py)
+			continue
+		}
+		// Step: horizontal then vertical.
+		prevY := float64(marginT+plotH) - path[i-1].y*float64(plotH)
+		fmt.Fprintf(&d, " L%.1f,%.1f L%.1f,%.1f", px, prevY, px, py)
+	}
+	fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`, d.String(), color)
+}
+
+// niceCeil rounds n up to 1/2/5 times a power of ten, giving clean
+// y-axis maxima.
+func niceCeil(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	mag := 1
+	for mag*10 <= n {
+		mag *= 10
+	}
+	for _, m := range []int{1, 2, 5, 10} {
+		if m*mag >= n {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package figures
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/stats"
+	"permadead/internal/worldgen"
+)
+
+func cdfOf(vals ...int) *stats.CDF { return stats.NewCDFInts(vals) }
+
+func TestRenderCDFWellFormed(t *testing.T) {
+	svg := RenderCDF(CDFPlot{
+		Title:  "Test CDF",
+		XLabel: "x values",
+		Series: []Series{{Name: "sample", CDF: cdfOf(1, 2, 3, 4, 5, 10)}},
+	})
+	for _, want := range []string{
+		"<svg", "</svg>", "Test CDF", "x values", "sample (n=6)", "<path",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Error("multiple svg roots")
+	}
+}
+
+func TestRenderCDFLogAxis(t *testing.T) {
+	svg := RenderCDF(CDFPlot{
+		Title:  "Log",
+		XLabel: "n",
+		LogX:   true,
+		Series: []Series{{Name: "s", CDF: cdfOf(1, 10, 100, 1000, 100000)}},
+	})
+	// Decade tick labels appear.
+	for _, want := range []string{">1<", ">10<", ">100<", ">1k<", ">100k<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("log axis missing tick %q", want)
+		}
+	}
+}
+
+func TestRenderCDFMultipleSeries(t *testing.T) {
+	svg := RenderCDF(CDFPlot{
+		Title: "Two",
+		Series: []Series{
+			{Name: "a", CDF: cdfOf(1, 2, 3)},
+			{Name: "b", CDF: cdfOf(10, 20, 30)},
+		},
+	})
+	if strings.Count(svg, "<path") != 2 {
+		t.Errorf("expected 2 curves, got %d", strings.Count(svg, "<path"))
+	}
+	if !strings.Contains(svg, "a (n=3)") || !strings.Contains(svg, "b (n=3)") {
+		t.Error("legend entries missing")
+	}
+}
+
+func TestRenderCDFEmptySeries(t *testing.T) {
+	svg := RenderCDF(CDFPlot{
+		Title:  "Empty",
+		Series: []Series{{Name: "none", CDF: cdfOf()}},
+	})
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty series should still render a document")
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	svg := RenderBars(BarPlot{
+		Title:      "Figure 4 style",
+		YLabel:     "Count",
+		Categories: []string{"DNS Failure", "404", "200"},
+		Groups: []BarGroup{
+			{Name: "ours", Counts: map[string]int{"DNS Failure": 370, "404": 350, "200": 165}},
+			{Name: "random", Counts: map[string]int{"DNS Failure": 360, "404": 355, "200": 160}},
+		},
+	})
+	if strings.Count(svg, "<rect") < 7 { // 6 bars + background + legend swatches
+		t.Errorf("bars missing:\n%s", svg)
+	}
+	for _, want := range []string{"DNS Failure", "404", "200", "ours", "random", "Count"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg := RenderCDF(CDFPlot{
+		Title:  `<&"> injection`,
+		Series: []Series{{Name: "s", CDF: cdfOf(1)}},
+	})
+	if strings.Contains(svg, `<&">`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;&amp;&quot;&gt;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestFromReportAndWriteAll(t *testing.T) {
+	u := worldgen.Generate(worldgen.SmallParams().Scale(0.5))
+	cfg := core.DefaultConfig()
+	cfg.SampleSize = 0
+	cfg.CrawlArticles = 0
+	s := &core.Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+		Ranks:  u.World,
+	}
+	r, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	figs := FromReport(r)
+	want := []string{"figure3a.svg", "figure3b.svg", "figure3c.svg", "figure4.svg", "figure5.svg", "figure6.svg"}
+	for _, name := range want {
+		svg, ok := figs[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s malformed", name)
+		}
+	}
+
+	dir := t.TempDir()
+	paths, err := WriteAll(r, filepath.Join(dir, "figs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(want) {
+		t.Errorf("wrote %d figures", len(paths))
+	}
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("figure %s missing or empty", p)
+		}
+	}
+
+	// The comparison overlay needs a second report.
+	cfg2 := cfg
+	cfg2.RandomArticles = true
+	s2 := &core.Study{Config: cfg2, Wiki: u.Wiki, Arch: u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)), Ranks: u.World}
+	r2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := CompareFigure4(r, r2)
+	if !strings.Contains(cmp, "Random sample") || !strings.Contains(cmp, "Our dataset") {
+		t.Error("comparison overlay missing series")
+	}
+}
+
+func TestRenderLines(t *testing.T) {
+	svg := RenderLines(LinePlot{
+		Title:  "Ablation sweep",
+		XLabel: "timeout (s)",
+		YLabel: "copies missed",
+	},
+		LineSeries{Name: "missed", Points: []XY{{0.5, 110}, {2, 110}, {5, 49}, {30, 11}}},
+		LineSeries{Name: "found", Points: []XY{{0.5, 0}, {2, 0}, {5, 61}, {30, 99}}},
+	)
+	for _, want := range []string{"<svg", "</svg>", "Ablation sweep", "missed", "found", "<circle", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("line plot missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 8 {
+		t.Errorf("markers = %d, want 8", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestRenderLinesLogXSkipsNonPositive(t *testing.T) {
+	svg := RenderLines(LinePlot{Title: "Log", LogX: true},
+		LineSeries{Name: "s", Points: []XY{{0, 5}, {1, 4}, {100, 2}}})
+	// The zero-x point cannot appear on a log axis.
+	if strings.Count(svg, "<circle") != 2 {
+		t.Errorf("markers = %d, want 2", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestRenderLinesEmpty(t *testing.T) {
+	svg := RenderLines(LinePlot{Title: "Empty"})
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty plot should still render")
+	}
+}

@@ -1,0 +1,141 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LineSeries is one named curve of (x, y) points for a sweep plot.
+type LineSeries struct {
+	Name   string
+	Points []XY
+}
+
+// XY is one point.
+type XY struct {
+	X, Y float64
+}
+
+// LinePlot describes an ablation-sweep figure: one or more curves over
+// a shared x axis (e.g. timeout seconds → copies missed).
+type LinePlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+}
+
+// RenderLines produces a complete SVG document for the sweep.
+func RenderLines(p LinePlot, series ...LineSeries) string {
+	var b strings.Builder
+	svgHeader(&b, p.Title)
+	yAxisOnly(&b)
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, pt := range s.Points {
+			x := pt.X
+			if p.LogX && x <= 0 {
+				continue
+			}
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			ylo = math.Min(ylo, pt.Y)
+			yhi = math.Max(yhi, pt.Y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if math.IsInf(ylo, 1) {
+		ylo, yhi = 0, 1
+	}
+	if yhi <= ylo {
+		yhi = ylo + 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	// Give the y axis headroom and a zero floor when near zero.
+	if ylo > 0 && ylo < yhi/4 {
+		ylo = 0
+	}
+	yhi += (yhi - ylo) * 0.08
+
+	xmap := linearMap(lo, hi)
+	if p.LogX {
+		xmap = logMap(lo, hi)
+	}
+	ymap := func(y float64) float64 {
+		return float64(marginT+plotH) - (y-ylo)/(yhi-ylo)*float64(plotH)
+	}
+
+	// Y gridlines.
+	for i := 0; i <= 4; i++ {
+		v := ylo + (yhi-ylo)*float64(i)/4
+		y := int(ymap(v))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+			marginL, y, marginL+plotW, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s" font-family="%s" text-anchor="end">%s</text>`,
+			marginL-6, y+4, textColor, fontFamily, tickLabel(v))
+	}
+	// X ticks.
+	var ticks []float64
+	if p.LogX {
+		for d := math.Floor(math.Log10(lo)); d <= math.Ceil(math.Log10(hi)); d++ {
+			ticks = append(ticks, math.Pow(10, d))
+		}
+	} else {
+		for i := 0; i <= 5; i++ {
+			ticks = append(ticks, lo+(hi-lo)*float64(i)/5)
+		}
+	}
+	for _, tv := range ticks {
+		if tv < lo*0.999 || tv > hi*1.001 {
+			continue
+		}
+		x := int(xmap(tv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+			x, marginT, x, marginT+plotH, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s" font-family="%s" text-anchor="middle">%s</text>`,
+			x, marginT+plotH+16, textColor, fontFamily, tickLabel(tv))
+	}
+
+	for si, s := range series {
+		color := seriesColors[si%len(seriesColors)]
+		pts := append([]XY(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		var d strings.Builder
+		started := false
+		for _, pt := range pts {
+			if p.LogX && pt.X <= 0 {
+				continue
+			}
+			cmd := "L"
+			if !started {
+				cmd = "M"
+				started = true
+			}
+			fmt.Fprintf(&d, "%s%.1f,%.1f ", cmd, xmap(pt.X), ymap(pt.Y))
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`,
+				xmap(pt.X), ymap(pt.Y), color)
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.TrimSpace(d.String()), color)
+		lx := marginL + 14
+		ly := marginT + 16 + si*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="18" height="3" fill="%s"/>`, lx, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" font-family="%s">%s</text>`,
+			lx+24, ly, textColor, fontFamily, escape(s.Name))
+	}
+
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" fill="%s" font-family="%s" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-14, textColor, fontFamily, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" fill="%s" font-family="%s" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, textColor, fontFamily, marginT+plotH/2, escape(p.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"permadead/internal/ablation"
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+)
+
+// FromReport renders every paper figure from a completed study report,
+// keyed by file name (e.g. "figure3a.svg").
+func FromReport(r *core.Report) map[string]string {
+	out := make(map[string]string)
+
+	out["figure3a.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 3(a): URLs per domain",
+		XLabel: "Number of URLs per domain",
+		LogX:   true,
+		Series: []Series{{Name: "Our dataset", CDF: r.URLsPerDomain}},
+	})
+	out["figure3b.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 3(b): site ranking",
+		XLabel: "Site ranking",
+		Series: []Series{{Name: "Our dataset", CDF: r.SiteRanks}},
+	})
+	out["figure3c.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 3(c): date link posted",
+		XLabel: "Date link posted (year)",
+		Series: []Series{{Name: "Our dataset", CDF: r.PostYears}},
+	})
+
+	counts := make(map[string]int)
+	var cats []string
+	for _, c := range r.LiveBreakdown.Categories() {
+		cats = append(cats, c)
+		counts[c] = r.LiveBreakdown.Count(c)
+	}
+	out["figure4.svg"] = RenderBars(BarPlot{
+		Title:      "Figure 4: live-web status of permanently dead links",
+		YLabel:     "Count",
+		Categories: cats,
+		Groups:     []BarGroup{{Name: "Our dataset", Counts: counts}},
+	})
+
+	out["figure5.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 5: gap between posting and first capture",
+		XLabel: "Time gap (days)",
+		LogX:   true,
+		Series: []Series{{Name: "Links with post-posting captures", CDF: r.GapCDF}},
+	})
+	out["figure6.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 6: archived URLs near never-archived links",
+		XLabel: "Number of successfully archived URLs in same directory/hostname",
+		LogX:   true,
+		Series: []Series{
+			{Name: "Directory level", CDF: r.DirCounts},
+			{Name: "Hostname level", CDF: r.HostCounts},
+		},
+	})
+	return out
+}
+
+// CompareFigure4 renders Figure 4 with both the alphabetical dataset
+// and a second (random) sample, as the paper overlays them (§2.4).
+func CompareFigure4(ours, random *core.Report) string {
+	mk := func(r *core.Report) map[string]int {
+		m := make(map[string]int)
+		for _, c := range r.LiveBreakdown.Categories() {
+			m[c] = r.LiveBreakdown.Count(c)
+		}
+		return m
+	}
+	cats := []string{
+		fetch.CatDNSFailure.String(), fetch.CatTimeout.String(),
+		fetch.Cat404.String(), fetch.Cat200.String(), fetch.CatOther.String(),
+	}
+	return RenderBars(BarPlot{
+		Title:      "Figure 4: live-web status (both samples)",
+		YLabel:     "Count",
+		Categories: cats,
+		Groups: []BarGroup{
+			{Name: "Random sample", Counts: mk(random)},
+			{Name: "Our dataset", Counts: mk(ours)},
+		},
+	})
+}
+
+// WriteAll renders every figure from the report into dir, creating it
+// if needed, and returns the written paths.
+func WriteAll(r *core.Report, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+	figs := FromReport(r)
+	paths := make([]string, 0, len(figs))
+	for name, svg := range figs {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(svg), 0o644); err != nil {
+			return nil, fmt.Errorf("figures: %w", err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// AblationSweeps renders the ablation sweeps as SVG line plots, keyed
+// by file name. Slices may be empty; only populated sweeps render.
+func AblationSweeps(
+	timeouts []ablation.TimeoutPoint,
+	delays []ablation.DelayPoint,
+	rechecks []ablation.RecheckPoint,
+) map[string]string {
+	out := make(map[string]string)
+
+	if len(timeouts) > 0 {
+		var missed, found LineSeries
+		missed.Name, found.Name = "copies missed", "copies found"
+		for _, pt := range timeouts {
+			x := pt.Timeout.Seconds()
+			if pt.Timeout == 0 {
+				x = 120 // plot "no timeout" at the far right
+			}
+			missed.Points = append(missed.Points, XY{x, float64(pt.Missed)})
+			found.Points = append(found.Points, XY{x, float64(pt.FoundCopies)})
+		}
+		out["ablation-timeout.svg"] = RenderLines(LinePlot{
+			Title:  "Ablation §4.1: availability-lookup timeout",
+			XLabel: "timeout (seconds; 120 = none)",
+			YLabel: "links",
+			LogX:   true,
+		}, missed, found)
+	}
+
+	if len(delays) > 0 {
+		var usable LineSeries
+		usable.Name = "would have usable copy"
+		for _, pt := range delays {
+			x := float64(pt.DelayDays)
+			if x == 0 {
+				x = 0.5 // log axis
+			}
+			usable.Points = append(usable.Points, XY{x, float64(pt.WouldHaveUsableCopy)})
+		}
+		out["ablation-capture-delay.svg"] = RenderLines(LinePlot{
+			Title:  "Ablation §5.1: capture delay after posting",
+			XLabel: "delay (days)",
+			YLabel: "links",
+			LogX:   true,
+		}, usable)
+	}
+
+	if len(rechecks) > 0 {
+		var naive, genuine LineSeries
+		naive.Name, genuine.Name = "answer 200 again", "genuinely recovered"
+		for _, pt := range rechecks {
+			if pt.IntervalDays <= 0 {
+				continue
+			}
+			naive.Points = append(naive.Points, XY{float64(pt.IntervalDays), float64(pt.Recovered)})
+			genuine.Points = append(genuine.Points, XY{float64(pt.IntervalDays), float64(pt.Genuine)})
+		}
+		out["ablation-recheck.svg"] = RenderLines(LinePlot{
+			Title:  "Ablation §3: re-check cadence",
+			XLabel: "re-check interval (days)",
+			YLabel: "links recovered",
+		}, naive, genuine)
+	}
+	return out
+}
+
+// CompareReport renders the Figure 3 and Figure 4 overlays exactly as
+// the paper draws them: the alphabetical dataset and the random
+// representativeness sample on shared axes (§2.4).
+func CompareReport(ours, random *core.Report) map[string]string {
+	out := make(map[string]string)
+	out["figure3a-both.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 3(a): URLs per domain (both samples)",
+		XLabel: "Number of URLs per domain",
+		LogX:   true,
+		Series: []Series{
+			{Name: "Random sample", CDF: random.URLsPerDomain},
+			{Name: "Our dataset", CDF: ours.URLsPerDomain},
+		},
+	})
+	out["figure3b-both.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 3(b): site ranking (both samples)",
+		XLabel: "Site ranking",
+		Series: []Series{
+			{Name: "Random sample", CDF: random.SiteRanks},
+			{Name: "Our dataset", CDF: ours.SiteRanks},
+		},
+	})
+	out["figure3c-both.svg"] = RenderCDF(CDFPlot{
+		Title:  "Figure 3(c): date link posted (both samples)",
+		XLabel: "Date link posted (year)",
+		Series: []Series{
+			{Name: "Random sample", CDF: random.PostYears},
+			{Name: "Our dataset", CDF: ours.PostYears},
+		},
+	})
+	out["figure4-both.svg"] = CompareFigure4(ours, random)
+	return out
+}

@@ -1,0 +1,79 @@
+package iabot
+
+import (
+	"time"
+
+	"permadead/internal/archive"
+	"permadead/internal/simclock"
+)
+
+// Availability is the bot's view of an archive's availability lookup:
+// "the usable copy of url captured closest to want, if any". Two
+// implementations ship:
+//
+//   - LocalAvailability consults an in-process archive.Archive and
+//     honours the simulation's as-of bound (a bot scanning in 2018
+//     cannot see copies captured in 2020).
+//   - HTTPAvailability consults a remote archive through the Wayback-
+//     shaped HTTP API. Like the real service, it has no as-of concept:
+//     a live bot always queries the archive's present state.
+//
+// The timeout models IABot's lookup budget (§4.1) in both cases.
+type Availability interface {
+	QueryUsable(url string, want, asOf simclock.Day, timeout time.Duration) (archive.Snapshot, bool, error)
+}
+
+// LocalAvailability adapts an in-process archive.
+type LocalAvailability struct {
+	Arch *archive.Archive
+}
+
+// QueryUsable implements Availability with full as-of semantics.
+func (l LocalAvailability) QueryUsable(url string, want, asOf simclock.Day, timeout time.Duration) (archive.Snapshot, bool, error) {
+	return l.Arch.Query(archive.AvailabilityQuery{
+		URL:     url,
+		Want:    want,
+		AsOf:    asOf,
+		Accept:  archive.AcceptUsable,
+		Timeout: timeout,
+	})
+}
+
+// HTTPAvailability adapts a remote archive API. The asOf bound cannot
+// be expressed over the wire (the real availability API has no such
+// parameter); use it when the remote archive's state already IS the
+// as-of state — e.g. a snapshot-serving simulation, or a live bot
+// querying the present.
+type HTTPAvailability struct {
+	Client *archive.HTTPClient
+}
+
+// QueryUsable implements Availability over HTTP. The remote endpoint
+// returns the closest 2xx/3xx copy; the initial-status-200 usability
+// policy (§4.2) is applied client-side, as IABot does.
+func (h HTTPAvailability) QueryUsable(url string, want, _ simclock.Day, timeout time.Duration) (archive.Snapshot, bool, error) {
+	if timeout > 0 {
+		// The HTTP client's own timeout models the lookup budget.
+		inner := *h.Client
+		if inner.HTTP != nil {
+			c := *inner.HTTP
+			c.Timeout = timeout
+			inner.HTTP = &c
+		}
+		h = HTTPAvailability{Client: &inner}
+	}
+	entry, ok, err := h.Client.Available(url, want)
+	if err != nil || !ok {
+		return archive.Snapshot{}, false, err
+	}
+	if entry.InitialStatus != 200 {
+		// An archived redirection: conservatively unusable (§4.2).
+		return archive.Snapshot{}, false, nil
+	}
+	return archive.Snapshot{
+		URL:           entry.URL,
+		Day:           entry.Day,
+		InitialStatus: entry.InitialStatus,
+		FinalStatus:   entry.InitialStatus,
+	}, true, nil
+}

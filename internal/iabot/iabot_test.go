@@ -1,0 +1,311 @@
+package iabot
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"permadead/internal/archive"
+	"permadead/internal/fetch"
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+	"permadead/internal/wikimedia"
+)
+
+// fixture wires a world, wiki, archive, and bot for scenario tests.
+type fixture struct {
+	world *simweb.World
+	wiki  *wikimedia.Wiki
+	arch  *archive.Archive
+	bot   *Bot
+}
+
+func newFixture() *fixture {
+	f := &fixture{
+		world: simweb.NewWorld(),
+		wiki:  wikimedia.NewWiki(),
+		arch:  archive.New(),
+	}
+	f.bot = New(f.wiki, f.arch, func(day simclock.Day) *fetch.Client {
+		return fetch.New(simweb.NewTransport(f.world, day))
+	})
+	return f
+}
+
+func d(y, m, dd int) simclock.Day { return simclock.FromDate(y, time.Month(m), dd) }
+
+func TestHealthyLinkLeftAlone(t *testing.T) {
+	f := newFixture()
+	s := f.world.AddSite("ok.simtest", d(2008, 1, 1))
+	s.AddPage("/p.html", d(2008, 1, 1))
+	f.wiki.Create("Art", d(2010, 1, 1), "User", `<ref>[http://ok.simtest/p.html P]</ref>`)
+
+	edited, err := f.bot.ScanArticle(context.Background(), "Art", d(2018, 1, 1))
+	if err != nil || edited {
+		t.Fatalf("edited=%v err=%v", edited, err)
+	}
+	st := f.bot.Stats()
+	if st.LinksAlive != 1 || st.LinksBroken != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBrokenLinkWithUsableCopyGetsPatched(t *testing.T) {
+	f := newFixture()
+	s := f.world.AddSite("dies.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/article.html", d(2008, 1, 1))
+	pg.DeletedAt = d(2016, 1, 1)
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>{{cite web|url=http://dies.simtest/article.html|title=T}}</ref>`)
+	// A 200-status capture from before the deletion.
+	f.arch.Add(archive.Snapshot{
+		URL: "http://dies.simtest/article.html", Day: d(2011, 1, 1),
+		InitialStatus: 200, FinalStatus: 200,
+	})
+
+	edited, err := f.bot.ScanArticle(context.Background(), "Art", d(2018, 1, 1))
+	if err != nil || !edited {
+		t.Fatalf("edited=%v err=%v", edited, err)
+	}
+	st := f.bot.Stats()
+	if st.Patched != 1 || st.MarkedDead != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	cur := f.wiki.Article("Art").Current()
+	if !strings.Contains(cur.Text, "archive-url=https://web.archive.org/web/2011") {
+		t.Errorf("text = %q", cur.Text)
+	}
+	if cur.User != DefaultName {
+		t.Errorf("edit user = %q", cur.User)
+	}
+	// Patched articles are NOT in the permanently-dead category.
+	if got := f.wiki.InCategory(Category); len(got) != 0 {
+		t.Errorf("category = %v", got)
+	}
+}
+
+func TestBrokenLinkWithoutCopyMarkedDead(t *testing.T) {
+	f := newFixture()
+	s := f.world.AddSite("dies.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/article.html", d(2008, 1, 1))
+	pg.DeletedAt = d(2016, 1, 1)
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>{{cite web|url=http://dies.simtest/article.html|title=T}}</ref>`)
+
+	scanDay := d(2018, 3, 1)
+	edited, err := f.bot.ScanArticle(context.Background(), "Art", scanDay)
+	if err != nil || !edited {
+		t.Fatalf("edited=%v err=%v", edited, err)
+	}
+	st := f.bot.Stats()
+	if st.MarkedDead != 1 || st.Patched != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	cur := f.wiki.Article("Art").Current()
+	if !strings.Contains(cur.Text, "{{Dead link|date=March 2018|bot=InternetArchiveBot") {
+		t.Errorf("text = %q", cur.Text)
+	}
+	if got := f.wiki.InCategory(Category); len(got) != 1 || got[0] != "Art" {
+		t.Errorf("category = %v", got)
+	}
+	// Edit history attributes the marking correctly.
+	h, ok := f.wiki.HistoryOf("Art", "http://dies.simtest/article.html")
+	if !ok || h.MarkedDead != scanDay || h.MarkedDeadBy != DefaultName {
+		t.Errorf("history = %+v", h)
+	}
+}
+
+func TestRedirectCopiesIgnored(t *testing.T) {
+	// §4.2: a 3xx capture exists, but IABot conservatively ignores it
+	// and marks the link permanently dead.
+	f := newFixture()
+	s := f.world.AddSite("mv.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/old.html", d(2008, 1, 1))
+	pg.MovedAt = d(2015, 1, 1) // no redirect ever installed
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>[http://mv.simtest/old.html O]</ref>`)
+	f.arch.Add(archive.Snapshot{
+		URL: "http://mv.simtest/old.html", Day: d(2014, 1, 1),
+		InitialStatus: 301, FinalStatus: 200, RedirectTo: "http://mv.simtest/new.html",
+	})
+
+	if _, err := f.bot.ScanArticle(context.Background(), "Art", d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := f.bot.Stats()
+	if st.MarkedDead != 1 || st.Patched != 0 {
+		t.Errorf("stats = %+v (redirect copy must be ignored)", st)
+	}
+}
+
+func TestAvailabilityTimeoutMissesCopy(t *testing.T) {
+	// §4.1: a usable copy exists, but the lookup exceeds the bot's
+	// timeout, so the link is marked permanently dead anyway.
+	f := newFixture()
+	s := f.world.AddSite("slow.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/p.html", d(2008, 1, 1))
+	pg.DeletedAt = d(2016, 1, 1)
+	url := "http://slow.simtest/p.html"
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>[`+url+` P]</ref>`)
+	f.arch.Add(archive.Snapshot{URL: url, Day: d(2011, 1, 1), InitialStatus: 200, FinalStatus: 200})
+	f.arch.SetLookupLatency(url, 10*time.Second)
+
+	if _, err := f.bot.ScanArticle(context.Background(), "Art", d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := f.bot.Stats()
+	if st.MarkedDead != 1 || st.AvailabilityTimeouts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// With the timeout disabled the same bot patches it.
+	f2 := newFixture()
+	s2 := f2.world.AddSite("slow.simtest", d(2008, 1, 1))
+	pg2 := s2.AddPage("/p.html", d(2008, 1, 1))
+	pg2.DeletedAt = d(2016, 1, 1)
+	f2.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>[`+url+` P]</ref>`)
+	f2.arch.Add(archive.Snapshot{URL: url, Day: d(2011, 1, 1), InitialStatus: 200, FinalStatus: 200})
+	f2.arch.SetLookupLatency(url, 10*time.Second)
+	f2.bot.AvailabilityTimeout = 0
+
+	if _, err := f2.bot.ScanArticle(context.Background(), "Art", d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := f2.bot.Stats(); st.Patched != 1 {
+		t.Errorf("untimed stats = %+v", st)
+	}
+}
+
+func TestFutureCopiesInvisible(t *testing.T) {
+	// A copy captured after the scan day must not be visible to the bot.
+	f := newFixture()
+	s := f.world.AddSite("x.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/p.html", d(2008, 1, 1))
+	pg.DeletedAt = d(2016, 1, 1)
+	url := "http://x.simtest/p.html"
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>[`+url+` P]</ref>`)
+	f.arch.Add(archive.Snapshot{URL: url, Day: d(2020, 1, 1), InitialStatus: 200, FinalStatus: 200})
+
+	if _, err := f.bot.ScanArticle(context.Background(), "Art", d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.bot.Stats(); st.MarkedDead != 1 || st.Patched != 0 {
+		t.Errorf("stats = %+v (future copy leaked)", st)
+	}
+}
+
+func TestDeadLinksExcludedFromRechecks(t *testing.T) {
+	f := newFixture()
+	s := f.world.AddSite("d.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/p.html", d(2008, 1, 1))
+	pg.DeletedAt = d(2016, 1, 1)
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>[http://d.simtest/p.html P]</ref>`)
+
+	ctx := context.Background()
+	if _, err := f.bot.ScanArticle(ctx, "Art", d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	checkedAfterFirst := f.bot.Stats().LinksChecked
+	// Second scan: the dead link is skipped, not re-fetched.
+	if _, err := f.bot.ScanArticle(ctx, "Art", d(2019, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := f.bot.Stats()
+	if st.LinksChecked != checkedAfterFirst {
+		t.Errorf("dead link was re-checked: %+v", st)
+	}
+	if st.SkippedDead != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRecheckDeadRecoversRevivedLink(t *testing.T) {
+	// §3: the page moves, gets marked dead, then the site installs a
+	// redirect. With RecheckDead, a later scan un-tags the link.
+	f := newFixture()
+	s := f.world.AddSite("rev.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/old.html", d(2008, 1, 1))
+	pg.MovedAt = d(2016, 1, 1)
+	pg.NewPath = "/new.html"
+	pg.RedirectFrom = d(2020, 1, 1)
+	s.AddPage("/new.html", d(2016, 1, 1))
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>[http://rev.simtest/old.html O]</ref>`)
+
+	ctx := context.Background()
+	if _, err := f.bot.ScanArticle(ctx, "Art", d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.bot.Stats(); st.MarkedDead != 1 {
+		t.Fatalf("precondition: %+v", st)
+	}
+	// Without RecheckDead the link stays tagged forever.
+	if _, err := f.bot.ScanArticle(ctx, "Art", d(2021, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.wiki.DeadLinks("Art")) != 1 {
+		t.Fatal("link should still be tagged without RecheckDead")
+	}
+	// With it, the revived link is recovered.
+	f.bot.RecheckDead = true
+	if _, err := f.bot.ScanArticle(ctx, "Art", d(2021, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.bot.Stats(); st.Recovered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(f.wiki.DeadLinks("Art")) != 0 {
+		t.Error("dead tag should be removed after recovery")
+	}
+}
+
+func TestAlreadyArchivedLinksSkipped(t *testing.T) {
+	f := newFixture()
+	f.wiki.Create("Art", d(2010, 5, 1), "User",
+		`<ref>{{cite web|url=http://gone.simtest/p|title=T|archive-url=https://web.archive.org/web/2011/http://gone.simtest/p|archive-date=2011}}</ref>`)
+	if _, err := f.bot.ScanArticle(context.Background(), "Art", d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := f.bot.Stats()
+	if st.SkippedArchived != 1 || st.LinksChecked != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestScanAllAndMultipleLinks(t *testing.T) {
+	f := newFixture()
+	ok := f.world.AddSite("ok.simtest", d(2008, 1, 1))
+	ok.AddPage("/p.html", d(2008, 1, 1))
+	gone := f.world.AddSite("gone.simtest", d(2008, 1, 1))
+	gone.DNSDiesAt = d(2015, 1, 1)
+	gone.AddPage("/x.html", d(2008, 1, 1))
+
+	f.wiki.Create("A1", d(2010, 1, 1), "U",
+		`<ref>[http://ok.simtest/p.html P]</ref> <ref>[http://gone.simtest/x.html X]</ref>`)
+	f.wiki.Create("A2", d(2010, 1, 1), "U", `<ref>[http://gone.simtest/x.html X]</ref>`)
+
+	if err := f.bot.ScanAll(context.Background(), d(2018, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := f.bot.Stats()
+	if st.ArticlesScanned != 2 || st.MarkedDead != 2 || st.LinksAlive != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := f.wiki.InCategory(Category); len(got) != 2 {
+		t.Errorf("category = %v", got)
+	}
+}
+
+func TestScanMissingArticle(t *testing.T) {
+	f := newFixture()
+	edited, err := f.bot.ScanArticle(context.Background(), "Nope", d(2018, 1, 1))
+	if err != nil || edited {
+		t.Errorf("missing article: %v, %v", edited, err)
+	}
+}
+
+func TestContextCancellationStopsScanAll(t *testing.T) {
+	f := newFixture()
+	f.wiki.Create("A", d(2010, 1, 1), "U", "x")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.bot.ScanAll(ctx, d(2018, 1, 1)); err == nil {
+		t.Error("cancelled scan should error")
+	}
+}

@@ -1,0 +1,235 @@
+// Package persist saves and restores a generated universe's observable
+// state — the synthetic web, the wiki with its full revision history,
+// and the archive — as a single gob-encoded stream. A restored bundle
+// supports everything the study pipeline needs; the generator's plan
+// (ground-truth labels) is deliberately not persisted, keeping saved
+// universes measurement-only.
+//
+//	f, _ := os.Create("universe.gob")
+//	persist.Save(f, persist.FromUniverse(u))
+//
+//	b, _ := persist.Load(f)
+//	study := &core.Study{Wiki: b.Wiki, Arch: b.Archive, ...}
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"permadead/internal/archive"
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+	"permadead/internal/wikimedia"
+	"permadead/internal/worldgen"
+)
+
+// formatVersion guards against decoding streams written by an
+// incompatible build.
+const formatVersion = 1
+
+// Bundle is the restorable state of a universe.
+type Bundle struct {
+	Params  worldgen.Params
+	World   *simweb.World
+	Wiki    *wikimedia.Wiki
+	Archive *archive.Archive
+}
+
+// FromUniverse extracts the persistable parts of a generated universe.
+func FromUniverse(u *worldgen.Universe) *Bundle {
+	params := u.Params
+	params.Progress = nil // callbacks cannot (and need not) be serialized
+	return &Bundle{Params: params, World: u.World, Wiki: u.Wiki, Archive: u.Archive}
+}
+
+// --- flat serialized form (everything exported for gob) ---
+
+type fileHeader struct {
+	Version int
+}
+
+type siteRec struct {
+	Hostname           string
+	Rank               int
+	Seed               uint64
+	Created            simclock.Day
+	DNSDiesAt          simclock.Day
+	TimeoutFrom        simclock.Day
+	ParkedAt           simclock.Day
+	GeoBlockedFrom     simclock.Day
+	OutageFrom         simclock.Day
+	OutageTo           simclock.Day
+	ErrorStyle         uint8
+	ErrorStyleSwitchAt simclock.Day
+	ErrorStyleAfter    uint8
+	LoginPath          string
+	Pages              []pageRec
+}
+
+type pageRec struct {
+	Path          string
+	Created       simclock.Day
+	DeletedAt     simclock.Day
+	RestoredAt    simclock.Day
+	MovedAt       simclock.Day
+	NewPath       string
+	RedirectFrom  simclock.Day
+	RedirectUntil simclock.Day
+	Content       string
+	Title         string
+}
+
+type articleRec struct {
+	Title     string
+	Revisions []revisionRec
+}
+
+type revisionRec struct {
+	Day     simclock.Day
+	User    string
+	Comment string
+	Text    string
+}
+
+type latencyRec struct {
+	Key string
+	MS  int
+}
+
+type file struct {
+	Header    fileHeader
+	Params    worldgen.Params
+	Sites     []siteRec
+	Articles  []articleRec
+	Snapshots []archive.Snapshot
+	Bulk      []archive.BulkRegion
+	Latencies []latencyRec
+}
+
+// Save writes the bundle to w.
+func Save(w io.Writer, b *Bundle) error {
+	f := file{Header: fileHeader{Version: formatVersion}, Params: b.Params}
+
+	b.World.EachSite(func(s *simweb.Site) {
+		rec := siteRec{
+			Hostname:           s.Hostname,
+			Rank:               s.Rank,
+			Seed:               s.Seed,
+			Created:            s.Created,
+			DNSDiesAt:          s.DNSDiesAt,
+			TimeoutFrom:        s.TimeoutFrom,
+			ParkedAt:           s.ParkedAt,
+			GeoBlockedFrom:     s.GeoBlockedFrom,
+			OutageFrom:         s.OutageFrom,
+			OutageTo:           s.OutageTo,
+			ErrorStyle:         uint8(s.ErrorStyle),
+			ErrorStyleSwitchAt: s.ErrorStyleSwitchAt,
+			ErrorStyleAfter:    uint8(s.ErrorStyleAfter),
+			LoginPath:          s.LoginPath,
+		}
+		s.EachPage(func(p *simweb.Page) {
+			rec.Pages = append(rec.Pages, pageRec{
+				Path:          p.Path,
+				Created:       p.Created,
+				DeletedAt:     p.DeletedAt,
+				RestoredAt:    p.RestoredAt,
+				MovedAt:       p.MovedAt,
+				NewPath:       p.NewPath,
+				RedirectFrom:  p.RedirectFrom,
+				RedirectUntil: p.RedirectUntil,
+				Content:       p.Content,
+				Title:         p.Title,
+			})
+		})
+		f.Sites = append(f.Sites, rec)
+	})
+
+	b.Wiki.EachArticle(func(a *wikimedia.Article) {
+		rec := articleRec{Title: a.Title}
+		for _, rev := range a.Revisions {
+			rec.Revisions = append(rec.Revisions, revisionRec{
+				Day: rev.Day, User: rev.User, Comment: rev.Comment, Text: rev.Text,
+			})
+		}
+		f.Articles = append(f.Articles, rec)
+	})
+
+	b.Archive.EachSnapshot(func(s archive.Snapshot) {
+		f.Snapshots = append(f.Snapshots, s)
+	})
+	b.Archive.EachBulkRegion(func(r archive.BulkRegion) {
+		f.Bulk = append(f.Bulk, r)
+	})
+	b.Archive.EachLookupLatency(func(key string, ms int) {
+		f.Latencies = append(f.Latencies, latencyRec{Key: key, MS: ms})
+	})
+
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// Load reads a bundle from r.
+func Load(r io.Reader) (*Bundle, error) {
+	var f file
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	if f.Header.Version != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)", f.Header.Version, formatVersion)
+	}
+
+	world := simweb.NewWorld()
+	for _, rec := range f.Sites {
+		s := world.AddSite(rec.Hostname, rec.Created)
+		s.Rank = rec.Rank
+		s.Seed = rec.Seed
+		s.DNSDiesAt = rec.DNSDiesAt
+		s.TimeoutFrom = rec.TimeoutFrom
+		s.ParkedAt = rec.ParkedAt
+		s.GeoBlockedFrom = rec.GeoBlockedFrom
+		s.OutageFrom = rec.OutageFrom
+		s.OutageTo = rec.OutageTo
+		s.ErrorStyle = simweb.ErrorStyle(rec.ErrorStyle)
+		s.ErrorStyleSwitchAt = rec.ErrorStyleSwitchAt
+		s.ErrorStyleAfter = simweb.ErrorStyle(rec.ErrorStyleAfter)
+		s.LoginPath = rec.LoginPath
+		for _, pr := range rec.Pages {
+			p := s.AddPage(pr.Path, pr.Created)
+			p.DeletedAt = pr.DeletedAt
+			p.RestoredAt = pr.RestoredAt
+			p.MovedAt = pr.MovedAt
+			p.NewPath = pr.NewPath
+			p.RedirectFrom = pr.RedirectFrom
+			p.RedirectUntil = pr.RedirectUntil
+			p.Content = pr.Content
+			p.Title = pr.Title
+		}
+	}
+
+	wiki := wikimedia.NewWiki()
+	for _, rec := range f.Articles {
+		if len(rec.Revisions) == 0 {
+			continue
+		}
+		r0 := rec.Revisions[0]
+		wiki.Create(rec.Title, r0.Day, r0.User, r0.Text)
+		for _, rev := range rec.Revisions[1:] {
+			if _, err := wiki.Edit(rec.Title, rev.Day, rev.User, rev.Comment, rev.Text); err != nil {
+				return nil, fmt.Errorf("persist: restore %q: %w", rec.Title, err)
+			}
+		}
+	}
+
+	arch := archive.New()
+	for _, s := range f.Snapshots {
+		arch.Add(s)
+	}
+	for _, r := range f.Bulk {
+		arch.AddBulkCoverage(r)
+	}
+	for _, l := range f.Latencies {
+		arch.SetLookupLatencyKey(l.Key, l.MS)
+	}
+
+	return &Bundle{Params: f.Params, World: world, Wiki: wiki, Archive: arch}, nil
+}

@@ -1,0 +1,105 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	u := worldgen.Generate(worldgen.SmallParams().Scale(0.5))
+
+	var buf bytes.Buffer
+	if err := Save(&buf, FromUniverse(u)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty save")
+	}
+
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structure survives.
+	if b.World.Sites() != u.World.Sites() {
+		t.Errorf("sites: %d vs %d", b.World.Sites(), u.World.Sites())
+	}
+	if b.Wiki.Len() != u.Wiki.Len() {
+		t.Errorf("articles: %d vs %d", b.Wiki.Len(), u.Wiki.Len())
+	}
+	if b.Archive.TotalSnapshots() != u.Archive.TotalSnapshots() {
+		t.Errorf("snapshots: %d vs %d", b.Archive.TotalSnapshots(), u.Archive.TotalSnapshots())
+	}
+	if b.Params.SampleSize != u.Params.SampleSize {
+		t.Errorf("params: %d vs %d", b.Params.SampleSize, u.Params.SampleSize)
+	}
+}
+
+func TestLoadedUniverseMeasuresIdentically(t *testing.T) {
+	u := worldgen.Generate(worldgen.SmallParams().Scale(0.5))
+	var buf bytes.Buffer
+	if err := Save(&buf, FromUniverse(u)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(bundleWiki *Bundle, orig bool) *core.Report {
+		cfg := core.DefaultConfig()
+		cfg.SampleSize = 0
+		cfg.CrawlArticles = 0
+		var s *core.Study
+		if orig {
+			s = &core.Study{Config: cfg, Wiki: u.Wiki, Arch: u.Archive,
+				Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)), Ranks: u.World}
+		} else {
+			s = &core.Study{Config: cfg, Wiki: bundleWiki.Wiki, Arch: bundleWiki.Archive,
+				Client: fetch.New(simweb.NewTransport(bundleWiki.World, cfg.StudyTime)), Ranks: bundleWiki.World}
+		}
+		r, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	ra := mk(nil, true)
+	rb := mk(b, false)
+
+	if ra.N() != rb.N() {
+		t.Fatalf("sample sizes differ: %d vs %d", ra.N(), rb.N())
+	}
+	for _, cat := range ra.LiveBreakdown.Categories() {
+		if ra.LiveBreakdown.Count(cat) != rb.LiveBreakdown.Count(cat) {
+			t.Errorf("category %q: %d vs %d", cat,
+				ra.LiveBreakdown.Count(cat), rb.LiveBreakdown.Count(cat))
+		}
+	}
+	if len(ra.Pre200) != len(rb.Pre200) ||
+		len(ra.ValidRedirCopies) != len(rb.ValidRedirCopies) ||
+		len(ra.NoCopies) != len(rb.NoCopies) ||
+		ra.Typos != rb.Typos {
+		t.Errorf("archive analyses differ: pre200 %d/%d valid %d/%d none %d/%d typos %d/%d",
+			len(ra.Pre200), len(rb.Pre200),
+			len(ra.ValidRedirCopies), len(rb.ValidRedirCopies),
+			len(ra.NoCopies), len(rb.NoCopies), ra.Typos, rb.Typos)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail to load")
+	}
+}

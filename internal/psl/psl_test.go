@@ -1,0 +1,96 @@
+package psl
+
+import "testing"
+
+func TestPublicSuffix(t *testing.T) {
+	l := Default()
+	cases := []struct{ host, want string }{
+		{"example.com", "com"},
+		{"www.example.com", "com"},
+		{"example.co.uk", "co.uk"},
+		{"www.parliament.tas.gov.au", "tas.gov.au"},
+		{"jhpress.nli.org.il", "org.il"},
+		{"example.simnews", "simnews"},
+		{"deep.sub.example.simnews", "simnews"},
+		// Wildcard: *.ck makes foo.ck a public suffix.
+		{"bar.foo.ck", "foo.ck"},
+		// Exception: !www.ck means www.ck is registrable under ck.
+		{"www.ck", "ck"},
+		{"sub.www.ck", "ck"},
+		// Unknown TLD: implicit * rule.
+		{"example.zzz", "zzz"},
+		{"com", "com"},
+	}
+	for _, c := range cases {
+		if got := l.PublicSuffix(c.host); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	l := Default()
+	cases := []struct{ host, want string }{
+		{"example.com", "example.com"},
+		{"www.example.com", "example.com"},
+		{"a.b.c.example.com", "example.com"},
+		{"example.co.uk", "example.co.uk"},
+		{"www.example.co.uk", "example.co.uk"},
+		{"www.parliament.tas.gov.au", "parliament.tas.gov.au"},
+		{"www.baltimoresun.com", "baltimoresun.com"},
+		{"news.example.simnews", "example.simnews"},
+		{"bar.foo.ck", "bar.foo.ck"},
+		{"x.bar.foo.ck", "bar.foo.ck"},
+		{"www.ck", "www.ck"},
+		{"sub.www.ck", "www.ck"},
+		// A bare public suffix has no registrable domain.
+		{"com", ""},
+		{"co.uk", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := l.RegistrableDomain(c.host); got != c.want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	l := Default()
+	if got := l.RegistrableDomain("WWW.Example.COM."); got != "example.com" {
+		t.Errorf("case/trailing-dot normalization: got %q", got)
+	}
+	if got := l.PublicSuffix("  example.com  "); got != "com" {
+		t.Errorf("whitespace normalization: got %q", got)
+	}
+}
+
+func TestCustomRules(t *testing.T) {
+	l := New([]string{"com", "blogspot.com"})
+	if got := l.PublicSuffix("me.blogspot.com"); got != "blogspot.com" {
+		t.Errorf("longest rule should win: got %q", got)
+	}
+	if got := l.RegistrableDomain("me.blogspot.com"); got != "me.blogspot.com" {
+		t.Errorf("RegistrableDomain under private suffix: got %q", got)
+	}
+	// Rules can be added at runtime.
+	l.Add("github.io")
+	if got := l.RegistrableDomain("user.github.io"); got != "user.github.io" {
+		t.Errorf("runtime-added rule: got %q", got)
+	}
+}
+
+func TestAddIgnoresCommentsAndBlank(t *testing.T) {
+	l := New([]string{"com"})
+	l.Add("// this is a comment")
+	l.Add("   ")
+	if got := l.PublicSuffix("example.comment"); got != "comment" {
+		t.Errorf("comment line must not become a rule: got %q", got)
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default should return the same instance")
+	}
+}

@@ -1,0 +1,225 @@
+// Package report writes the study's results as a Markdown document —
+// the generator behind EXPERIMENTS.md: the paper-vs-measured table,
+// per-figure ASCII sketches, and (optionally) ablation tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"permadead/internal/ablation"
+	"permadead/internal/core"
+)
+
+// Options selects document sections.
+type Options struct {
+	// Title heads the document.
+	Title string
+	// Command records how the numbers were produced.
+	Command string
+	// IncludeFigures embeds the ASCII figure sketches.
+	IncludeFigures bool
+}
+
+// WriteMarkdown renders the study report as Markdown.
+func WriteMarkdown(w io.Writer, r *core.Report, o Options) error {
+	bw := &errWriter{w: w}
+	title := o.Title
+	if title == "" {
+		title = "Experiments — paper vs. measured"
+	}
+	fmt.Fprintf(bw, "# %s\n\n", title)
+	if o.Command != "" {
+		fmt.Fprintf(bw, "Produced by:\n\n```\n%s\n```\n\n", o.Command)
+	}
+	fmt.Fprintf(bw, "Sample: %d permanently dead links across %d domains and %d hostnames.\n\n",
+		r.N(), r.NumDomains, r.NumHosts)
+
+	bw.WriteString("## Paper vs. measured\n\n")
+	writeMDTable(bw,
+		[]string{"Experiment", "Paper (10k sample)", "Measured"},
+		func(add func(...string)) {
+			for _, row := range r.PaperComparison() {
+				add(row.Experiment, row.Paper, row.Measured)
+			}
+		})
+	bw.WriteString("\n")
+
+	if o.IncludeFigures {
+		bw.WriteString("## Figures\n\n```\n")
+		bw.WriteString(r.RenderDataset())
+		bw.WriteString("\n")
+		bw.WriteString(r.RenderLive())
+		bw.WriteString("\n")
+		bw.WriteString(r.RenderTemporal())
+		bw.WriteString("\n")
+		bw.WriteString(r.RenderSpatial())
+		bw.WriteString("```\n\n")
+	}
+	return bw.err
+}
+
+// AblationResults collects the sweeps for the ablation section.
+type AblationResults struct {
+	Timeouts  []ablation.TimeoutPoint
+	Redirects []ablation.RedirectPoint
+	Delays    []ablation.DelayPoint
+	Rechecks  []ablation.RecheckPoint
+	Medic     *ablation.MedicResult
+	Query     *ablation.QueryRescueResult
+	EditCheck *ablation.EditCheckResult
+	// SampleSize normalizes fractions.
+	SampleSize int
+}
+
+// WriteAblations appends the ablation tables to the document.
+func WriteAblations(w io.Writer, a AblationResults) error {
+	bw := &errWriter{w: w}
+	n := float64(a.SampleSize)
+	pct := func(v int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d (%.1f%%)", v, float64(v)/n*100)
+	}
+
+	bw.WriteString("## Ablations\n\n")
+	if len(a.Timeouts) > 0 {
+		bw.WriteString("### §4.1 availability-lookup timeout\n\n")
+		writeMDTable(bw,
+			[]string{"Timeout", "Copies found", "Copies missed", "Lookup time"},
+			func(add func(...string)) {
+				for _, pt := range a.Timeouts {
+					label := pt.Timeout.String()
+					if pt.Timeout == 0 {
+						label = "none"
+					}
+					add(label, fmt.Sprint(pt.FoundCopies), pct(pt.Missed),
+						pt.LookupCost.Round(time.Second).String())
+				}
+			})
+		bw.WriteString("\n")
+	}
+	if len(a.Redirects) > 0 {
+		bw.WriteString("### §4.2 redirect-validation parameters\n\n")
+		writeMDTable(bw,
+			[]string{"Window (days)", "Max siblings", "Validated", "Condemned"},
+			func(add func(...string)) {
+				for _, pt := range a.Redirects {
+					add(fmt.Sprint(pt.WindowDays), fmt.Sprint(pt.MaxSiblings),
+						pct(pt.Validated), fmt.Sprint(pt.Condemned))
+				}
+			})
+		bw.WriteString("\n")
+	}
+	if len(a.Delays) > 0 {
+		bw.WriteString("### §5.1 capture delay after posting\n\n")
+		writeMDTable(bw,
+			[]string{"Delay (days)", "Would have usable copy", "Unreachable"},
+			func(add func(...string)) {
+				for _, pt := range a.Delays {
+					add(fmt.Sprint(pt.DelayDays), pct(pt.WouldHaveUsableCopy), fmt.Sprint(pt.Unreachable))
+				}
+			})
+		bw.WriteString("\n")
+	}
+	if len(a.Rechecks) > 0 {
+		bw.WriteString("### §3 re-check cadence\n\n")
+		writeMDTable(bw,
+			[]string{"Interval (days)", "Answer 200", "Genuine", "Fetches"},
+			func(add func(...string)) {
+				for _, pt := range a.Rechecks {
+					add(fmt.Sprint(pt.IntervalDays), fmt.Sprint(pt.Recovered),
+						fmt.Sprint(pt.Genuine), fmt.Sprint(pt.Fetches))
+				}
+			})
+		bw.WriteString("\n")
+	}
+	if a.Medic != nil {
+		bw.WriteString("### WaybackMedic intervention\n\n")
+		writeMDTable(bw,
+			[]string{"Variant", "Rescued (200)", "Rescued (redirect)", "Unfixable"},
+			func(add func(...string)) {
+				add("untimed lookups", fmt.Sprint(a.Medic.Basic.Patched), "-", fmt.Sprint(a.Medic.Basic.Unfixable))
+				add("+ validated redirects", fmt.Sprint(a.Medic.WithRedirects.Patched),
+					fmt.Sprint(a.Medic.WithRedirects.RedirectPatched), fmt.Sprint(a.Medic.WithRedirects.Unfixable))
+			})
+		bw.WriteString("\n")
+	}
+	if a.Query != nil {
+		fmt.Fprintf(bw, "### Query-permutation rescue (§5.2 implication b)\n\n%d of %d never-archived query URLs have an archived permuted-order variant.\n\n",
+			a.Query.Rescuable, a.Query.QueryLinks)
+	}
+	if a.EditCheck != nil {
+		fmt.Fprintf(bw, "### Edit-time link check\n\n%d of %d links would have been flagged as dysfunctional on the day they were posted.\n\n",
+			a.EditCheck.WouldHaveFlagged, a.EditCheck.Checked)
+	}
+	return bw.err
+}
+
+// writeMDTable renders a GitHub-style Markdown table.
+func writeMDTable(w io.Writer, headers []string, fill func(add func(...string))) {
+	var rows [][]string
+	fill(func(cells ...string) {
+		rows = append(rows, cells)
+	})
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// errWriter latches the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+func (e *errWriter) WriteString(s string) (int, error) {
+	return e.Write([]byte(s))
+}

@@ -1,0 +1,181 @@
+// Package shingle implements k-shingling based document similarity
+// (Broder et al., "Syntactic clustering of the web", 1997), which the
+// study's soft-404 detector uses: a URL u is deemed broken when the
+// text of the responses for u and a known-invalid sibling u' are more
+// than 99% similar (§3).
+//
+// A document's shingle set is the set of all contiguous k-word windows
+// of its token stream. Similarity between two documents is the Jaccard
+// resemblance of their shingle sets. For large documents the package
+// also offers a min-hash sketch that estimates the resemblance with a
+// bounded number of hashes.
+package shingle
+
+import (
+	"hash/fnv"
+	"strings"
+	"unicode"
+)
+
+// DefaultK is the shingle width used by the soft-404 detector. Broder's
+// original experiments used 10-word shingles; soft-404 bodies are short
+// boilerplate pages, so a smaller window keeps short documents from
+// degenerating to zero shingles.
+const DefaultK = 4
+
+// Set is a document's shingle set, represented by 64-bit FNV hashes of
+// each k-word window. Hash collisions are possible but vanishingly
+// unlikely to flip a 99%-similarity verdict.
+type Set map[uint64]struct{}
+
+// Tokenize splits text into lowercase word tokens, treating any run of
+// non-letter/non-digit characters as a separator. HTML tags are crudely
+// stripped first so that boilerplate markup does not dominate the
+// token stream.
+func Tokenize(text string) []string {
+	text = stripTags(text)
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// stripTags removes anything between '<' and '>' — not a real HTML
+// parser, but sufficient to keep markup out of similarity comparisons
+// of simulated response bodies.
+func stripTags(s string) string {
+	if !strings.ContainsRune(s, '<') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	depth := 0
+	for _, r := range s {
+		switch {
+		case r == '<':
+			depth++
+			b.WriteByte(' ')
+		case r == '>':
+			if depth > 0 {
+				depth--
+			}
+		case depth == 0:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// New builds the shingle set of text with window width k. Documents
+// shorter than k tokens contribute a single shingle covering all their
+// tokens, so that two identical short documents still compare as equal.
+func New(text string, k int) Set {
+	if k <= 0 {
+		k = DefaultK
+	}
+	tokens := Tokenize(text)
+	set := make(Set)
+	if len(tokens) == 0 {
+		return set
+	}
+	if len(tokens) < k {
+		set[hashWindow(tokens)] = struct{}{}
+		return set
+	}
+	for i := 0; i+k <= len(tokens); i++ {
+		set[hashWindow(tokens[i:i+k])] = struct{}{}
+	}
+	return set
+}
+
+func hashWindow(tokens []string) uint64 {
+	h := fnv.New64a()
+	for _, t := range tokens {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Resemblance returns the Jaccard similarity |A∩B| / |A∪B| in [0, 1].
+// Two empty sets are defined to be identical (resemblance 1): two blank
+// responses are the same page for soft-404 purposes.
+func Resemblance(a, b Set) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for s := range small {
+		if _, ok := large[s]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Similarity is a convenience that shingles both texts with DefaultK
+// and returns their resemblance.
+func Similarity(textA, textB string) float64 {
+	return Resemblance(New(textA, DefaultK), New(textB, DefaultK))
+}
+
+// Sketch is a min-hash sketch of a shingle set: the n smallest shingle
+// hashes under a common permutation. E[overlap of sketches] approximates
+// the Jaccard resemblance, letting the detector compare large documents
+// in O(n) instead of O(|set|).
+type Sketch []uint64
+
+// NewSketch builds an n-hash min-wise sketch of text.
+func NewSketch(text string, k, n int) Sketch {
+	if n <= 0 {
+		n = 64
+	}
+	set := New(text, k)
+	sk := make(Sketch, n)
+	for i := range sk {
+		sk[i] = ^uint64(0)
+	}
+	for s := range set {
+		for i := 0; i < n; i++ {
+			// Mix the shingle hash with the permutation index using a
+			// splitmix64-style finalizer: cheap, well-distributed.
+			v := mix(s + uint64(i)*0x9e3779b97f4a7c15)
+			if v < sk[i] {
+				sk[i] = v
+			}
+		}
+	}
+	return sk
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Estimate returns the estimated Jaccard resemblance between the two
+// sketched documents: the fraction of sketch positions that agree.
+func (s Sketch) Estimate(other Sketch) float64 {
+	n := len(s)
+	if len(other) < n {
+		n = len(other)
+	}
+	if n == 0 {
+		return 0
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if s[i] == other[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}

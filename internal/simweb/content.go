@@ -1,0 +1,183 @@
+package simweb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Deterministic body generation. Every page body is a function of the
+// site seed and the page path, so repeated requests for the same URL
+// return the same document (modulo the rotating fragment below) and
+// different URLs return visibly different documents. Site-level
+// boilerplate (error pages, parked pages, login pages) is identical
+// across paths on the same site — which is exactly the property the
+// soft-404 detector keys on.
+
+var wordBank = []string{
+	"archive", "article", "border", "capital", "century", "charter",
+	"citizen", "classic", "climate", "college", "council", "country",
+	"culture", "current", "digital", "economy", "edition", "element",
+	"evening", "faculty", "federal", "feature", "gallery", "general",
+	"harbour", "heritage", "history", "imperial", "industry", "journal",
+	"justice", "landmark", "league", "library", "machine", "meridian",
+	"minister", "monument", "morning", "museum", "network", "notable",
+	"official", "orchard", "pacific", "parliament", "pioneer", "portrait",
+	"program", "project", "province", "quarter", "railway", "record",
+	"reform", "region", "report", "republic", "reserve", "review",
+	"saturday", "science", "section", "senate", "service", "session",
+	"society", "station", "stadium", "student", "summer", "supreme",
+	"theatre", "tribune", "tribunal", "valley", "venture", "village",
+	"volume", "western", "winter", "witness",
+}
+
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// words produces n deterministic words from the bank for the given seed.
+func words(seed uint64, n int) []string {
+	out := make([]string, n)
+	s := seed
+	for i := range out {
+		s = mix64(s)
+		out[i] = wordBank[s%uint64(len(wordBank))]
+	}
+	return out
+}
+
+// sentence builds a capitalized sentence of n words.
+func sentence(seed uint64, n int) string {
+	ws := words(seed, n)
+	ws[0] = titleCase(ws[0])
+	return strings.Join(ws, " ") + "."
+}
+
+// titleCase upper-cases the first byte of an ASCII word.
+func titleCase(w string) string {
+	if w == "" || w[0] < 'a' || w[0] > 'z' {
+		return w
+	}
+	return string(w[0]-'a'+'A') + w[1:]
+}
+
+// titleWords joins words in title case.
+func titleWords(ws []string) string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = titleCase(w)
+	}
+	return strings.Join(out, " ")
+}
+
+// pageBody renders the page's content, generating a deterministic
+// document when none was set explicitly.
+func pageBody(s *Site, p *Page) string {
+	if p.Content != "" {
+		return p.Content
+	}
+	seed := hash64(s.Hostname, p.Path) ^ s.Seed
+	title := p.Title
+	if title == "" {
+		title = titleWords(words(seed, 4))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", title)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", title)
+	// Four paragraphs of ~40 words each: enough text for shingle
+	// similarity to be meaningful.
+	for i := 0; i < 4; i++ {
+		b.WriteString("<p>")
+		for j := 0; j < 5; j++ {
+			b.WriteString(sentence(seed+uint64(i*7+j+1), 8))
+			b.WriteByte(' ')
+		}
+		b.WriteString("</p>\n")
+	}
+	fmt.Fprintf(&b, "<footer>%s</footer></body></html>\n", s.Hostname)
+	return b.String()
+}
+
+// notFoundBody is a site-wide 404 page; identical for every missing
+// path on the site apart from the echoed path itself.
+func notFoundBody(s *Site, path string) string {
+	return fmt.Sprintf(
+		"<html><head><title>404 Not Found</title></head><body>"+
+			"<h1>Not Found</h1><p>The requested URL %s was not found on %s.</p>"+
+			"<p>%s</p></body></html>\n",
+		path, s.Hostname, sentence(hash64(s.Hostname, "404")^s.Seed, 12))
+}
+
+// softErrorBody is the Soft200 style's "page not found" page: status
+// 200, same body for every missing path.
+func softErrorBody(s *Site) string {
+	seed := hash64(s.Hostname, "softerror") ^ s.Seed
+	return fmt.Sprintf(
+		"<html><head><title>%s</title></head><body>"+
+			"<h1>Sorry, we could not find that page</h1>"+
+			"<p>The page you are looking for may have been removed or is "+
+			"temporarily unavailable.</p><p>%s %s</p>"+
+			"<p>Return to the <a href=\"/\">homepage</a>.</p></body></html>\n",
+		s.Hostname, sentence(seed, 10), sentence(seed+1, 10))
+}
+
+// parkedBody mimics a domain parker's landing page. All paths on a
+// parked site serve this page (§3's znaci.net example).
+func parkedBody(s *Site) string {
+	return fmt.Sprintf(
+		"<html><head><title>%s is for sale</title></head><body>"+
+			"<h1>%s</h1><p>This domain may be for sale. Buy this domain.</p>"+
+			"<p>Related searches: %s</p>"+
+			"<p>Sponsored listings provided by the registrar.</p></body></html>\n",
+		s.Hostname, s.Hostname, strings.Join(words(hash64(s.Hostname, "parked"), 6), ", "))
+}
+
+// loginBody is the login page served by LoginRedirect sites.
+func loginBody(s *Site) string {
+	return fmt.Sprintf(
+		"<html><head><title>Sign in - %s</title></head><body>"+
+			"<h1>Sign in</h1>"+
+			"<form method=\"post\" action=\"/login\">"+
+			"<input name=\"username\" type=\"text\">"+
+			"<input name=\"password\" type=\"password\">"+
+			"<button type=\"submit\">Log in</button></form>"+
+			"</body></html>\n",
+		s.Hostname)
+}
+
+// outageBody is the 503 page served during an outage window.
+func outageBody(s *Site) string {
+	return fmt.Sprintf(
+		"<html><head><title>503 Service Unavailable</title></head><body>"+
+			"<h1>Service Unavailable</h1><p>%s is temporarily unable to "+
+			"service your request. Please try again later.</p></body></html>\n",
+		s.Hostname)
+}
+
+// geoBlockBody is the 403 page served to blocked vantage points.
+func geoBlockBody(s *Site) string {
+	return fmt.Sprintf(
+		"<html><head><title>403 Forbidden</title></head><body>"+
+			"<h1>Access Denied</h1><p>%s is not available in your region.</p>"+
+			"</body></html>\n",
+		s.Hostname)
+}
+
+// redirectBody is the tiny HTML body that accompanies 3xx responses.
+func redirectBody(location string) string {
+	return fmt.Sprintf(
+		"<html><head><title>Moved</title></head><body>"+
+			"<a href=\"%s\">Moved here</a></body></html>\n", location)
+}

@@ -1,0 +1,148 @@
+package simweb
+
+import (
+	"net/url"
+	"strings"
+
+	"permadead/internal/simclock"
+)
+
+// Result is the outcome of one simulated request, before any redirect
+// following. Exactly one of the Kind values applies.
+type Result struct {
+	Kind ResultKind
+	// Status and Body are set for KindResponse.
+	Status int
+	Body   string
+	// Location is the redirect target (absolute or host-relative) for
+	// 3xx responses.
+	Location string
+	// ContentType of the body; defaults to text/html.
+	ContentType string
+}
+
+// ResultKind classifies the transport-level outcome of a request.
+type ResultKind uint8
+
+const (
+	// KindResponse means an HTTP response was produced (any status).
+	KindResponse ResultKind = iota
+	// KindDNSFailure means hostname resolution failed.
+	KindDNSFailure
+	// KindTimeout means the connection attempt hung until the
+	// client's deadline.
+	KindTimeout
+)
+
+// Get evaluates an HTTP GET for rawURL on the given day and returns
+// the single-hop result: redirects are NOT followed here — that is the
+// client's job, exactly as on the real web.
+func (w *World) Get(rawURL string, day simclock.Day) Result {
+	u, err := url.Parse(strings.TrimSpace(rawURL))
+	if err != nil || u.Host == "" {
+		// An unparseable URL can never resolve.
+		return Result{Kind: KindDNSFailure}
+	}
+	host := strings.ToLower(u.Hostname())
+	pq := u.EscapedPath()
+	if pq == "" {
+		pq = "/"
+	}
+	if u.RawQuery != "" {
+		pq += "?" + u.RawQuery
+	}
+	return w.GetPath(host, pq, day)
+}
+
+// GetPath is Get for an already-split hostname and path?query string.
+func (w *World) GetPath(host, pathQuery string, day simclock.Day) Result {
+	if !w.Resolves(host, day) {
+		return Result{Kind: KindDNSFailure}
+	}
+	s := w.Site(host)
+
+	// Server-level states, in precedence order. A host whose server
+	// hangs does so before any HTTP exchange; parking replaces all
+	// content; outages and geo-blocks produce HTTP errors.
+	if s.TimeoutFrom.Valid() && !day.Before(s.TimeoutFrom) {
+		return Result{Kind: KindTimeout}
+	}
+	if s.ParkedAt.Valid() && !day.Before(s.ParkedAt) {
+		return okResult(parkedBody(s))
+	}
+	if s.OutageFrom.Valid() && !day.Before(s.OutageFrom) &&
+		(!s.OutageTo.Valid() || day.Before(s.OutageTo)) {
+		return Result{Kind: KindResponse, Status: 503, Body: outageBody(s)}
+	}
+	if s.GeoBlockedFrom.Valid() && !day.Before(s.GeoBlockedFrom) {
+		return Result{Kind: KindResponse, Status: 403, Body: geoBlockBody(s)}
+	}
+
+	pathQuery = normalizePath(pathQuery)
+	w.mu.RLock()
+	p := s.pages[pathQuery]
+	w.mu.RUnlock()
+
+	switch {
+	case p == nil || day.Before(p.Created):
+		return w.errorResult(s, pathQuery, day)
+	case p.DeletedAt.Valid() && !day.Before(p.DeletedAt) &&
+		!(p.RestoredAt.Valid() && !day.Before(p.RestoredAt)):
+		return w.errorResult(s, pathQuery, day)
+	case p.MovedAt.Valid() && !day.Before(p.MovedAt):
+		redirectActive := p.RedirectFrom.Valid() && !day.Before(p.RedirectFrom) &&
+			!(p.RedirectUntil.Valid() && !day.Before(p.RedirectUntil))
+		if redirectActive {
+			return Result{
+				Kind:     KindResponse,
+				Status:   301,
+				Location: p.NewPath,
+				Body:     redirectBody(p.NewPath),
+			}
+		}
+		return w.errorResult(s, pathQuery, day)
+	default:
+		return okResult(pageBody(s, p))
+	}
+}
+
+// errorResult applies the site's error style (as of day) to a missing
+// path.
+func (w *World) errorResult(s *Site, pathQuery string, day simclock.Day) Result {
+	switch s.errorStyleAt(day) {
+	case SoftRedirectHome:
+		if pathQuery == "/" {
+			// The homepage itself is missing (e.g. deleted): avoid a
+			// redirect loop by answering the soft error body directly.
+			return okResult(softErrorBody(s))
+		}
+		return Result{Kind: KindResponse, Status: 302, Location: "/", Body: redirectBody("/")}
+	case Soft200:
+		return okResult(softErrorBody(s))
+	case LoginRedirect:
+		lp := s.loginPath()
+		if pathQuery == lp {
+			return okResult(loginBody(s))
+		}
+		return Result{Kind: KindResponse, Status: 302, Location: lp, Body: redirectBody(lp)}
+	default: // Hard404
+		return Result{Kind: KindResponse, Status: 404, Body: notFoundBody(s, pathQuery)}
+	}
+}
+
+func okResult(body string) Result {
+	return Result{Kind: KindResponse, Status: 200, Body: body}
+}
+
+// ResolveLocation turns a Result's Location into an absolute URL given
+// the request's scheme and host, mirroring what an HTTP client does
+// with a Location header.
+func ResolveLocation(scheme, host, location string) string {
+	if strings.HasPrefix(location, "http://") || strings.HasPrefix(location, "https://") {
+		return location
+	}
+	if !strings.HasPrefix(location, "/") {
+		location = "/" + location
+	}
+	return scheme + "://" + host + location
+}

@@ -1,0 +1,133 @@
+package simweb
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+
+	"permadead/internal/simclock"
+)
+
+// DayHeader lets a single transport serve requests "as of" different
+// simulated days: when present on a request, it overrides the
+// transport's fixed day. The header is consumed by the transport (and
+// by Server) and never reaches response generation.
+const DayHeader = "X-Sim-Day"
+
+// Transport is an http.RoundTripper that answers requests from the
+// world without touching the network. It synthesizes the same error
+// types a real *http.Transport would surface — *net.DNSError for
+// resolution failures and a net.Error with Timeout()==true for
+// connection timeouts — so client code cannot tell the difference.
+type Transport struct {
+	World *World
+	// At is the simulated day requests are evaluated at, unless the
+	// request carries DayHeader.
+	At simclock.Day
+}
+
+// NewTransport returns a Transport pinned to the given day.
+func NewTransport(w *World, at simclock.Day) *Transport {
+	return &Transport{World: w, At: at}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	day := t.At
+	if h := req.Header.Get(DayHeader); h != "" {
+		n, err := strconv.Atoi(h)
+		if err != nil {
+			return nil, fmt.Errorf("simweb: bad %s header %q: %w", DayHeader, h, err)
+		}
+		day = simclock.Day(n)
+	}
+
+	host := req.URL.Hostname()
+	pq := req.URL.EscapedPath()
+	if pq == "" {
+		pq = "/"
+	}
+	if req.URL.RawQuery != "" {
+		pq += "?" + req.URL.RawQuery
+	}
+
+	res := t.World.GetPath(host, pq, day)
+	switch res.Kind {
+	case KindDNSFailure:
+		return nil, &net.DNSError{
+			Err:        "no such host",
+			Name:       host,
+			IsNotFound: true,
+		}
+	case KindTimeout:
+		// Respect an already-cancelled context the way a hanging dial
+		// would; otherwise produce a synthetic i/o timeout.
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+		return nil, &timeoutError{host: host}
+	}
+
+	return buildResponse(req, res), nil
+}
+
+// buildResponse assembles an *http.Response from a Result.
+func buildResponse(req *http.Request, res Result) *http.Response {
+	body := res.Body
+	if req.Method == http.MethodHead {
+		body = ""
+	}
+	h := make(http.Header, 4)
+	ct := res.ContentType
+	if ct == "" {
+		ct = "text/html; charset=utf-8"
+	}
+	h.Set("Content-Type", ct)
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	if res.Location != "" {
+		h.Set("Location", ResolveLocation(schemeOf(req), req.URL.Host, res.Location))
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", res.Status, http.StatusText(res.Status)),
+		StatusCode:    res.Status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+func schemeOf(req *http.Request) string {
+	if req.URL.Scheme != "" {
+		return req.URL.Scheme
+	}
+	return "http"
+}
+
+// timeoutError mimics the error a net.Conn read deadline produces.
+type timeoutError struct{ host string }
+
+func (e *timeoutError) Error() string {
+	return "dial tcp " + e.host + ":80: i/o timeout"
+}
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// Ensure timeoutError satisfies net.Error at compile time.
+var _ net.Error = (*timeoutError)(nil)
+
+// Client returns an *http.Client over this transport that does not
+// follow redirects automatically (callers that want redirect-following
+// set their own CheckRedirect), matching the fetch package's needs.
+func (t *Transport) Client() *http.Client {
+	return &http.Client{Transport: t}
+}

@@ -1,0 +1,129 @@
+package simweb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+)
+
+// World is the collection of simulated sites, indexed by hostname. A
+// World is safe for concurrent readers once construction is complete;
+// mutating methods (AddSite, AddPage) must not race with lookups.
+type World struct {
+	mu    sync.RWMutex
+	sites map[string]*Site
+}
+
+// NewWorld returns an empty world.
+func NewWorld() *World {
+	return &World{sites: make(map[string]*Site)}
+}
+
+// AddSite creates and registers a site. It panics if the hostname is
+// already taken — worldgen bugs should fail loudly, not silently merge
+// two sites.
+func (w *World) AddSite(hostname string, created simclock.Day) *Site {
+	hostname = strings.ToLower(hostname)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.sites[hostname]; ok {
+		panic(fmt.Sprintf("simweb: duplicate site %q", hostname))
+	}
+	s := NewSite(hostname, created)
+	w.sites[hostname] = s
+	return s
+}
+
+// Site returns the site for hostname, or nil when unknown.
+func (w *World) Site(hostname string) *Site {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.sites[strings.ToLower(hostname)]
+}
+
+// Sites returns the number of registered sites.
+func (w *World) Sites() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.sites)
+}
+
+// Hostnames returns all registered hostnames in sorted order.
+func (w *World) Hostnames() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	hs := make([]string, 0, len(w.sites))
+	for h := range w.sites {
+		hs = append(hs, h)
+	}
+	sort.Strings(hs)
+	return hs
+}
+
+// EachSite calls fn for every site in unspecified order.
+func (w *World) EachSite(fn func(*Site)) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for _, s := range w.sites {
+		fn(s)
+	}
+}
+
+// Resolves reports whether DNS resolution for hostname succeeds on the
+// given day: the site must exist, have come online, and not have let
+// its registration lapse.
+func (w *World) Resolves(hostname string, day simclock.Day) bool {
+	s := w.Site(hostname)
+	if s == nil {
+		return false
+	}
+	if day.Before(s.Created) {
+		return false
+	}
+	if s.DNSDiesAt.Valid() && !day.Before(s.DNSDiesAt) {
+		return false
+	}
+	return true
+}
+
+// PageByURL returns the site and page a URL names, or nils. The lookup
+// uses the URL's exact path+query string as the page key.
+func (w *World) PageByURL(rawURL string) (*Site, *Page) {
+	host := urlutil.Hostname(rawURL)
+	s := w.Site(host)
+	if s == nil {
+		return nil, nil
+	}
+	return s, s.Page(pathQueryOf(rawURL))
+}
+
+// pathQueryOf extracts "/path?query" from a URL, defaulting to "/".
+func pathQueryOf(rawURL string) string {
+	rest := rawURL
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[i:]
+	}
+	return "/"
+}
+
+// Rank returns the site's popularity rank (1 = most popular), serving
+// as the study's stand-in for the Alexa ranking the paper used for
+// Figure 3(b). The boolean reports whether the host is known and
+// carries a rank.
+func (w *World) Rank(hostname string) (int, bool) {
+	s := w.Site(hostname)
+	if s == nil || s.Rank <= 0 {
+		return 0, false
+	}
+	return s.Rank, true
+}

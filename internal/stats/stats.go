@@ -1,0 +1,356 @@
+// Package stats provides the statistical summaries the paper reports:
+// empirical CDFs (Figures 3, 5, 6), categorical breakdowns (Figure 4),
+// and plain-text table/figure renderers so the benchmark harness can
+// print the same rows and series the paper does.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (which it copies and sorts).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// NewCDFInts builds a CDF from integer samples.
+func NewCDFInts(samples []int) *CDF {
+	s := make([]float64, len(samples))
+	for i, v := range samples {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// advance past equal values to make the CDF right-continuous.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-
+// rank method on the sorted samples.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.sorted[rank]
+}
+
+// Min returns the smallest sample (NaN when empty).
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample (NaN when empty).
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Points samples the CDF at n evenly spaced sample ranks, returning
+// (x, P(X<=x)) pairs suitable for plotting the full curve.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		rank := (i + 1) * len(c.sorted) / n
+		if rank < 1 {
+			rank = 1
+		}
+		pts = append(pts, Point{
+			X: c.sorted[rank-1],
+			Y: float64(rank) / float64(len(c.sorted)),
+		})
+	}
+	return pts
+}
+
+// LogPoints samples the CDF at geometrically spaced x values between
+// the smallest positive sample and the maximum — the shape the paper's
+// log-x figures (3a, 5, 6) plot.
+func (c *CDF) LogPoints(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo := math.NaN()
+	for _, v := range c.sorted {
+		if v > 0 {
+			lo = v
+			break
+		}
+	}
+	hi := c.Max()
+	if math.IsNaN(lo) || hi <= lo {
+		return c.Points(n)
+	}
+	pts := make([]Point, 0, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+		x *= ratio
+	}
+	return pts
+}
+
+// Point is a single (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// KS returns the Kolmogorov–Smirnov statistic between two empirical
+// CDFs: the maximum absolute difference between the curves. The paper's
+// §2.4 representativeness check ("largely identical" distributions for
+// the alphabetical dataset and a random sample) is quantified with
+// this statistic in our reproduction.
+func KS(a, b *CDF) float64 {
+	maxDiff := 0.0
+	for _, s := range a.sorted {
+		if d := math.Abs(a.At(s) - b.At(s)); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	for _, s := range b.sorted {
+		if d := math.Abs(a.At(s) - b.At(s)); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff
+}
+
+// Breakdown is an ordered categorical count, e.g. Figure 4's outcome
+// histogram. Categories keep insertion order so rendered tables match
+// the paper's column order.
+type Breakdown struct {
+	order  []string
+	counts map[string]int
+}
+
+// NewBreakdown creates a Breakdown with the given category order.
+// Unknown categories added later are appended.
+func NewBreakdown(categories ...string) *Breakdown {
+	b := &Breakdown{counts: make(map[string]int, len(categories))}
+	for _, c := range categories {
+		b.order = append(b.order, c)
+		b.counts[c] = 0
+	}
+	return b
+}
+
+// Add increments category by one.
+func (b *Breakdown) Add(category string) { b.AddN(category, 1) }
+
+// AddN increments category by n.
+func (b *Breakdown) AddN(category string, n int) {
+	if _, ok := b.counts[category]; !ok {
+		b.order = append(b.order, category)
+	}
+	b.counts[category] += n
+}
+
+// Count returns the count for a category.
+func (b *Breakdown) Count(category string) int { return b.counts[category] }
+
+// Total returns the sum of all counts.
+func (b *Breakdown) Total() int {
+	t := 0
+	for _, c := range b.counts {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns category's share of the total (0 when empty).
+func (b *Breakdown) Fraction(category string) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.counts[category]) / float64(t)
+}
+
+// Categories returns the categories in insertion order.
+func (b *Breakdown) Categories() []string {
+	out := make([]string, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// Table is a simple rectangular table with a title, used to render the
+// paper's figures and summary statistics as text.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			} else if i >= len(widths) {
+				widths = append(widths, len(c))
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if w := widths[i] - len(c); w > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", w))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderCDF renders an ASCII sketch of the CDF: one row per sampled
+// point with a bar proportional to the cumulative fraction. logX
+// selects geometric x spacing (for the paper's log-scale figures).
+func RenderCDF(title string, c *CDF, points int, logX bool) string {
+	var pts []Point
+	if logX {
+		pts = c.LogPoints(points)
+	} else {
+		pts = c.Points(points)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (n=%d)\n", title, c.N())
+	for _, p := range pts {
+		bar := strings.Repeat("#", int(p.Y*40+0.5))
+		fmt.Fprintf(&b, "%12.6g | %-40s %5.1f%%\n", p.X, bar, p.Y*100)
+	}
+	return b.String()
+}
+
+// RenderBreakdown renders the Breakdown as a count table with
+// percentages, one row per category in insertion order.
+func RenderBreakdown(title string, b *Breakdown) string {
+	t := Table{Title: title, Headers: []string{"Category", "Count", "Share"}}
+	total := b.Total()
+	for _, cat := range b.order {
+		share := 0.0
+		if total > 0 {
+			share = float64(b.counts[cat]) / float64(total) * 100
+		}
+		t.AddRow(cat, fmt.Sprintf("%d", b.counts[cat]), fmt.Sprintf("%.1f%%", share))
+	}
+	t.AddRow("TOTAL", fmt.Sprintf("%d", total), "100.0%")
+	return t.String()
+}
+
+// WilsonCI returns the Wilson score interval for a binomial proportion
+// — the 95% confidence range for a measured fraction count/n. The
+// study's headline numbers are proportions of one random sample; the
+// interval quantifies how far a re-sample could plausibly drift, which
+// is the right lens for comparing a reproduction's fractions against
+// the paper's.
+func WilsonCI(count, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	const z = 1.96 // 95%
+	p := float64(count) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo, hi = center-margin, center+margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

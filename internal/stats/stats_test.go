@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDFInts([]int{1, 2, 2, 3, 10})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.2},
+		{2, 0.6},
+		{3, 0.8},
+		{9.99, 0.8},
+		{10, 1},
+		{100, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.N() != 0 || c.At(5) != 0 {
+		t.Error("empty CDF should be all-zero")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Error("empty CDF quantile/mean should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCDFInts([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := c.Quantile(0.5); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 10 {
+		t.Errorf("q1 = %v, want 10", got)
+	}
+	if got := c.Quantile(0.9); got != 9 {
+		t.Errorf("q0.9 = %v, want 9", got)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	prop := func(samples []float64) bool {
+		clean := samples[:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				clean = append(clean, s)
+			}
+		}
+		c := NewCDF(clean)
+		xs := append([]float64{}, clean...)
+		sort.Float64s(xs)
+		prev := 0.0
+		for _, x := range xs {
+			y := c.At(x)
+			if y < prev || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileAtInverse(t *testing.T) {
+	// For any q, At(Quantile(q)) >= q: the CDF evaluated at the q-th
+	// quantile covers at least fraction q of the mass.
+	c := NewCDFInts([]int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5})
+	for q := 0.05; q < 1; q += 0.05 {
+		if got := c.At(c.Quantile(q)); got < q-1e-9 {
+			t.Errorf("At(Quantile(%v)) = %v < q", q, got)
+		}
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	c := NewCDFInts([]int{4, 2, 8, 6})
+	if c.Min() != 2 || c.Max() != 8 {
+		t.Errorf("min/max = %v/%v", c.Min(), c.Max())
+	}
+	if c.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", c.Mean())
+	}
+}
+
+func TestPoints(t *testing.T) {
+	c := NewCDFInts([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("last point Y = %v, want 1", pts[len(pts)-1].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y || pts[i].X < pts[i-1].X {
+			t.Errorf("points not monotonic: %v", pts)
+		}
+	}
+}
+
+func TestLogPoints(t *testing.T) {
+	samples := make([]int, 0, 1000)
+	for i := 1; i <= 1000; i++ {
+		samples = append(samples, i)
+	}
+	c := NewCDFInts(samples)
+	pts := c.LogPoints(10)
+	if len(pts) != 10 {
+		t.Fatalf("got %d log points", len(pts))
+	}
+	if pts[0].X != 1 {
+		t.Errorf("first log point X = %v, want 1", pts[0].X)
+	}
+	if math.Abs(pts[len(pts)-1].X-1000) > 1e-6 {
+		t.Errorf("last log point X = %v, want 1000", pts[len(pts)-1].X)
+	}
+	// Geometric spacing: ratio between consecutive X roughly constant.
+	r1 := pts[1].X / pts[0].X
+	r2 := pts[5].X / pts[4].X
+	if math.Abs(r1-r2) > 1e-6 {
+		t.Errorf("log spacing not geometric: %v vs %v", r1, r2)
+	}
+}
+
+func TestKS(t *testing.T) {
+	a := NewCDFInts([]int{1, 2, 3, 4, 5})
+	b := NewCDFInts([]int{1, 2, 3, 4, 5})
+	if ks := KS(a, b); ks != 0 {
+		t.Errorf("identical distributions KS = %v, want 0", ks)
+	}
+	c := NewCDFInts([]int{100, 200, 300})
+	if ks := KS(a, c); ks != 1 {
+		t.Errorf("disjoint distributions KS = %v, want 1", ks)
+	}
+	// Similar distributions give small KS.
+	d := NewCDFInts([]int{1, 2, 3, 4, 6})
+	if ks := KS(a, d); ks <= 0 || ks > 0.25 {
+		t.Errorf("similar distributions KS = %v, want small nonzero", ks)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown("DNS Failure", "Timeout", "404", "200", "Other")
+	b.Add("404")
+	b.Add("404")
+	b.Add("200")
+	b.AddN("DNS Failure", 3)
+	if b.Total() != 6 {
+		t.Errorf("total = %d, want 6", b.Total())
+	}
+	if b.Count("404") != 2 {
+		t.Errorf("404 count = %d", b.Count("404"))
+	}
+	if got := b.Fraction("DNS Failure"); got != 0.5 {
+		t.Errorf("DNS fraction = %v", got)
+	}
+	cats := b.Categories()
+	if len(cats) != 5 || cats[0] != "DNS Failure" || cats[4] != "Other" {
+		t.Errorf("categories = %v", cats)
+	}
+	// Unknown categories are appended.
+	b.Add("Surprise")
+	if got := b.Categories(); got[len(got)-1] != "Surprise" {
+		t.Errorf("unknown category should append: %v", got)
+	}
+}
+
+func TestBreakdownEmptyFraction(t *testing.T) {
+	b := NewBreakdown("a")
+	if b.Fraction("a") != 0 {
+		t.Error("empty breakdown fraction should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{Title: "T", Headers: []string{"col1", "column2"}}
+	tbl.AddRow("a", "b")
+	tbl.AddRow("longer", "x")
+	out := tbl.String()
+	if !strings.Contains(out, "T\n=") {
+		t.Errorf("missing title underline:\n%s", out)
+	}
+	if !strings.Contains(out, "col1") || !strings.Contains(out, "longer") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, underline, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderCDFAndBreakdown(t *testing.T) {
+	c := NewCDFInts([]int{1, 10, 100, 1000})
+	out := RenderCDF("Figure X", c, 5, true)
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "n=4") {
+		t.Errorf("RenderCDF output:\n%s", out)
+	}
+	b := NewBreakdown("A", "B")
+	b.AddN("A", 3)
+	b.AddN("B", 1)
+	bo := RenderBreakdown("Counts", b)
+	if !strings.Contains(bo, "75.0%") || !strings.Contains(bo, "TOTAL") {
+		t.Errorf("RenderBreakdown output:\n%s", bo)
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	// A 50% proportion at n=100: the classic interval ~ [0.40, 0.60].
+	lo, hi := WilsonCI(50, 100)
+	if lo < 0.39 || lo > 0.42 || hi < 0.58 || hi > 0.61 {
+		t.Errorf("WilsonCI(50,100) = [%.3f, %.3f]", lo, hi)
+	}
+	// The interval always contains the point estimate.
+	for _, c := range []struct{ k, n int }{{0, 10}, {10, 10}, {3, 1000}, {305, 10000}} {
+		lo, hi := WilsonCI(c.k, c.n)
+		p := float64(c.k) / float64(c.n)
+		if p < lo-1e-12 || p > hi+1e-12 {
+			t.Errorf("WilsonCI(%d,%d) = [%.4f, %.4f] excludes p=%.4f", c.k, c.n, lo, hi, p)
+		}
+		if lo < 0 || hi > 1 {
+			t.Errorf("WilsonCI(%d,%d) out of [0,1]", c.k, c.n)
+		}
+	}
+	// Wider intervals for smaller samples.
+	lo1, hi1 := WilsonCI(5, 50)
+	lo2, hi2 := WilsonCI(100, 1000)
+	if (hi1 - lo1) <= (hi2 - lo2) {
+		t.Error("smaller n should give a wider interval")
+	}
+	// Degenerate n.
+	if lo, hi := WilsonCI(0, 0); lo != 0 || hi != 0 {
+		t.Error("n=0 interval should be empty")
+	}
+}

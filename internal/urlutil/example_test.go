@@ -1,0 +1,48 @@
+package urlutil_test
+
+import (
+	"fmt"
+
+	"permadead/internal/urlutil"
+)
+
+func ExampleHostname() {
+	// §2.4: the hostname is the portion of the URL between the
+	// protocol and the first '/' thereafter.
+	fmt.Println(urlutil.Hostname("http://www.parliament.tas.gov.au/php/Almanac.htm"))
+	// Output: www.parliament.tas.gov.au
+}
+
+func ExampleDomain() {
+	// Hostnames map to registrable domains via the Public Suffix List.
+	fmt.Println(urlutil.Domain("http://www.parliament.tas.gov.au/php/Almanac.htm"))
+	fmt.Println(urlutil.Domain("http://jhpress.nli.org.il/Default/Scripting/ArticleWin.asp"))
+	// Output:
+	// parliament.tas.gov.au
+	// nli.org.il
+}
+
+func ExampleDirectory() {
+	// The directory — the prefix up to the last '/' — is the unit of
+	// the §4.2 sibling comparison and the §5.2 coverage analysis.
+	fmt.Println(urlutil.Directory("http://www.main-spitze.de/region/floersheim/9204093.htm"))
+	// Output: http://www.main-spitze.de/region/floersheim/
+}
+
+func ExampleEditDistance() {
+	// §5.2's typo probe: the paper's lnr.fr example is one edit away
+	// from the working URL (English "may" vs French "mai").
+	a := "http://www.lnr.fr/top-14-26-may-1984.html"
+	b := "http://www.lnr.fr/top-14-26-mai-1984.html"
+	fmt.Println(urlutil.EditDistance(a, b))
+	// Output: 1
+}
+
+func ExampleCanonicalQueryKey() {
+	// Two URLs differing only in query-parameter order share a
+	// canonical key (§5.2 implication b).
+	a := urlutil.CanonicalQueryKey("http://h.example/view.asp?b=2&a=1")
+	b := urlutil.CanonicalQueryKey("http://h.example/view.asp?a=1&b=2")
+	fmt.Println(a == b)
+	// Output: true
+}

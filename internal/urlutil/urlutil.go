@@ -1,0 +1,353 @@
+// Package urlutil provides the URL manipulation primitives the study
+// relies on throughout §2–§5 of the paper:
+//
+//   - hostname extraction exactly as the paper defines it ("the portion
+//     of the URL between the protocol and the first '/' thereafter", §2.4)
+//   - registrable-domain mapping via the Public Suffix List
+//   - directory prefixes ("share the same URL prefix until the last '/'",
+//     §4.2 and §5.2)
+//   - SURT-style canonicalization used by the archive's CDX index
+//   - Levenshtein edit distance for the §5.2 typo analysis
+//   - query-parameter decomposition for the §5.2 "unbounded query
+//     arguments" analysis
+package urlutil
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+
+	"permadead/internal/psl"
+)
+
+// Hostname extracts the hostname from rawURL the way the paper does:
+// the portion between the protocol and the first '/' thereafter. Any
+// port and userinfo are stripped; the scheme is case-insensitive. It
+// returns "" when rawURL has no http(s) scheme or no host.
+func Hostname(rawURL string) string {
+	rest, ok := stripScheme(rawURL)
+	if !ok {
+		return ""
+	}
+	// Cut at the first '/', '?' or '#'.
+	if i := strings.IndexAny(rest, "/?#"); i >= 0 {
+		rest = rest[:i]
+	}
+	// Strip userinfo and port.
+	if i := strings.LastIndexByte(rest, '@'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.ToLower(strings.TrimSuffix(rest, "."))
+}
+
+// stripScheme removes a leading http:// or https:// (case-insensitive)
+// and reports whether one was present.
+func stripScheme(rawURL string) (string, bool) {
+	s := strings.TrimSpace(rawURL)
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasPrefix(lower, "http://"):
+		return s[len("http://"):], true
+	case strings.HasPrefix(lower, "https://"):
+		return s[len("https://"):], true
+	}
+	return "", false
+}
+
+// Domain maps rawURL's hostname to its registrable domain using the
+// embedded Public Suffix List. It falls back to the hostname itself
+// when the hostname is a bare public suffix or an IP-like string.
+func Domain(rawURL string) string {
+	host := Hostname(rawURL)
+	if host == "" {
+		return ""
+	}
+	if d := psl.Default().RegistrableDomain(host); d != "" {
+		return d
+	}
+	return host
+}
+
+// DomainOfHost maps a bare hostname to its registrable domain.
+func DomainOfHost(host string) string {
+	if d := psl.Default().RegistrableDomain(host); d != "" {
+		return d
+	}
+	return strings.ToLower(host)
+}
+
+// Directory returns the URL prefix up to and including the last '/' of
+// the path, which the paper uses as the unit of the §4.2 sibling check
+// and the §5.2 directory-level coverage analysis. Query string and
+// fragment are excluded. For a URL with an empty path the directory is
+// the host root ("http://host/").
+func Directory(rawURL string) string {
+	u, err := url.Parse(strings.TrimSpace(rawURL))
+	if err != nil || u.Host == "" {
+		// Fall back to byte-level handling for unparseable URLs; the
+		// dataset contains typos, so this path is exercised for real.
+		return rawDirectory(rawURL)
+	}
+	path := u.EscapedPath()
+	if path == "" {
+		path = "/"
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[:i+1]
+	}
+	return strings.ToLower(u.Scheme) + "://" + strings.ToLower(u.Host) + path
+}
+
+func rawDirectory(rawURL string) string {
+	rest, ok := stripScheme(rawURL)
+	if !ok {
+		return ""
+	}
+	scheme := "http"
+	if strings.HasPrefix(strings.ToLower(strings.TrimSpace(rawURL)), "https") {
+		scheme = "https"
+	}
+	// Drop query/fragment.
+	if i := strings.IndexAny(rest, "?#"); i >= 0 {
+		rest = rest[:i]
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return scheme + "://" + strings.ToLower(rest) + "/"
+	}
+	host := strings.ToLower(rest[:slash])
+	path := rest[slash:]
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[:i+1]
+	}
+	return scheme + "://" + host + path
+}
+
+// LastSegment returns the portion of the URL's path after the final
+// '/', including any query string — the suffix that the soft-404 probe
+// (§3) replaces with a random string.
+func LastSegment(rawURL string) string {
+	rest, ok := stripScheme(rawURL)
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = rest[:i]
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return ""
+	}
+	pathq := rest[slash:]
+	// Split off the query so the '/' search stays within the path, then
+	// reattach it: Directory(u) + LastSegment(u) reconstructs u.
+	path, query, hasQ := strings.Cut(pathq, "?")
+	seg := path
+	if k := strings.LastIndexByte(path, '/'); k >= 0 {
+		seg = path[k+1:]
+	}
+	if hasQ {
+		seg += "?" + query
+	}
+	return seg
+}
+
+// ReplaceLastSegment rebuilds rawURL with its last path segment (and
+// query) replaced by segment. Used by the soft-404 probe to construct
+// the known-invalid sibling URL u'.
+func ReplaceLastSegment(rawURL, segment string) string {
+	dir := Directory(rawURL)
+	if dir == "" {
+		return ""
+	}
+	return dir + segment
+}
+
+// Normalize performs light canonicalization for URL identity: lowercase
+// scheme and host, strip default ports, strip fragments, ensure a path.
+// It deliberately preserves the query string byte-for-byte — the §5.2
+// analysis depends on parameter order being significant.
+func Normalize(rawURL string) string {
+	u, err := url.Parse(strings.TrimSpace(rawURL))
+	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		return strings.TrimSpace(rawURL)
+	}
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Host = strings.ToLower(u.Host)
+	if h, p, ok := strings.Cut(u.Host, ":"); ok {
+		if (u.Scheme == "http" && p == "80") || (u.Scheme == "https" && p == "443") {
+			u.Host = h
+		}
+	}
+	u.Fragment = ""
+	if u.Path == "" {
+		u.Path = "/"
+	}
+	return u.String()
+}
+
+// SchemeAgnosticKey returns a key under which http:// and https://
+// variants of the same URL collide, the way the Wayback Machine indexes
+// captures. The scheme is dropped and a leading "www." is removed.
+func SchemeAgnosticKey(rawURL string) string {
+	n := Normalize(rawURL)
+	rest, ok := stripScheme(n)
+	if !ok {
+		return n
+	}
+	rest = strings.TrimPrefix(rest, "www.")
+	return rest
+}
+
+// EditDistance returns the Levenshtein distance between a and b,
+// counting insertions, deletions, and substitutions each as 1. The
+// §5.2 typo analysis deems a dead link a potential typo when exactly
+// one archived URL under the same domain has edit distance exactly 1.
+func EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// Ensure b is the shorter string to bound the row buffer.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+// EditDistanceAtMost reports whether EditDistance(a, b) <= k without
+// computing the full matrix when the strings' lengths already rule it
+// out. The spatial analysis compares a dead URL to every archived URL
+// under the same domain, so the early exit matters at scale.
+func EditDistanceAtMost(a, b string, k int) bool {
+	d := len(a) - len(b)
+	if d < 0 {
+		d = -d
+	}
+	if d > k {
+		return false
+	}
+	return EditDistance(a, b) <= k
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// QueryParams decomposes rawURL's query string into key/value pairs in
+// order of appearance. Unlike url.Values it preserves duplicates and
+// ordering, which §5.2 needs to reason about parameter-order variants.
+func QueryParams(rawURL string) []Param {
+	u, err := url.Parse(strings.TrimSpace(rawURL))
+	if err != nil {
+		return nil
+	}
+	return parseQuery(u.RawQuery)
+}
+
+// Param is a single query parameter occurrence.
+type Param struct {
+	Key   string
+	Value string
+}
+
+func parseQuery(q string) []Param {
+	if q == "" {
+		return nil
+	}
+	parts := strings.Split(q, "&")
+	params := make([]Param, 0, len(parts))
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(p, "=")
+		ku, err := url.QueryUnescape(k)
+		if err != nil {
+			ku = k
+		}
+		vu, err := url.QueryUnescape(v)
+		if err != nil {
+			vu = v
+		}
+		params = append(params, Param{Key: ku, Value: vu})
+	}
+	return params
+}
+
+// CanonicalQueryKey returns the URL with its query parameters sorted by
+// key (then value), so that two URLs that differ only in parameter
+// order map to the same key — implementing the paper's §5.2 suggestion
+// of "looking for archived URLs which are identical except that they
+// include the query parameters in a different order".
+func CanonicalQueryKey(rawURL string) string {
+	u, err := url.Parse(strings.TrimSpace(rawURL))
+	if err != nil || u.RawQuery == "" {
+		return Normalize(rawURL)
+	}
+	params := parseQuery(u.RawQuery)
+	sort.SliceStable(params, func(i, j int) bool {
+		if params[i].Key != params[j].Key {
+			return params[i].Key < params[j].Key
+		}
+		return params[i].Value < params[j].Value
+	})
+	var b strings.Builder
+	for i, p := range params {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(url.QueryEscape(p.Key))
+		b.WriteByte('=')
+		b.WriteString(url.QueryEscape(p.Value))
+	}
+	u.RawQuery = b.String()
+	u.Fragment = ""
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Host = strings.ToLower(u.Host)
+	return u.String()
+}
+
+// HasQuery reports whether the URL carries a non-empty query string.
+func HasQuery(rawURL string) bool {
+	u, err := url.Parse(strings.TrimSpace(rawURL))
+	return err == nil && u.RawQuery != ""
+}
+
+// IsValid reports whether rawURL parses as an absolute http(s) URL with
+// a hostname — the minimal bar for a link to even be testable.
+func IsValid(rawURL string) bool {
+	u, err := url.Parse(strings.TrimSpace(rawURL))
+	if err != nil {
+		return false
+	}
+	return (u.Scheme == "http" || u.Scheme == "https") && u.Host != ""
+}

@@ -1,0 +1,92 @@
+package wikimedia
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildDumpWiki() *Wiki {
+	w := NewWiki()
+	w.Create("Beta Article", d(100), "Author1", `Intro.<ref>{{cite web|url=http://a.simtest/1|title=One}}</ref>`)
+	w.Create("Alpha Article", d(150), "Author2", `Text [http://b.simtest/2 Two].`)
+	w.Edit("Beta Article", d(300), "InternetArchiveBot", "Tagging dead links. #IABot",
+		`Intro.<ref>{{cite web|url=http://a.simtest/1|title=One|url-status=dead}} {{dead link|date=X|bot=InternetArchiveBot}}</ref>
+[[Category:Articles with permanently dead external links]]`)
+	w.Edit("Alpha Article", d(200), "Author3", "expand", `Text [http://b.simtest/2 Two]. More.`)
+	return w
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	w := buildDumpWiki()
+	var buf bytes.Buffer
+	if err := w.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<mediawiki", `version="0.11"`, "<page>", "<revision>",
+		"Alpha Article", "Beta Article", "InternetArchiveBot",
+		"Tagging dead links. #IABot",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+
+	w2, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != w.Len() {
+		t.Fatalf("article count %d vs %d", w2.Len(), w.Len())
+	}
+	for _, title := range w.Titles() {
+		a, b := w.Article(title), w2.Article(title)
+		if len(a.Revisions) != len(b.Revisions) {
+			t.Fatalf("%q revisions %d vs %d", title, len(a.Revisions), len(b.Revisions))
+		}
+		for i := range a.Revisions {
+			ra, rb := a.Revisions[i], b.Revisions[i]
+			if ra.Day != rb.Day || ra.User != rb.User || ra.Text != rb.Text {
+				t.Errorf("%q rev %d differs: %+v vs %+v", title, i, ra, rb)
+			}
+		}
+	}
+
+	// Semantic queries survive the round-trip.
+	h1, ok1 := w.HistoryOf("Beta Article", "http://a.simtest/1")
+	h2, ok2 := w2.HistoryOf("Beta Article", "http://a.simtest/1")
+	if !ok1 || !ok2 || h1.MarkedDead != h2.MarkedDead || h1.MarkedDeadBy != h2.MarkedDeadBy {
+		t.Errorf("history differs: %+v vs %+v", h1, h2)
+	}
+	if got := w2.InCategory("Articles with permanently dead external links"); len(got) != 1 {
+		t.Errorf("category after round-trip: %v", got)
+	}
+}
+
+func TestDumpEscapesMarkup(t *testing.T) {
+	w := NewWiki()
+	w.Create("Escapes", d(10), "U", `Text with <ref> tags & {{templates|a=1}} and "quotes".`)
+	var buf bytes.Buffer
+	if err := w.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Article("Escapes").Current().Text; got != w.Article("Escapes").Current().Text {
+		t.Errorf("text corrupted: %q", got)
+	}
+}
+
+func TestReadDumpRejectsGarbage(t *testing.T) {
+	if _, err := ReadDump(strings.NewReader("not xml at all")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadDump(strings.NewReader(
+		`<mediawiki version="0.11"><page><title>X</title><revision><id>1</id><timestamp>garbage</timestamp><contributor><username>u</username></contributor><text>t</text></revision></page></mediawiki>`)); err == nil {
+		t.Error("bad timestamp should fail")
+	}
+}

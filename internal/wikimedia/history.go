@@ -1,0 +1,97 @@
+package wikimedia
+
+import (
+	"permadead/internal/simclock"
+	"permadead/internal/wikitext"
+)
+
+// LinkHistory is what the study mines from an article's edit history
+// for one external URL (§2.4): when the link was added, when it was
+// tagged {{dead link}}, and by whom.
+type LinkHistory struct {
+	Title string
+	URL   string
+	// Added is the day of the first revision containing the URL.
+	Added simclock.Day
+	// AddedBy is the user who saved that revision.
+	AddedBy string
+	// MarkedDead is the day of the first revision in which the URL
+	// carries a {{dead link}} tag (simclock.Never when never tagged).
+	MarkedDead simclock.Day
+	// MarkedDeadBy is the user who saved the tagging revision.
+	MarkedDeadBy string
+	// DeadLinkBot is the bot= parameter of the {{dead link}} template
+	// in the tagging revision ("" for manual tags).
+	DeadLinkBot string
+	// Patched reports whether the current revision carries an archived
+	// copy for the URL.
+	Patched bool
+	// ArchiveURL is the attached archive link in the current revision.
+	ArchiveURL string
+}
+
+// HistoryOf reconstructs the LinkHistory for url in the titled article
+// by walking its revisions oldest-first. It returns ok=false when the
+// article does not exist or never contained the URL.
+func (w *Wiki) HistoryOf(title, url string) (LinkHistory, bool) {
+	a := w.Article(title)
+	if a == nil {
+		return LinkHistory{}, false
+	}
+	h := LinkHistory{
+		Title:      title,
+		URL:        url,
+		Added:      simclock.Never,
+		MarkedDead: simclock.Never,
+	}
+	for i := range a.Revisions {
+		rev := &a.Revisions[i]
+		link := findLink(rev.Doc(), url)
+		if link == nil {
+			continue
+		}
+		if !h.Added.Valid() {
+			h.Added = rev.Day
+			h.AddedBy = rev.User
+		}
+		if !h.MarkedDead.Valid() && link.IsDead() {
+			h.MarkedDead = rev.Day
+			h.MarkedDeadBy = rev.User
+			h.DeadLinkBot = link.DeadLinkBot()
+		}
+	}
+	if !h.Added.Valid() {
+		return LinkHistory{}, false
+	}
+	if cur := findLink(a.Current().Doc(), url); cur != nil {
+		h.ArchiveURL = cur.ArchiveURL()
+		h.Patched = h.ArchiveURL != ""
+	}
+	return h, true
+}
+
+// findLink locates the CitedLink for url in a document (first match).
+func findLink(doc *wikitext.Document, url string) *wikitext.CitedLink {
+	for _, cl := range doc.CitedLinks() {
+		if cl.URL == url {
+			return cl
+		}
+	}
+	return nil
+}
+
+// DeadLinks lists, for the article's current revision, every cited
+// link carrying a {{dead link}} tag.
+func (w *Wiki) DeadLinks(title string) []*wikitext.CitedLink {
+	a := w.Article(title)
+	if a == nil {
+		return nil
+	}
+	var out []*wikitext.CitedLink
+	for _, cl := range a.Current().Doc().CitedLinks() {
+		if cl.IsDead() {
+			out = append(out, cl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package wikimedia simulates the parts of Wikipedia the study touches:
+// an article store with full edit history, category membership derived
+// from wikitext, an alphabetical article listing (the paper crawls the
+// first 10,000 articles of a category listing in title order, §2.4),
+// and an event stream of external-link additions which the Internet
+// Archive's capture services consume (§5.1).
+//
+// Every edit is a complete new revision, as in MediaWiki. The edit
+// history is the source of truth for the three per-link facts the
+// study extracts (§2.4): when a link was added, when it was marked
+// permanently dead, and by which username.
+package wikimedia
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"permadead/internal/simclock"
+	"permadead/internal/wikitext"
+)
+
+// Revision is one saved version of an article.
+type Revision struct {
+	// ID is unique per wiki and increases with time.
+	ID int
+	// Day the revision was saved.
+	Day simclock.Day
+	// User is the account that saved it; bots have accounts too.
+	User string
+	// Comment is the edit summary.
+	Comment string
+	// Text is the full wikitext of the article at this revision.
+	Text string
+}
+
+// Doc parses the revision's wikitext.
+func (r *Revision) Doc() *wikitext.Document {
+	return wikitext.Parse(r.Text)
+}
+
+// Article is a titled page with its complete revision history, oldest
+// first.
+type Article struct {
+	Title     string
+	Revisions []Revision
+}
+
+// Current returns the latest revision (nil for an empty history, which
+// cannot happen for articles created through Wiki).
+func (a *Article) Current() *Revision {
+	if len(a.Revisions) == 0 {
+		return nil
+	}
+	return &a.Revisions[len(a.Revisions)-1]
+}
+
+// RevisionAt returns the article text as of the given day: the last
+// revision saved on or before it (nil when the article didn't exist).
+func (a *Article) RevisionAt(day simclock.Day) *Revision {
+	var found *Revision
+	for i := range a.Revisions {
+		if a.Revisions[i].Day.After(day) {
+			break
+		}
+		found = &a.Revisions[i]
+	}
+	return found
+}
+
+// LinkAddedEvent is emitted when an edit introduces a previously-unseen
+// external URL to an article — the signal the Wikipedia EventStream
+// (and before it, the near-real-time IRC feed) exposes to archives.
+type LinkAddedEvent struct {
+	Title string
+	URL   string
+	Day   simclock.Day
+	User  string
+}
+
+// Wiki is the article store. Safe for concurrent use.
+type Wiki struct {
+	mu        sync.RWMutex
+	articles  map[string]*Article
+	nextRevID int
+	listeners []func(LinkAddedEvent)
+}
+
+// NewWiki returns an empty wiki.
+func NewWiki() *Wiki {
+	return &Wiki{articles: make(map[string]*Article), nextRevID: 1}
+}
+
+// Subscribe registers a listener for link-addition events. Listeners
+// are invoked synchronously during Create/Edit, in registration order.
+// Subscribe before generating content.
+func (w *Wiki) Subscribe(fn func(LinkAddedEvent)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.listeners = append(w.listeners, fn)
+}
+
+// Create makes a new article with an initial revision. It panics on a
+// duplicate title (generator bugs should be loud).
+func (w *Wiki) Create(title string, day simclock.Day, user, text string) *Article {
+	w.mu.Lock()
+	if _, ok := w.articles[title]; ok {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("wikimedia: duplicate article %q", title))
+	}
+	a := &Article{Title: title}
+	a.Revisions = append(a.Revisions, Revision{
+		ID: w.nextRevID, Day: day, User: user, Comment: "Created page", Text: text,
+	})
+	w.nextRevID++
+	w.articles[title] = a
+	listeners := w.listeners
+	w.mu.Unlock()
+
+	emitNewLinks(listeners, title, nil, text, day, user)
+	return a
+}
+
+// Edit appends a revision to an existing article and emits link-added
+// events for URLs that were not present in the previous revision. It
+// returns the new revision, or an error for unknown titles.
+func (w *Wiki) Edit(title string, day simclock.Day, user, comment, text string) (*Revision, error) {
+	w.mu.Lock()
+	a, ok := w.articles[title]
+	if !ok {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("wikimedia: no article %q", title)
+	}
+	prev := a.Current()
+	if day.Before(prev.Day) {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("wikimedia: edit to %q on %v predates last revision (%v)", title, day, prev.Day)
+	}
+	a.Revisions = append(a.Revisions, Revision{
+		ID: w.nextRevID, Day: day, User: user, Comment: comment, Text: text,
+	})
+	w.nextRevID++
+	rev := a.Current()
+	listeners := w.listeners
+	prevText := prev.Text
+	w.mu.Unlock()
+
+	emitNewLinks(listeners, title, &prevText, text, day, user)
+	return rev, nil
+}
+
+func emitNewLinks(listeners []func(LinkAddedEvent), title string, prevText *string, text string, day simclock.Day, user string) {
+	if len(listeners) == 0 {
+		return
+	}
+	seen := make(map[string]struct{})
+	if prevText != nil {
+		for _, u := range wikitext.Parse(*prevText).ExternalURLs() {
+			seen[u] = struct{}{}
+		}
+	}
+	for _, u := range wikitext.Parse(text).ExternalURLs() {
+		if _, ok := seen[u]; ok {
+			continue
+		}
+		ev := LinkAddedEvent{Title: title, URL: u, Day: day, User: user}
+		for _, fn := range listeners {
+			fn(ev)
+		}
+	}
+}
+
+// Article returns the article with the given title, or nil.
+func (w *Wiki) Article(title string) *Article {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.articles[title]
+}
+
+// Len returns the number of articles.
+func (w *Wiki) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.articles)
+}
+
+// Titles returns all article titles in lexicographic order — the order
+// the category listing presents them and the order the paper's crawl
+// consumed them.
+func (w *Wiki) Titles() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	ts := make([]string, 0, len(w.articles))
+	for t := range w.articles {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	return ts
+}
+
+// EachArticle calls fn for every article in unspecified order.
+func (w *Wiki) EachArticle(fn func(*Article)) {
+	w.mu.RLock()
+	arts := make([]*Article, 0, len(w.articles))
+	for _, a := range w.articles {
+		arts = append(arts, a)
+	}
+	w.mu.RUnlock()
+	for _, a := range arts {
+		fn(a)
+	}
+}
+
+// InCategory returns the titles of articles whose *current* revision
+// belongs to the named category, sorted lexicographically — mirroring
+// https://en.wikipedia.org/wiki/Category:... listings.
+func (w *Wiki) InCategory(category string) []string {
+	var titles []string
+	w.EachArticle(func(a *Article) {
+		if a.Current().Doc().HasCategory(category) {
+			titles = append(titles, a.Title)
+		}
+	})
+	sort.Strings(titles)
+	return titles
+}
+
+// Clone deep-copies the wiki: articles, revisions, and the revision
+// counter. Listeners are not copied. Use it to run destructive
+// experiments (e.g. a WaybackMedic pass) without disturbing the
+// original.
+func (w *Wiki) Clone() *Wiki {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := &Wiki{
+		articles:  make(map[string]*Article, len(w.articles)),
+		nextRevID: w.nextRevID,
+	}
+	for title, a := range w.articles {
+		na := &Article{Title: a.Title, Revisions: make([]Revision, len(a.Revisions))}
+		copy(na.Revisions, a.Revisions)
+		out.articles[title] = na
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package wikimedia
+
+import (
+	"testing"
+
+	"permadead/internal/simclock"
+)
+
+func d(n int) simclock.Day { return simclock.Day(n) }
+
+func TestCreateAndCurrent(t *testing.T) {
+	w := NewWiki()
+	a := w.Create("Alpha", d(100), "UserA", "Intro text. [http://x.simtest/1 One]")
+	if a.Current() == nil || a.Current().User != "UserA" {
+		t.Fatalf("current = %+v", a.Current())
+	}
+	if w.Len() != 1 {
+		t.Errorf("len = %d", w.Len())
+	}
+	if w.Article("Alpha") != a {
+		t.Error("Article lookup failed")
+	}
+	if w.Article("Missing") != nil {
+		t.Error("missing article should be nil")
+	}
+}
+
+func TestDuplicateCreatePanics(t *testing.T) {
+	w := NewWiki()
+	w.Create("Alpha", d(1), "U", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate create should panic")
+		}
+	}()
+	w.Create("Alpha", d(2), "U", "y")
+}
+
+func TestEditHistory(t *testing.T) {
+	w := NewWiki()
+	w.Create("Alpha", d(100), "UserA", "v1")
+	rev, err := w.Edit("Alpha", d(200), "UserB", "update", "v2")
+	if err != nil || rev.ID <= 1 {
+		t.Fatalf("edit: %v, %+v", err, rev)
+	}
+	a := w.Article("Alpha")
+	if len(a.Revisions) != 2 {
+		t.Fatalf("revisions = %d", len(a.Revisions))
+	}
+	if a.Current().Text != "v2" {
+		t.Errorf("current text = %q", a.Current().Text)
+	}
+	// Revisions are ordered and IDs increase.
+	if a.Revisions[0].ID >= a.Revisions[1].ID {
+		t.Error("revision IDs should increase")
+	}
+	if _, err := w.Edit("Missing", d(300), "U", "c", "x"); err == nil {
+		t.Error("edit of missing article should fail")
+	}
+	if _, err := w.Edit("Alpha", d(150), "U", "backdated", "x"); err == nil {
+		t.Error("backdated edit should fail")
+	}
+}
+
+func TestRevisionAt(t *testing.T) {
+	w := NewWiki()
+	w.Create("Alpha", d(100), "U", "v1")
+	w.Edit("Alpha", d(200), "U", "c", "v2")
+	w.Edit("Alpha", d(300), "U", "c", "v3")
+	a := w.Article("Alpha")
+	cases := []struct {
+		day  simclock.Day
+		text string
+	}{
+		{d(100), "v1"}, {d(150), "v1"}, {d(200), "v2"}, {d(299), "v2"}, {d(1000), "v3"},
+	}
+	for _, c := range cases {
+		rev := a.RevisionAt(c.day)
+		if rev == nil || rev.Text != c.text {
+			t.Errorf("RevisionAt(%v) = %+v, want %q", c.day, rev, c.text)
+		}
+	}
+	if a.RevisionAt(d(99)) != nil {
+		t.Error("before creation should be nil")
+	}
+}
+
+func TestTitlesSorted(t *testing.T) {
+	w := NewWiki()
+	for _, title := range []string{"Charlie", "Alpha", "Bravo"} {
+		w.Create(title, d(1), "U", "x")
+	}
+	got := w.Titles()
+	if len(got) != 3 || got[0] != "Alpha" || got[1] != "Bravo" || got[2] != "Charlie" {
+		t.Errorf("titles = %v", got)
+	}
+}
+
+func TestInCategory(t *testing.T) {
+	w := NewWiki()
+	w.Create("Tagged", d(1), "U", "text [[Category:Articles with permanently dead external links]]")
+	w.Create("Untagged", d(1), "U", "text")
+	w.Create("Later", d(1), "U", "text")
+	w.Edit("Later", d(2), "Bot", "tag", "text [[Category:Articles with permanently dead external links]]")
+
+	got := w.InCategory("Articles with permanently dead external links")
+	if len(got) != 2 || got[0] != "Later" || got[1] != "Tagged" {
+		t.Errorf("in category = %v", got)
+	}
+}
+
+func TestLinkAddedEvents(t *testing.T) {
+	w := NewWiki()
+	var events []LinkAddedEvent
+	w.Subscribe(func(e LinkAddedEvent) { events = append(events, e) })
+
+	w.Create("Alpha", d(100), "UserA", "[http://x.simtest/1 One]")
+	if len(events) != 1 || events[0].URL != "http://x.simtest/1" || events[0].Day != d(100) {
+		t.Fatalf("events = %+v", events)
+	}
+	// Editing without adding links emits nothing.
+	w.Edit("Alpha", d(200), "UserB", "c", "[http://x.simtest/1 One] more prose")
+	if len(events) != 1 {
+		t.Fatalf("no-new-link edit emitted: %+v", events)
+	}
+	// Adding a second link emits one event.
+	w.Edit("Alpha", d(300), "UserC", "c", "[http://x.simtest/1 One] [http://y.simtest/2 Two]")
+	if len(events) != 2 || events[1].URL != "http://y.simtest/2" || events[1].User != "UserC" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestHistoryOf(t *testing.T) {
+	w := NewWiki()
+	w.Create("Alpha", d(100), "Author", `Claim.<ref>{{cite web|url=http://x.simtest/1|title=T}}</ref>`)
+	w.Edit("Alpha", d(500), "InternetArchiveBot", "tag dead",
+		`Claim.<ref>{{cite web|url=http://x.simtest/1|title=T|url-status=dead}} {{dead link|date=X|bot=InternetArchiveBot}}</ref>`)
+
+	h, ok := w.HistoryOf("Alpha", "http://x.simtest/1")
+	if !ok {
+		t.Fatal("history not found")
+	}
+	if h.Added != d(100) || h.AddedBy != "Author" {
+		t.Errorf("added = %v by %q", h.Added, h.AddedBy)
+	}
+	if h.MarkedDead != d(500) || h.MarkedDeadBy != "InternetArchiveBot" {
+		t.Errorf("marked = %v by %q", h.MarkedDead, h.MarkedDeadBy)
+	}
+	if h.DeadLinkBot != "InternetArchiveBot" {
+		t.Errorf("bot = %q", h.DeadLinkBot)
+	}
+	if h.Patched {
+		t.Error("not patched")
+	}
+
+	if _, ok := w.HistoryOf("Alpha", "http://never.simtest/"); ok {
+		t.Error("unknown url should not have history")
+	}
+	if _, ok := w.HistoryOf("Missing", "http://x.simtest/1"); ok {
+		t.Error("unknown article should not have history")
+	}
+}
+
+func TestHistoryOfPatched(t *testing.T) {
+	w := NewWiki()
+	w.Create("Alpha", d(100), "Author", `<ref>{{cite web|url=http://x.simtest/1|title=T}}</ref>`)
+	w.Edit("Alpha", d(600), "InternetArchiveBot", "rescue",
+		`<ref>{{cite web|url=http://x.simtest/1|title=T|archive-url=https://web.archive.org/web/20150101000000/http://x.simtest/1|archive-date=2015-01-01|url-status=dead}}</ref>`)
+	h, ok := w.HistoryOf("Alpha", "http://x.simtest/1")
+	if !ok || !h.Patched {
+		t.Fatalf("history = %+v, %v", h, ok)
+	}
+	if h.MarkedDead.Valid() {
+		t.Error("patched link was never dead-tagged")
+	}
+}
+
+func TestDeadLinks(t *testing.T) {
+	w := NewWiki()
+	w.Create("Alpha", d(100), "U",
+		`<ref>[http://a.simtest/1 A] {{dead link|date=X|bot=InternetArchiveBot}}</ref>
+<ref>[http://b.simtest/2 B]</ref>`)
+	dead := w.DeadLinks("Alpha")
+	if len(dead) != 1 || dead[0].URL != "http://a.simtest/1" {
+		t.Errorf("dead = %+v", dead)
+	}
+	if w.DeadLinks("Missing") != nil {
+		t.Error("missing article dead links should be nil")
+	}
+}
+
+func TestEachArticle(t *testing.T) {
+	w := NewWiki()
+	w.Create("A", d(1), "U", "x")
+	w.Create("B", d(1), "U", "y")
+	n := 0
+	w.EachArticle(func(*Article) { n++ })
+	if n != 2 {
+		t.Errorf("visited %d", n)
+	}
+}

@@ -1,0 +1,99 @@
+package wikitext
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: parsing never panics and rendering a parsed document,
+// re-parsing it, and rendering again is a fixed point (idempotent
+// canonicalization) for arbitrary byte soup.
+func TestParseRenderFixedPoint(t *testing.T) {
+	prop := func(src string) bool {
+		doc1 := Parse(src)
+		out1 := doc1.Render()
+		doc2 := Parse(out1)
+		out2 := doc2.Render()
+		return out1 == out2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the set of external URLs survives a render/parse
+// round-trip for generated well-formed articles.
+func TestExternalURLsStableUnderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gen := func() string {
+		var b strings.Builder
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			url := fmt.Sprintf("http://site%d.simtest/dir%d/page%d.html", rng.Intn(50), rng.Intn(9), rng.Intn(999))
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "Claim %d.<ref>{{cite web|url=%s|title=T%d}}</ref>\n", i, url, i)
+			case 1:
+				fmt.Fprintf(&b, "Claim %d.<ref>[%s Title %d]</ref>\n", i, url, i)
+			default:
+				fmt.Fprintf(&b, "See %s for claim %d.\n", url, i)
+			}
+			if rng.Intn(4) == 0 {
+				b.WriteString("{{dead link|date=July 2021|bot=InternetArchiveBot}}\n")
+			}
+		}
+		b.WriteString("[[Category:Generated]]\n")
+		return b.String()
+	}
+	for i := 0; i < 200; i++ {
+		src := gen()
+		a := Parse(src).ExternalURLs()
+		rendered := Parse(src).Render()
+		b := Parse(rendered).ExternalURLs()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("URL set changed under round-trip:\nsrc: %q\nA: %v\nB: %v", src, a, b)
+		}
+	}
+}
+
+// Property: MarkDead followed by re-parse always yields IsDead, and
+// PatchWithArchive always clears it — for every citation style.
+func TestMarkPatchInvariants(t *testing.T) {
+	styles := []string{
+		`<ref>{{cite web|url=%s|title=T}}</ref>`,
+		`<ref>[%s T]</ref>`,
+		`prose %s prose`,
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 150; i++ {
+		url := fmt.Sprintf("http://h%d.simtest/p%d.html", rng.Intn(100), rng.Intn(1000))
+		src := fmt.Sprintf(styles[rng.Intn(len(styles))], url)
+
+		doc := Parse(src)
+		links := doc.CitedLinks()
+		if len(links) != 1 {
+			t.Fatalf("links = %d for %q", len(links), src)
+		}
+		links[0].MarkDead("March 2022", "InternetArchiveBot")
+		reparsed := Parse(doc.Render()).CitedLinks()
+		if len(reparsed) != 1 || !reparsed[0].IsDead() {
+			t.Fatalf("mark lost in round-trip for %q -> %q", src, doc.Render())
+		}
+		reparsed[0].PatchWithArchive("https://web.archive.org/web/2014/"+url, "2014")
+		final := Parse(reparsedDoc(reparsed[0]).Render()).CitedLinks()
+		if len(final) != 1 || final[0].IsDead() {
+			t.Fatalf("patch did not clear dead tag for %q", src)
+		}
+		if final[0].ArchiveURL() == "" {
+			t.Fatalf("patch lost archive URL for %q", src)
+		}
+	}
+}
+
+// reparsedDoc recovers the *Document a CitedLink belongs to via its
+// container (test helper; containers are documents).
+func reparsedDoc(cl *CitedLink) *Document { return cl.container }

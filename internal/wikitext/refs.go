@@ -1,0 +1,226 @@
+package wikitext
+
+import (
+	"strings"
+)
+
+// Template names the citation machinery recognizes. CiteTemplates are
+// the {{cite ...}} family members our simulated articles use.
+var CiteTemplates = []string{"cite web", "cite news", "cite journal", "citation"}
+
+// Well-known maintenance template names.
+const (
+	DeadLinkTemplate   = "dead link"
+	WebarchiveTemplate = "webarchive"
+)
+
+// CitedLink is one external reference in an article together with its
+// citation context: the {{cite ...}} template or bracketed link it
+// came from, the enclosing <ref> if any, and any adjacent maintenance
+// templates ({{dead link}}, {{webarchive}}).
+type CitedLink struct {
+	// URL is the cited external URL.
+	URL string
+	// Cite is the {{cite ...}} template the URL came from, nil when
+	// the URL is a plain external link.
+	Cite *Template
+	// Link is the external link node the URL came from, nil when the
+	// URL came from a cite template.
+	Link *ExtLink
+	// Ref is the enclosing <ref> tag, nil for links in body text.
+	Ref *Ref
+	// DeadLink is the adjacent {{dead link}} template, nil when the
+	// link is not tagged.
+	DeadLink *Template
+	// Webarchive is the adjacent {{webarchive}} template, if any.
+	Webarchive *Template
+
+	container *Document
+	index     int // index of the URL-bearing node within container
+}
+
+// ArchiveURL returns the archived-copy URL attached to the citation —
+// from the cite template's archive-url parameter or an adjacent
+// {{webarchive}} — or "".
+func (c *CitedLink) ArchiveURL() string {
+	if c.Cite != nil {
+		if v, ok := c.Cite.Get("archive-url"); ok && v != "" {
+			return v
+		}
+	}
+	if c.Webarchive != nil {
+		if v, ok := c.Webarchive.Get("url"); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// IsDead reports whether the link carries a {{dead link}} tag.
+func (c *CitedLink) IsDead() bool { return c.DeadLink != nil }
+
+// DeadLinkBot returns the bot= parameter of the {{dead link}} tag, or
+// "" when untagged or tagged manually.
+func (c *CitedLink) DeadLinkBot() string {
+	if c.DeadLink == nil {
+		return ""
+	}
+	v, _ := c.DeadLink.Get("bot")
+	return v
+}
+
+// MarkDead tags the link with {{dead link|date=...|bot=...}} directly
+// after the URL-bearing node, mirroring InternetArchiveBot's edit
+// style. No-op when already tagged.
+func (c *CitedLink) MarkDead(date, bot string) {
+	if c.DeadLink != nil {
+		return
+	}
+	t := &Template{Name: "Dead link"}
+	if date != "" {
+		t.Set("date", date)
+	}
+	if bot != "" {
+		t.Set("bot", bot)
+	}
+	t.Set("fix-attempted", "yes")
+	c.insertAfter(t)
+	c.DeadLink = t
+	if c.Cite != nil {
+		c.Cite.Set("url-status", "dead")
+	}
+}
+
+// PatchWithArchive augments the citation with an archived copy: cite
+// templates gain archive-url/archive-date/url-status=dead parameters;
+// bare links gain a trailing {{webarchive}} template. Any existing
+// {{dead link}} tag is removed, as IABot does when it later finds a
+// usable copy.
+func (c *CitedLink) PatchWithArchive(archiveURL, archiveDate string) {
+	if c.Cite != nil {
+		c.Cite.Set("archive-url", archiveURL)
+		c.Cite.Set("archive-date", archiveDate)
+		c.Cite.Set("url-status", "dead")
+	} else {
+		t := &Template{Name: "Webarchive"}
+		t.Set("url", archiveURL)
+		t.Set("date", archiveDate)
+		c.insertAfter(t)
+		c.Webarchive = t
+	}
+	c.RemoveDeadTag()
+}
+
+// RemoveDeadTag deletes an adjacent {{dead link}} node, reporting the
+// link as no longer tagged. IABot's re-check path (and WaybackMedic)
+// use this when a previously dead link turns out to be fixable.
+func (c *CitedLink) RemoveDeadTag() {
+	if c.DeadLink == nil {
+		return
+	}
+	nodes := c.container.Nodes
+	for i, n := range nodes {
+		if n == Node(c.DeadLink) {
+			c.container.Nodes = append(nodes[:i], nodes[i+1:]...)
+			break
+		}
+	}
+	c.DeadLink = nil
+}
+
+// insertAfter places node right after the URL-bearing node in the
+// containing document.
+func (c *CitedLink) insertAfter(node Node) {
+	nodes := c.container.Nodes
+	i := c.index
+	if i < 0 || i >= len(nodes) {
+		c.container.Nodes = append(nodes, node)
+		return
+	}
+	out := make([]Node, 0, len(nodes)+2)
+	out = append(out, nodes[:i+1]...)
+	out = append(out, &Text{Value: " "}, node)
+	out = append(out, nodes[i+1:]...)
+	c.container.Nodes = out
+	// Indices of previously-extracted CitedLinks after i are now
+	// stale; callers re-extract after mutating, as the bots do.
+}
+
+// CitedLinks extracts every external reference in the document, in
+// document order, pairing each with adjacent maintenance templates.
+// A maintenance template "belongs" to the nearest preceding link in
+// the same container when only whitespace separates them.
+func (d *Document) CitedLinks() []*CitedLink {
+	var out []*CitedLink
+	collectContainer(d, nil, &out)
+	for _, n := range d.Nodes {
+		if r, ok := n.(*Ref); ok && r.Body != nil {
+			collectContainer(r.Body, r, &out)
+		}
+	}
+	return out
+}
+
+func collectContainer(doc *Document, ref *Ref, out *[]*CitedLink) {
+	var last *CitedLink
+	sinceLast := 0 // non-whitespace nodes since last link
+	for i, n := range doc.Nodes {
+		switch v := n.(type) {
+		case *Template:
+			switch {
+			case isCite(v):
+				url, _ := v.Get("url")
+				cl := &CitedLink{URL: url, Cite: v, Ref: ref, container: doc, index: i}
+				*out = append(*out, cl)
+				last, sinceLast = cl, 0
+			case v.NameIs(DeadLinkTemplate):
+				if last != nil && sinceLast == 0 {
+					last.DeadLink = v
+				}
+			case v.NameIs(WebarchiveTemplate):
+				if last != nil && sinceLast == 0 {
+					last.Webarchive = v
+				}
+			default:
+				sinceLast++
+			}
+		case *ExtLink:
+			cl := &CitedLink{URL: v.URL, Link: v, Ref: ref, container: doc, index: i}
+			*out = append(*out, cl)
+			last, sinceLast = cl, 0
+		case *Text:
+			if strings.TrimSpace(v.Value) != "" {
+				sinceLast++
+			}
+		default:
+			sinceLast++
+		}
+	}
+}
+
+func isCite(t *Template) bool {
+	for _, name := range CiteTemplates {
+		if t.NameIs(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExternalURLs returns the set of distinct external URLs cited in the
+// document, in first-appearance order.
+func (d *Document) ExternalURLs() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, cl := range d.CitedLinks() {
+		if cl.URL == "" {
+			continue
+		}
+		if _, ok := seen[cl.URL]; ok {
+			continue
+		}
+		seen[cl.URL] = struct{}{}
+		out = append(out, cl.URL)
+	}
+	return out
+}

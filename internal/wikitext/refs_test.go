@@ -1,0 +1,175 @@
+package wikitext
+
+import (
+	"strings"
+	"testing"
+)
+
+const articleSrc = `Intro sentence.<ref>{{cite web|url=http://a.simtest/1|title=One}}</ref>
+Another claim.<ref name="r2">[http://b.simtest/2 Two]</ref>
+Tagged claim.<ref>{{cite web|url=http://c.simtest/3|title=Three}} {{dead link|date=July 2021|bot=InternetArchiveBot}}</ref>
+Archived claim.<ref>[http://d.simtest/4 Four] {{webarchive|url=https://web.archive.org/web/2014/http://d.simtest/4|date=2014}}</ref>
+Body link http://e.simtest/5 in prose.
+`
+
+func TestCitedLinksExtraction(t *testing.T) {
+	doc := Parse(articleSrc)
+	links := doc.CitedLinks()
+	if len(links) != 5 {
+		t.Fatalf("links = %d: %+v", len(links), links)
+	}
+	byURL := map[string]*CitedLink{}
+	for _, l := range links {
+		byURL[l.URL] = l
+	}
+
+	one := byURL["http://a.simtest/1"]
+	if one == nil || one.Cite == nil || one.Ref == nil || one.Link != nil {
+		t.Errorf("link 1 context wrong: %+v", one)
+	}
+	two := byURL["http://b.simtest/2"]
+	if two == nil || two.Link == nil || two.Cite != nil || two.Ref == nil {
+		t.Errorf("link 2 context wrong: %+v", two)
+	}
+	if two.Ref.Name != "r2" {
+		t.Errorf("link 2 ref name = %q", two.Ref.Name)
+	}
+	three := byURL["http://c.simtest/3"]
+	if three == nil || !three.IsDead() {
+		t.Fatalf("link 3 should be dead-tagged: %+v", three)
+	}
+	if three.DeadLinkBot() != "InternetArchiveBot" {
+		t.Errorf("link 3 bot = %q", three.DeadLinkBot())
+	}
+	four := byURL["http://d.simtest/4"]
+	if four == nil || four.Webarchive == nil {
+		t.Fatalf("link 4 should have webarchive: %+v", four)
+	}
+	if got := four.ArchiveURL(); !strings.Contains(got, "web.archive.org") {
+		t.Errorf("link 4 archive url = %q", got)
+	}
+	five := byURL["http://e.simtest/5"]
+	if five == nil || five.Ref != nil || !five.Link.Bare {
+		t.Errorf("link 5 should be a bare body link: %+v", five)
+	}
+}
+
+func TestMarkDead(t *testing.T) {
+	doc := Parse(`Claim.<ref>{{cite web|url=http://x.simtest/p|title=T}}</ref>`)
+	links := doc.CitedLinks()
+	if len(links) != 1 || links[0].IsDead() {
+		t.Fatalf("precondition: %+v", links)
+	}
+	links[0].MarkDead("March 2022", "InternetArchiveBot")
+
+	out := doc.Render()
+	if !strings.Contains(out, "{{Dead link|date=March 2022|bot=InternetArchiveBot|fix-attempted=yes}}") {
+		t.Errorf("render = %q", out)
+	}
+	// Re-extraction sees the tag.
+	links2 := Parse(out).CitedLinks()
+	if len(links2) != 1 || !links2[0].IsDead() {
+		t.Fatalf("after re-parse: %+v", links2)
+	}
+	if links2[0].DeadLinkBot() != "InternetArchiveBot" {
+		t.Errorf("bot = %q", links2[0].DeadLinkBot())
+	}
+	// url-status set on the cite.
+	if v, _ := links2[0].Cite.Get("url-status"); v != "dead" {
+		t.Errorf("url-status = %q", v)
+	}
+	// Idempotent.
+	links2[0].MarkDead("April 2022", "Other")
+	if links2[0].DeadLinkBot() != "InternetArchiveBot" {
+		t.Error("MarkDead should not retag")
+	}
+}
+
+func TestMarkDeadOnBareLink(t *testing.T) {
+	doc := Parse(`See [http://x.simtest/p Page].`)
+	links := doc.CitedLinks()
+	links[0].MarkDead("March 2022", "InternetArchiveBot")
+	out := doc.Render()
+	if !strings.Contains(out, "[http://x.simtest/p Page] {{Dead link") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestPatchWithArchiveCite(t *testing.T) {
+	doc := Parse(`Claim.<ref>{{cite web|url=http://x.simtest/p|title=T}} {{dead link|date=July 2021|bot=InternetArchiveBot}}</ref>`)
+	links := doc.CitedLinks()
+	if !links[0].IsDead() {
+		t.Fatal("precondition")
+	}
+	links[0].PatchWithArchive("https://web.archive.org/web/20150101000000/http://x.simtest/p", "2015-01-01")
+
+	out := doc.Render()
+	if strings.Contains(out, "dead link|") || strings.Contains(out, "Dead link|") {
+		t.Errorf("dead tag should be removed: %q", out)
+	}
+	links2 := Parse(out).CitedLinks()
+	if links2[0].IsDead() {
+		t.Error("re-parsed link still dead-tagged")
+	}
+	if got := links2[0].ArchiveURL(); !strings.HasPrefix(got, "https://web.archive.org/web/2015") {
+		t.Errorf("archive url = %q", got)
+	}
+	if v, _ := links2[0].Cite.Get("url-status"); v != "dead" {
+		t.Errorf("url-status = %q", v)
+	}
+}
+
+func TestPatchWithArchiveBareLink(t *testing.T) {
+	doc := Parse(`See [http://x.simtest/p Page].`)
+	links := doc.CitedLinks()
+	links[0].PatchWithArchive("https://web.archive.org/web/20150101000000/http://x.simtest/p", "2015-01-01")
+	out := doc.Render()
+	if !strings.Contains(out, "{{Webarchive|url=https://web.archive.org") {
+		t.Errorf("render = %q", out)
+	}
+	links2 := Parse(out).CitedLinks()
+	if got := links2[0].ArchiveURL(); got == "" {
+		t.Error("re-parsed archive url empty")
+	}
+}
+
+func TestDeadLinkAdjacency(t *testing.T) {
+	// A {{dead link}} after intervening prose does NOT tag the link.
+	doc := Parse(`[http://x.simtest/a A] some prose {{dead link|date=X}}`)
+	links := doc.CitedLinks()
+	if len(links) != 1 {
+		t.Fatalf("links = %d", len(links))
+	}
+	if links[0].IsDead() {
+		t.Error("dead tag separated by prose should not attach")
+	}
+	// Whitespace-only separation attaches.
+	doc2 := Parse(`[http://x.simtest/a A] {{dead link|date=X}}`)
+	if !doc2.CitedLinks()[0].IsDead() {
+		t.Error("whitespace-adjacent dead tag should attach")
+	}
+}
+
+func TestExternalURLsDedup(t *testing.T) {
+	doc := Parse(`[http://x.simtest/a A] and again [http://x.simtest/a A2] and [http://y.simtest/b B]`)
+	urls := doc.ExternalURLs()
+	if len(urls) != 2 || urls[0] != "http://x.simtest/a" || urls[1] != "http://y.simtest/b" {
+		t.Errorf("urls = %v", urls)
+	}
+}
+
+func TestCitedLinksInsideRefVsBody(t *testing.T) {
+	// Dead tag inside the ref attaches to the ref's link, not a body link.
+	doc := Parse(`http://body.simtest/x <ref>[http://ref.simtest/y Y] {{dead link|date=Z}}</ref>`)
+	links := doc.CitedLinks()
+	byURL := map[string]*CitedLink{}
+	for _, l := range links {
+		byURL[l.URL] = l
+	}
+	if byURL["http://body.simtest/x"].IsDead() {
+		t.Error("body link wrongly tagged")
+	}
+	if !byURL["http://ref.simtest/y"].IsDead() {
+		t.Error("ref link should be tagged")
+	}
+}

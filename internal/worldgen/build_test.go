@@ -1,0 +1,137 @@
+package worldgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+)
+
+func TestPermuteQuery(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/x.asp?a=1&b=2&c=3", "/x.asp?c=3&b=2&a=1"},
+		{"/x.asp?a=1", "/x.asp?a=1"}, // single param: nothing to permute
+		{"/plain.html", "/plain.html"},
+		{"/x?one=1&two=2", "/x?two=2&one=1"},
+	}
+	for _, c := range cases {
+		if got := permuteQuery(c.in); got != c.want {
+			t.Errorf("permuteQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Permuting twice restores the original.
+	in := "/q?a=1&b=2&c=3&d=4"
+	if got := permuteQuery(permuteQuery(in)); got != in {
+		t.Errorf("double permute = %q", got)
+	}
+}
+
+func TestNewPathForStaysAbsolute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, old := range []string{
+		"/artists/steve.html",
+		"/news/2014/story-123.html?x=1",
+		"/single",
+	} {
+		got := newPathFor(rng, old)
+		if !strings.HasPrefix(got, "/") {
+			t.Errorf("newPathFor(%q) = %q not absolute", old, got)
+		}
+		if strings.ContainsAny(got, "?# ") {
+			t.Errorf("newPathFor(%q) = %q contains reserved chars", old, got)
+		}
+		if got == old {
+			t.Errorf("newPathFor(%q) did not move", old)
+		}
+	}
+}
+
+func TestBuildSitesRealizesOutcomes(t *testing.T) {
+	day := simclock.FromDate(2020, 6, 1)
+	cases := []struct {
+		name string
+		plan DomainPlan
+		test func(t *testing.T, s *simweb.Site)
+	}{
+		{"dns", DomainPlan{Live: LiveDNS, EventDay: day},
+			func(t *testing.T, s *simweb.Site) {
+				if s.DNSDiesAt != day {
+					t.Errorf("DNSDiesAt = %v", s.DNSDiesAt)
+				}
+			}},
+		{"timeout", DomainPlan{Live: LiveTimeout, EventDay: day},
+			func(t *testing.T, s *simweb.Site) {
+				if s.TimeoutFrom != day {
+					t.Errorf("TimeoutFrom = %v", s.TimeoutFrom)
+				}
+			}},
+		{"geo", DomainPlan{Live: LiveOther, Soft: OtherGeoBlocked, EventDay: day},
+			func(t *testing.T, s *simweb.Site) {
+				if s.GeoBlockedFrom != day {
+					t.Errorf("GeoBlockedFrom = %v", s.GeoBlockedFrom)
+				}
+			}},
+		{"outage", DomainPlan{Live: LiveOther, Soft: OtherOutage, EventDay: day},
+			func(t *testing.T, s *simweb.Site) {
+				if s.OutageFrom != day || s.OutageTo.Valid() {
+					t.Errorf("outage = %v..%v", s.OutageFrom, s.OutageTo)
+				}
+			}},
+		{"parked", DomainPlan{Live: Live200Soft, Soft: SoftParked, EventDay: day},
+			func(t *testing.T, s *simweb.Site) {
+				if s.ParkedAt != day {
+					t.Errorf("ParkedAt = %v", s.ParkedAt)
+				}
+			}},
+		{"soft-switch", DomainPlan{Live: Live200Soft, Soft: SoftRedirectHome, EventDay: day},
+			func(t *testing.T, s *simweb.Site) {
+				if s.ErrorStyleSwitchAt != day || s.ErrorStyleAfter != simweb.SoftRedirectHome {
+					t.Errorf("switch = %v -> %v", s.ErrorStyleSwitchAt, s.ErrorStyleAfter)
+				}
+			}},
+		{"redir-err-era", DomainPlan{Live: Live404, RedirHist: HistRedirErr, SiteSwitch: day},
+			func(t *testing.T, s *simweb.Site) {
+				if s.ErrorStyle != simweb.SoftRedirectHome || s.ErrorStyleAfter != simweb.Hard404 ||
+					s.ErrorStyleSwitchAt != day {
+					t.Errorf("mass-redirect era: %v -> %v at %v", s.ErrorStyle, s.ErrorStyleAfter, s.ErrorStyleSwitchAt)
+				}
+			}},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := simweb.NewWorld()
+			d := c.plan
+			d.Domain = "case" + string(rune('a'+i)) + ".simtest"
+			d.Hosts = []string{"www." + d.Domain}
+			d.Created = simclock.FromDate(2008, 1, 1)
+			pl := &Plan{Params: DefaultParams()}
+			sites := buildSites(w, pl, &d)
+			c.test(t, sites[d.Hosts[0]])
+		})
+	}
+}
+
+func TestSlowLookupHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	fast, slow := 0, 0
+	for i := 0; i < 2000; i++ {
+		url := domainName(rng, map[string]bool{})
+		lat := slowLookupLatency("http://" + url + "/p")
+		switch {
+		case lat < 7*1000*1000*1000: // < 7s
+			fast++
+		default:
+			slow++
+		}
+	}
+	// ~80% in the 2.5–6.5s base band, ~20% pathological tail.
+	if fast == 0 || slow == 0 {
+		t.Fatalf("degenerate distribution: fast=%d slow=%d", fast, slow)
+	}
+	frac := float64(slow) / float64(fast+slow)
+	if frac < 0.10 || frac > 0.35 {
+		t.Errorf("tail fraction = %.2f, want ~0.20", frac)
+	}
+}

@@ -1,0 +1,211 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Deterministic name generation for domains, paths, article titles,
+// and usernames. All draws come from the planner's seeded *rand.Rand,
+// so a seed fully determines every name in the universe.
+
+var domainWords = []string{
+	"herald", "tribune", "gazette", "courier", "chronicle", "observer",
+	"sentinel", "register", "examiner", "bulletin", "dispatch", "record",
+	"times", "post", "press", "daily", "weekly", "journal", "review",
+	"mercury", "beacon", "monitor", "argus", "echo", "ledger", "star",
+	"sun", "globe", "standard", "citizen", "advocate", "enquirer",
+	"sports", "athletics", "league", "cup", "open", "classic",
+	"museum", "library", "archive", "heritage", "society", "institute",
+	"council", "parliament", "ministry", "bureau", "agency", "commission",
+	"music", "records", "band", "festival", "theatre", "cinema",
+	"film", "studio", "gallery", "arts", "culture", "media",
+	"tech", "digital", "net", "web", "online", "info",
+	"travel", "tourism", "guide", "atlas", "map", "geo",
+}
+
+var domainQualifiers = []string{
+	"", "", "", "", "my", "the", "new", "old", "first", "great", "north",
+	"south", "east", "west", "central", "royal", "national", "regional",
+	"metro", "city", "valley", "lake", "river", "coast", "port",
+}
+
+// tlds the generated domains draw from; all are registered in the
+// embedded public suffix list.
+var tlds = []string{
+	"com", "com", "com", "com", "org", "org", "net", "info",
+	"co.uk", "org.uk", "com.au", "gov.au", "de", "fr", "it", "nl",
+	"co.il", "org.il", "ca", "co.nz", "se", "ch", "es", "jp",
+	"simnews", "simnews", "simgov", "simedu", "simtest",
+}
+
+var pathWords = []string{
+	"news", "sports", "politics", "world", "local", "opinion",
+	"culture", "science", "business", "archive", "stories", "articles",
+	"features", "reports", "history", "events", "media", "library",
+	"region", "national", "special", "review", "season", "results",
+	"players", "teams", "matches", "fixtures", "index", "docs",
+}
+
+var slugWords = []string{
+	"election", "festival", "championship", "interview", "profile",
+	"anniversary", "opening", "closing", "record", "victory", "defeat",
+	"merger", "launch", "debut", "retrospective", "analysis", "summary",
+	"announcement", "celebration", "exhibition", "tournament", "concert",
+	"premiere", "dedication", "restoration", "expansion", "memorial",
+}
+
+var titleWordsA = []string{
+	"History", "Geography", "Politics", "Economy", "Culture", "Demographics",
+	"Battle", "Treaty", "Siege", "Council", "Parliament", "Election",
+	"Championship", "Tournament", "Festival", "Museum", "Cathedral", "Bridge",
+	"Railway", "Harbour", "Observatory", "University", "Library", "Theatre",
+	"Discography", "Filmography", "Bibliography", "Expedition", "Dynasty",
+}
+
+var titleWordsB = []string{
+	"Aldmere", "Bentworth", "Carlisle Bay", "Dunmore", "Eastvale",
+	"Farrowfield", "Glenmoor", "Hartwick", "Ironbridge", "Jutland Point",
+	"Kingsholm", "Larkspur", "Middlewick", "Northgate", "Oakhampton",
+	"Pembrook", "Quarrydale", "Ravensmoor", "Silverton", "Thornbury",
+	"Umberleigh", "Valemount", "Westerham", "Yarrowdale", "Zellwood",
+	"the Northern Province", "the Coastal Region", "the Old Quarter",
+	"the Eastern League", "the Civic Union",
+}
+
+// domainName builds a fresh registrable domain, guaranteed unique via
+// the taken set.
+func domainName(rng *rand.Rand, taken map[string]bool) string {
+	for {
+		q := domainQualifiers[rng.Intn(len(domainQualifiers))]
+		w1 := domainWords[rng.Intn(len(domainWords))]
+		w2 := ""
+		if rng.Intn(3) > 0 {
+			w2 = domainWords[rng.Intn(len(domainWords))]
+			if w2 == w1 {
+				w2 = ""
+			}
+		}
+		name := q + w1 + w2
+		if rng.Intn(4) == 0 {
+			name = fmt.Sprintf("%s%d", name, 1+rng.Intn(99))
+		}
+		d := name + "." + tlds[rng.Intn(len(tlds))]
+		if !taken[d] {
+			taken[d] = true
+			return d
+		}
+	}
+}
+
+// hostFor picks a hostname under a domain: usually www. or bare, with
+// an occasional sectional subdomain.
+func hostFor(rng *rand.Rand, domain string, alt bool) string {
+	if alt {
+		subs := []string{"news", "archive", "sports", "en", "old", "m"}
+		return subs[rng.Intn(len(subs))] + "." + domain
+	}
+	if rng.Intn(2) == 0 {
+		return "www." + domain
+	}
+	return domain
+}
+
+// articlePath builds a page path with the given directory depth.
+func articlePath(rng *rand.Rand, depth int, year int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteByte('/')
+		b.WriteString(pathWords[rng.Intn(len(pathWords))])
+		if i == 0 && rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, "/%d", year)
+			i++
+		}
+	}
+	fmt.Fprintf(&b, "/%s-%s-%d.html",
+		slugWords[rng.Intn(len(slugWords))],
+		slugWords[rng.Intn(len(slugWords))],
+		1000+rng.Intn(9000000))
+	return b.String()
+}
+
+// queryPath builds a query-heavy path in the style of §5.2's
+// jhpress.nli.org.il example: a CGI endpoint with several parameters
+// whose value space is practically unbounded.
+func queryPath(rng *rand.Rand, year int) string {
+	endpoints := []string{
+		"/Default/Scripting/ArticleWin.asp",
+		"/cgi-bin/article.cgi",
+		"/viewer/print.php",
+		"/search/display.jsp",
+	}
+	return fmt.Sprintf("%s?From=Archive&Source=Page&Skin=%s&BaseHref=DAV/%d/%02d/%02d&EntityId=Ar%05d&ViewMode=HTML",
+		endpoints[rng.Intn(len(endpoints))],
+		strings.ToUpper(slugWords[rng.Intn(len(slugWords))][:4]),
+		year, 1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(99999))
+}
+
+// articleTitle builds a unique Wikipedia-style article title.
+func articleTitle(rng *rand.Rand, taken map[string]bool) string {
+	for {
+		t := fmt.Sprintf("%s of %s",
+			titleWordsA[rng.Intn(len(titleWordsA))],
+			titleWordsB[rng.Intn(len(titleWordsB))])
+		if rng.Intn(3) == 0 {
+			t = fmt.Sprintf("%d %s", 1850+rng.Intn(170), t)
+		}
+		if !taken[t] {
+			taken[t] = true
+			return t
+		}
+		// Disambiguate collisions the way Wikipedia does.
+		t2 := fmt.Sprintf("%s (%d)", t, 1+rng.Intn(9999))
+		if !taken[t2] {
+			taken[t2] = true
+			return t2
+		}
+	}
+}
+
+// username picks an editor username for link-adding edits.
+func username(rng *rand.Rand) string {
+	prefixes := []string{"Wiki", "Edit", "Hist", "Cite", "Fact", "Page", "Ref"}
+	suffixes := []string{"fan", "smith", "worker", "gnome", "weaver", "keeper"}
+	return fmt.Sprintf("%s%s%d",
+		prefixes[rng.Intn(len(prefixes))],
+		suffixes[rng.Intn(len(suffixes))],
+		1+rng.Intn(999))
+}
+
+// typoURL corrupts a URL by one character edit, producing the
+// mis-typed variant a careless editor might paste (§5.2). The edit
+// lands in the path, never the hostname, so the typo'd URL stays on
+// the same site.
+func typoURL(rng *rand.Rand, url string) string {
+	slash := strings.Index(url, "://")
+	if slash < 0 {
+		return url + "x"
+	}
+	pathStart := strings.IndexByte(url[slash+3:], '/')
+	if pathStart < 0 {
+		return url + "/x"
+	}
+	pathStart += slash + 3 + 1
+	if pathStart >= len(url) {
+		return url + "x"
+	}
+	pos := pathStart + rng.Intn(len(url)-pathStart)
+	switch rng.Intn(3) {
+	case 0: // delete one character
+		return url[:pos] + url[pos+1:]
+	case 1: // substitute one character
+		c := byte('a' + rng.Intn(26))
+		if url[pos] == c {
+			c = byte('z')
+		}
+		return url[:pos] + string(c) + url[pos+1:]
+	default: // insert one character
+		return url[:pos] + string(byte('a'+rng.Intn(26))) + url[pos:]
+	}
+}

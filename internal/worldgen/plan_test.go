@@ -1,0 +1,192 @@
+package worldgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+)
+
+func TestTypoURLAlwaysEditDistanceOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	urls := []string{
+		"http://www.lnr.fr/top-14-histoire-26-mai-1984.html",
+		"https://news.example.simnews/politics/2014/election-result-88123.html",
+		"http://h.simtest/a",
+		"http://h.simtest/Default/Scripting/ArticleWin.asp?From=Archive&EntityId=Ar00305",
+	}
+	for i := 0; i < 500; i++ {
+		u := urls[i%len(urls)]
+		typo := typoURL(rng, u)
+		if d := urlutil.EditDistance(u, typo); d != 1 {
+			t.Fatalf("typoURL(%q) = %q, edit distance %d", u, typo, d)
+		}
+		// The hostname must survive: typos land in the path.
+		if urlutil.Hostname(typo) != urlutil.Hostname(u) {
+			t.Fatalf("typoURL corrupted the hostname: %q -> %q", u, typo)
+		}
+	}
+}
+
+func TestSamplePostDayDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 20000
+	after2015, after2017 := 0, 0
+	for i := 0; i < n; i++ {
+		d := samplePostDay(rng)
+		y := d.Year()
+		if y < 2007 || y > 2021 {
+			t.Fatalf("post year %d out of range", y)
+		}
+		if y > 2015 {
+			after2015++
+		}
+		if y > 2017 {
+			after2017++
+		}
+	}
+	if f := float64(after2015) / float64(n); f < 0.36 || f > 0.44 {
+		t.Errorf("after-2015 share = %.3f, want ~0.40", f)
+	}
+	if f := float64(after2017) / float64(n); f < 0.16 || f > 0.24 {
+		t.Errorf("after-2017 share = %.3f, want ~0.20", f)
+	}
+}
+
+func TestSampleGapDaysDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 20000
+	sameDay, withinMonth, beyondYear := 0, 0, 0
+	for i := 0; i < n; i++ {
+		g := sampleGapDays(rng)
+		if g < 0 || g > 3650 {
+			t.Fatalf("gap %d out of range", g)
+		}
+		if g <= 1 {
+			sameDay++
+		}
+		if g <= 30 {
+			withinMonth++
+		}
+		if g > 365 {
+			beyondYear++
+		}
+	}
+	// Figure 5's calibration: ~7% within a day, ~25% within a month,
+	// a heavy tail beyond a year.
+	if f := float64(sameDay) / float64(n); f < 0.05 || f > 0.09 {
+		t.Errorf("same-day share = %.3f", f)
+	}
+	if f := float64(withinMonth) / float64(n); f < 0.20 || f > 0.30 {
+		t.Errorf("within-month share = %.3f", f)
+	}
+	if f := float64(beyondYear) / float64(n); f < 0.30 || f > 0.55 {
+		t.Errorf("beyond-year share = %.3f", f)
+	}
+}
+
+func TestFirstScanAfter(t *testing.T) {
+	p := DefaultParams()
+	created := simclock.FromDate(2010, 1, 1)
+
+	// A death before IABot exists is marked at the bot's first scan.
+	early := firstScanAfter(p, "Art", created, simclock.FromDate(2012, 5, 1))
+	if early.Before(p.IABotStart) {
+		t.Errorf("scan %v before IABot start", early)
+	}
+	// A death in the bot era is marked at the next scan.
+	death := simclock.FromDate(2019, 3, 10)
+	scan := firstScanAfter(p, "Art", created, death)
+	if scan.Before(death) {
+		t.Errorf("scan %v before death %v", scan, death)
+	}
+	if scan.Sub(death) > p.ScanIntervalDays {
+		t.Errorf("scan %v more than one interval after death %v", scan, death)
+	}
+	// Deaths within the allowed horizon are always scannable.
+	last := firstScanAfter(p, "Art", created, p.LastDeath)
+	if !last.Valid() || last.After(p.StudyTime) {
+		t.Errorf("death at horizon unmarkable: %v", last)
+	}
+	// Consistency with the full schedule.
+	days := ScanDays(p, "Art", created)
+	found := false
+	for _, d := range days {
+		if d == scan {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("firstScanAfter %v not in ScanDays %v", scan, days)
+	}
+}
+
+func TestDomainNameUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	taken := make(map[string]bool)
+	seen := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		d := domainName(rng, taken)
+		if seen[d] {
+			t.Fatalf("duplicate domain %q", d)
+		}
+		seen[d] = true
+		if !strings.Contains(d, ".") {
+			t.Fatalf("domain %q has no TLD", d)
+		}
+	}
+}
+
+func TestArticleTitleUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	taken := make(map[string]bool)
+	for i := 0; i < 3000; i++ {
+		titleStr := articleTitle(rng, taken)
+		if titleStr == "" {
+			t.Fatal("empty title")
+		}
+	}
+	if len(taken) != 3000 {
+		t.Errorf("taken = %d", len(taken))
+	}
+}
+
+func TestQueryPathHasUnboundedParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := queryPath(rng, 2014)
+	if !strings.Contains(p, "?") || !strings.Contains(p, "&") {
+		t.Errorf("query path %q lacks parameters", p)
+	}
+	if !urlutil.HasQuery("http://h.simtest" + p) {
+		t.Errorf("query path %q not detected by HasQuery", p)
+	}
+}
+
+func TestClampDay(t *testing.T) {
+	if got := clampDay(5, 10, 20); got != 10 {
+		t.Errorf("clamp below = %v", got)
+	}
+	if got := clampDay(25, 10, 20); got != 20 {
+		t.Errorf("clamp above = %v", got)
+	}
+	if got := clampDay(15, 10, 20); got != 15 {
+		t.Errorf("clamp inside = %v", got)
+	}
+	// A Never upper bound is no bound.
+	if got := clampDay(1000, 10, simclock.Never); got != 1000 {
+		t.Errorf("clamp with Never hi = %v", got)
+	}
+}
+
+func TestSlowLookupLatencyAboveProductionTimeout(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		url := "http://h" + domainName(rng, map[string]bool{}) + "/p.html"
+		lat := slowLookupLatency(url)
+		if lat < slowLookupMin || lat > slowLookupTail {
+			t.Fatalf("latency %v out of [%v, %v]", lat, slowLookupMin, slowLookupTail)
+		}
+	}
+}

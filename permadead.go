@@ -1,0 +1,86 @@
+// Package permadead reproduces "Characterizing 'Permanently Dead'
+// Links on Wikipedia" (Nyayachavadi, Zhu, Madhyastha — ACM IMC 2022)
+// as a self-contained simulation study.
+//
+// The paper measures 10,000 external links that InternetArchiveBot
+// marked "permanently dead" on the English Wikipedia: broken on the
+// live web with no usable archived copy. This module rebuilds the
+// entire measurement stack — a synthetic web with page lifecycles
+// (internal/simweb), a Wikipedia with full edit histories
+// (internal/wikimedia), a Wayback Machine with Availability and CDX
+// APIs (internal/archive), IABot's link-maintenance policy
+// (internal/iabot) — and re-runs the paper's analysis pipeline
+// (internal/core) against it.
+//
+// This package is the facade: it wires a generated universe to a
+// configured study in one call.
+//
+//	report := permadead.Run(permadead.Options{Scale: 0.25})
+//	fmt.Println(report.RenderComparison())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package permadead
+
+import (
+	"context"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+// Options configures a one-call reproduction run.
+type Options struct {
+	// Scale sizes the universe relative to the paper's 10,000-link
+	// study (1.0 = full scale). Zero defaults to 0.25.
+	Scale float64
+	// Seed drives generation and sampling. Zero defaults to 1.
+	Seed int64
+	// RandomArticles selects the paper's September 2022
+	// representativeness sample instead of the alphabetical crawl.
+	RandomArticles bool
+}
+
+// Universe is a generated simulation; see worldgen.Universe.
+type Universe = worldgen.Universe
+
+// Report is a completed study; see core.Report.
+type Report = core.Report
+
+// Generate builds the simulated universe (web + wiki + archive) and
+// executes its history, including every IABot scan.
+func Generate(o Options) *Universe {
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	params := worldgen.DefaultParams().Scale(o.Scale)
+	params.Seed = o.Seed
+	return worldgen.Generate(params)
+}
+
+// Study builds the measurement pipeline for a universe.
+func Study(u *Universe, o Options) *core.Study {
+	cfg := core.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.SampleSize = u.Params.SampleSize
+	cfg.CrawlArticles = 0
+	cfg.RandomArticles = o.RandomArticles
+	return &core.Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+		Ranks:  u.World,
+	}
+}
+
+// Run generates a universe and runs the full study over it.
+func Run(o Options) (*Report, error) {
+	u := Generate(o)
+	return Study(u, o).Run(context.Background())
+}
