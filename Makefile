@@ -1,0 +1,22 @@
+# Development entry points. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -13,6 +13,7 @@ package permadead
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -288,6 +289,59 @@ func BenchmarkSection52(b *testing.B) {
 		typos = r2.Typos
 	}
 	b.ReportMetric(float64(typos), "typos")
+}
+
+// --- Concurrency scaling (§4–§5 parallel fan-out) ---
+
+// analysisConcurrencies are the fan-outs the scaling benchmarks
+// compare: sequential, a modest pool, and the default.
+var analysisConcurrencies = []int{1, 8, 32}
+
+// BenchmarkArchiveAnalysisParallel measures the §4 + §5.1 archive-side
+// stages at increasing worker counts. Each iteration uses a fresh
+// Study (cold memo), so the numbers include the real per-run CDX scan
+// cost rather than a pre-warmed cache.
+func BenchmarkArchiveAnalysisParallel(b *testing.B) {
+	u, _, base := benchSetup(b)
+	for _, conc := range analysisConcurrencies {
+		b.Run(fmt.Sprintf("conc-%d", conc), func(b *testing.B) {
+			b.ResetTimer()
+			var pre200 int
+			for i := 0; i < b.N; i++ {
+				s := Study(u, Options{Seed: 1, Concurrency: conc})
+				r := freshReport(s, base)
+				s.ArchiveAnalysis(r)
+				s.TemporalAnalysis(r)
+				pre200 = len(r.Pre200)
+			}
+			b.ReportMetric(float64(pre200), "pre200-links")
+		})
+	}
+}
+
+// BenchmarkSpatialParallel measures the §5.2 spatial stage (Figure 6
+// coverage counts + typo probe) at increasing worker counts, with the
+// §4/§5.1 inputs precomputed once.
+func BenchmarkSpatialParallel(b *testing.B) {
+	u, s0, base := benchSetup(b)
+	pre := freshReport(s0, base)
+	s0.ArchiveAnalysis(pre)
+	s0.TemporalAnalysis(pre)
+	for _, conc := range analysisConcurrencies {
+		b.Run(fmt.Sprintf("conc-%d", conc), func(b *testing.B) {
+			b.ResetTimer()
+			var typos int
+			for i := 0; i < b.N; i++ {
+				s := Study(u, Options{Seed: 1, Concurrency: conc})
+				r := freshReport(s, base)
+				r.Pre200 = pre.Pre200
+				r.NoCopies = pre.NoCopies
+				s.SpatialAnalysis(r)
+				typos = r.Typos
+			}
+			b.ReportMetric(float64(typos), "typos")
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md §7) ---

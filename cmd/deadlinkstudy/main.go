@@ -42,6 +42,7 @@ func main() {
 		md      = flag.String("md", "", "write a Markdown experiment report to this file")
 		compare = flag.Bool("compare", false, "with -figs: also run the random sample and write both-sample overlays (the paper's Figure 3/4 style)")
 		timeout = flag.Duration("timeout", 15*time.Minute, "overall run timeout")
+		conc    = flag.Int("conc", core.DefaultConfig().Concurrency, "worker count for the fetch and analysis stages (1 = sequential; any value yields the same report)")
 	)
 	flag.Parse()
 
@@ -80,8 +81,14 @@ func main() {
 		bundle = persist.FromUniverse(u)
 	}
 
+	// World generation is done; freeze the archive so the parallel
+	// analysis stages read it lock-free (idempotent for loaded
+	// bundles, which persist.Load already froze).
+	bundle.Archive.Freeze()
+
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Concurrency = *conc
 	cfg.SampleSize = bundle.Params.SampleSize
 	if *sample > 0 {
 		cfg.SampleSize = *sample

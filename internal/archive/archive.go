@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"permadead/internal/simclock"
 	"permadead/internal/urlutil"
@@ -100,10 +101,16 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// Archive is the snapshot store. Reads are safe concurrently with
-// other reads; captures take the write lock.
+// Archive is the snapshot store.
+//
+// Concurrency contract: reads are safe concurrently with other reads;
+// captures take the write lock. Once the world is fully generated the
+// owner calls Freeze, after which the store is immutable — reads skip
+// the lock entirely (no shared cache-line traffic under a 32-way
+// analysis fan-out) and any further write panics. Freeze is idempotent.
 type Archive struct {
-	mu sync.RWMutex
+	mu     sync.RWMutex
+	frozen atomic.Bool
 	// byKey maps urlutil.SchemeAgnosticKey(url) → snapshots sorted by Day.
 	byKey map[string][]Snapshot
 	// byHost maps hostname → capture records for CDX queries.
@@ -134,12 +141,28 @@ func New() *Archive {
 	}
 }
 
+// Freeze marks the store immutable: subsequent writes panic and reads
+// no longer take the lock. Call it once world generation (and any
+// post-run state planting) is complete, before fanning analysis out
+// across goroutines. Idempotent.
+func (a *Archive) Freeze() { a.frozen.Store(true) }
+
+// Frozen reports whether Freeze has been called.
+func (a *Archive) Frozen() bool { return a.frozen.Load() }
+
+func (a *Archive) checkWritable(op string) {
+	if a.frozen.Load() {
+		panic("archive: " + op + " after Freeze")
+	}
+}
+
 // Add inserts a snapshot, keeping per-URL snapshots sorted by day.
 func (a *Archive) Add(s Snapshot) {
 	key := urlutil.SchemeAgnosticKey(s.URL)
 	host := urlutil.Hostname(s.URL)
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.checkWritable("Add")
 	snaps := a.byKey[key]
 	i := sort.Search(len(snaps), func(i int) bool { return snaps[i].Day > s.Day })
 	snaps = append(snaps, Snapshot{})
@@ -173,6 +196,7 @@ func (a *Archive) AddBulkCoverage(r BulkRegion) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.checkWritable("AddBulkCoverage")
 	hi := a.byHost[r.Host]
 	if hi == nil {
 		hi = &hostIndex{}
@@ -181,11 +205,21 @@ func (a *Archive) AddBulkCoverage(r BulkRegion) {
 	hi.bulk = append(hi.bulk, r)
 }
 
+// rlock takes the read lock unless the store is frozen; it returns the
+// matching unlock (a no-op when frozen). Every read path funnels
+// through it so frozen archives serve lock-free reads.
+func (a *Archive) rlock() func() {
+	if a.frozen.Load() {
+		return func() {}
+	}
+	a.mu.RLock()
+	return a.mu.RUnlock
+}
+
 // Snapshots returns all captures of url (any scheme/www variant),
 // oldest first. The returned slice must not be modified.
 func (a *Archive) Snapshots(url string) []Snapshot {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	return a.byKey[urlutil.SchemeAgnosticKey(url)]
 }
 
@@ -243,8 +277,7 @@ func (a *Archive) Closest(url string, want simclock.Day, accept func(Snapshot) b
 
 // TotalSnapshots returns the number of explicit snapshots stored.
 func (a *Archive) TotalSnapshots() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	n := 0
 	for _, s := range a.byKey {
 		n += len(s)
@@ -254,8 +287,7 @@ func (a *Archive) TotalSnapshots() int {
 
 // Hosts returns every hostname with explicit or bulk coverage, sorted.
 func (a *Archive) Hosts() []string {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	hs := make([]string, 0, len(a.byHost))
 	for h := range a.byHost {
 		hs = append(hs, h)
@@ -281,8 +313,7 @@ func pathQueryOf(rawURL string) string {
 // EachSnapshot calls fn for every explicit snapshot, grouped by URL
 // key in unspecified order, oldest-first within a key.
 func (a *Archive) EachSnapshot(fn func(Snapshot)) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	for _, snaps := range a.byKey {
 		for _, s := range snaps {
 			fn(s)
@@ -292,8 +323,7 @@ func (a *Archive) EachSnapshot(fn func(Snapshot)) {
 
 // EachBulkRegion calls fn for every bulk-coverage region.
 func (a *Archive) EachBulkRegion(fn func(BulkRegion)) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	for _, hi := range a.byHost {
 		for _, r := range hi.bulk {
 			fn(r)
@@ -305,8 +335,7 @@ func (a *Archive) EachBulkRegion(fn func(BulkRegion)) {
 // override (key is the scheme-agnostic URL key, latency in
 // milliseconds).
 func (a *Archive) EachLookupLatency(fn func(key string, ms int)) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	for k, ms := range a.latency {
 		fn(k, ms)
 	}
@@ -317,5 +346,6 @@ func (a *Archive) EachLookupLatency(fn func(key string, ms int)) {
 func (a *Archive) SetLookupLatencyKey(key string, ms int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.checkWritable("SetLookupLatencyKey")
 	a.latency[key] = ms
 }

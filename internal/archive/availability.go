@@ -28,14 +28,14 @@ const DefaultLookupLatency = 120 * time.Millisecond
 func (a *Archive) SetLookupLatency(url string, d time.Duration) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.checkWritable("SetLookupLatency")
 	a.latency[urlutil.SchemeAgnosticKey(url)] = int(d / time.Millisecond)
 }
 
 // LookupLatency returns the simulated latency of an availability
 // lookup for url.
 func (a *Archive) LookupLatency(url string) time.Duration {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	if ms, ok := a.latency[urlutil.SchemeAgnosticKey(url)]; ok {
 		return time.Duration(ms) * time.Millisecond
 	}

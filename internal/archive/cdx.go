@@ -43,8 +43,7 @@ const DefaultCDXLimit = 10000
 // rows). Bulk regions are counted in O(1).
 func (a *Archive) CDXCount(q CDXQuery) int {
 	host := strings.ToLower(q.Host)
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	hi := a.byHost[host]
 	if hi == nil {
 		return 0
@@ -71,8 +70,7 @@ func (a *Archive) CDXList(q CDXQuery) []CDXEntry {
 	if limit <= 0 {
 		limit = DefaultCDXLimit
 	}
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	hi := a.byHost[host]
 	if hi == nil {
 		return nil
@@ -171,8 +169,7 @@ func (a *Archive) CountOnHostname(url string) int {
 }
 
 func (a *Archive) countSelf(host, pathQuery string) int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	defer a.rlock()()
 	hi := a.byHost[host]
 	if hi == nil {
 		return 0
@@ -191,35 +188,45 @@ func (a *Archive) countSelf(host, pathQuery string) int {
 // up to limit. The §5.2 typo analysis compares a never-archived URL
 // against these.
 func (a *Archive) ArchivedURLsUnderDomain(domain string, limit int) []string {
+	urls, _ := a.DomainURLs(domain, limit)
+	return urls
+}
+
+// DomainURLs is ArchivedURLsUnderDomain plus an explicit truncation
+// signal: truncated is true when the domain holds more distinct
+// archived URLs than limit, so callers (the typo probe's "no silent
+// caps" accounting) can tell an exhaustive scan from a capped one.
+func (a *Archive) DomainURLs(domain string, limit int) (urls []string, truncated bool) {
 	if limit <= 0 {
 		limit = DefaultCDXLimit
 	}
 	domain = strings.ToLower(domain)
 	var hosts []string
-	a.mu.RLock()
+	unlock := a.rlock()
 	for h := range a.byHost {
 		if urlutil.DomainOfHost(h) == domain {
 			hosts = append(hosts, h)
 		}
 	}
-	a.mu.RUnlock()
+	unlock()
 	sort.Strings(hosts)
 
 	seen := make(map[string]struct{})
 	var out []string
 	for _, h := range hosts {
-		for _, e := range a.CDXList(CDXQuery{Host: h, Limit: limit}) {
+		// Enumerate one row beyond the cap so truncation is detectable.
+		for _, e := range a.CDXList(CDXQuery{Host: h, Limit: limit + 1}) {
 			if _, dup := seen[e.URL]; dup {
 				continue
 			}
 			seen[e.URL] = struct{}{}
-			out = append(out, e.URL)
 			if len(out) >= limit {
-				return out
+				return out, true
 			}
+			out = append(out, e.URL)
 		}
 	}
-	return out
+	return out, false
 }
 
 // pathDirOf returns the directory part of a URL's path ("/a/b/" for
@@ -249,7 +256,7 @@ func (a *Archive) FindQueryPermutation(rawURL string) (string, bool) {
 	self := urlutil.Normalize(rawURL)
 	host := urlutil.Hostname(rawURL)
 
-	a.mu.RLock()
+	unlock := a.rlock()
 	hi := a.byHost[host]
 	var candidates []string
 	if hi != nil {
@@ -259,7 +266,7 @@ func (a *Archive) FindQueryPermutation(rawURL string) (string, bool) {
 			}
 		}
 	}
-	a.mu.RUnlock()
+	unlock()
 
 	for _, cand := range candidates {
 		if urlutil.Normalize(cand) == self {

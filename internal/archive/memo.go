@@ -1,0 +1,148 @@
+package archive
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+)
+
+// Memo caches the archive-side queries the §4–§5 analyses repeat
+// across links: CDX counts and listings (keyed by the full query) and
+// per-domain archived-URL enumerations (keyed by domain and limit).
+// The paper's 10,000 sampled links span only ~3,521 domains, so the
+// directory-, hostname- and domain-level scans behind Figure 6, the
+// typo probe, and the §4.2 sibling search hit the same CDX regions
+// thousands of times; the memo collapses those to one scan per key.
+//
+// Memo is safe for concurrent use. It assumes the underlying Archive
+// is quiescent (ideally Frozen) for its lifetime: cached entries are
+// never invalidated. On a miss two goroutines may both compute the
+// same entry; both compute identical values against the immutable
+// store, so last-writer-wins is deterministic.
+type Memo struct {
+	a *Archive
+
+	mu      sync.RWMutex
+	counts  map[CDXQuery]int
+	lists   map[CDXQuery][]CDXEntry
+	selves  map[hostPath]int
+	domains map[domainLimit]domainURLs
+
+	hits, misses atomic.Int64
+}
+
+type hostPath struct{ host, pathQuery string }
+
+type domainLimit struct {
+	domain string
+	limit  int
+}
+
+type domainURLs struct {
+	urls      []string
+	truncated bool
+}
+
+// NewMemo returns an empty memo over a.
+func NewMemo(a *Archive) *Memo {
+	return &Memo{
+		a:       a,
+		counts:  make(map[CDXQuery]int),
+		lists:   make(map[CDXQuery][]CDXEntry),
+		selves:  make(map[hostPath]int),
+		domains: make(map[domainLimit]domainURLs),
+	}
+}
+
+// MemoStats reports cache effectiveness: Misses is how many distinct
+// CDX scans actually ran, Hits how many repeat scans were avoided.
+type MemoStats struct {
+	Hits, Misses int64
+}
+
+// Stats returns the memo's cumulative hit/miss counters.
+func (m *Memo) Stats() MemoStats {
+	return MemoStats{Hits: m.hits.Load(), Misses: m.misses.Load()}
+}
+
+// lookup runs the double-checked read-compute-store cycle shared by
+// every memoized query.
+func memoGet[K comparable, V any](m *Memo, cache map[K]V, key K, compute func() V) V {
+	m.mu.RLock()
+	v, ok := cache[key]
+	m.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
+		return v
+	}
+	m.misses.Add(1)
+	v = compute()
+	m.mu.Lock()
+	cache[key] = v
+	m.mu.Unlock()
+	return v
+}
+
+// CDXCount is Archive.CDXCount with per-query memoization.
+func (m *Memo) CDXCount(q CDXQuery) int {
+	return memoGet(m, m.counts, q, func() int { return m.a.CDXCount(q) })
+}
+
+// CDXList is Archive.CDXList with per-query memoization. The returned
+// slice is shared between callers and must not be modified.
+func (m *Memo) CDXList(q CDXQuery) []CDXEntry {
+	return memoGet(m, m.lists, q, func() []CDXEntry { return m.a.CDXList(q) })
+}
+
+// CountInDirectory mirrors Archive.CountInDirectory but shares the
+// directory-level scan between every link in the same directory and
+// the self-capture count between repeat queries for the same URL.
+func (m *Memo) CountInDirectory(url string) int {
+	host := urlutil.Hostname(url)
+	n := m.CDXCount(CDXQuery{Host: host, PathPrefix: pathDirOf(url), Status: 200})
+	n -= m.countSelf(host, pathQueryOf(url))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// CountOnHostname mirrors Archive.CountOnHostname, sharing the
+// hostname-level scan between every link on the same host.
+func (m *Memo) CountOnHostname(url string) int {
+	host := urlutil.Hostname(url)
+	n := m.CDXCount(CDXQuery{Host: host, Status: 200})
+	n -= m.countSelf(host, pathQueryOf(url))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func (m *Memo) countSelf(host, pathQuery string) int {
+	key := hostPath{host, pathQuery}
+	return memoGet(m, m.selves, key, func() int { return m.a.countSelf(host, pathQuery) })
+}
+
+// DomainURLs mirrors Archive.DomainURLs, sharing the domain-wide
+// enumeration between every link under the same registrable domain.
+// The returned slice is shared and must not be modified.
+func (m *Memo) DomainURLs(domain string, limit int) ([]string, bool) {
+	key := domainLimit{domain, limit}
+	v := memoGet(m, m.domains, key, func() domainURLs {
+		urls, truncated := m.a.DomainURLs(domain, limit)
+		return domainURLs{urls: urls, truncated: truncated}
+	})
+	return v.urls, v.truncated
+}
+
+// Snapshots passes through to the archive (per-URL snapshot lists are
+// already O(1) map lookups; caching them would only duplicate them).
+func (m *Memo) Snapshots(url string) []Snapshot { return m.a.Snapshots(url) }
+
+// SnapshotsBetween passes through to the archive.
+func (m *Memo) SnapshotsBetween(url string, from, to simclock.Day) []Snapshot {
+	return m.a.SnapshotsBetween(url, from, to)
+}

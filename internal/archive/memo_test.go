@@ -1,0 +1,193 @@
+package archive
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func coverageFixture() *Archive {
+	a := New()
+	// news.simtest: a directory with several 200 captures plus noise.
+	a.Add(snap("http://news.simtest/2014/a.html", 10, 200))
+	a.Add(snap("http://news.simtest/2014/b.html", 11, 200))
+	a.Add(snap("http://news.simtest/2014/c.html", 12, 404))
+	a.Add(snap("http://news.simtest/about.html", 13, 200))
+	// blog.news.simtest: same registrable domain, distinct host.
+	a.Add(snap("http://blog.news.simtest/post-1", 14, 200))
+	a.Add(snap("http://blog.news.simtest/post-2", 15, 200))
+	// elsewhere.simtest: unrelated domain.
+	a.Add(snap("http://elsewhere.simtest/x", 16, 200))
+	return a
+}
+
+// TestMemoMatchesArchive checks every memoized query returns exactly
+// what the direct archive call returns, on first and repeat use.
+func TestMemoMatchesArchive(t *testing.T) {
+	a := coverageFixture()
+	a.Freeze()
+	m := NewMemo(a)
+
+	urls := []string{
+		"http://news.simtest/2014/a.html",
+		"http://news.simtest/2014/missing.html",
+		"http://news.simtest/about.html",
+		"http://blog.news.simtest/post-1",
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, u := range urls {
+			if got, want := m.CountInDirectory(u), a.CountInDirectory(u); got != want {
+				t.Errorf("pass %d CountInDirectory(%s) = %d, want %d", pass, u, got, want)
+			}
+			if got, want := m.CountOnHostname(u), a.CountOnHostname(u); got != want {
+				t.Errorf("pass %d CountOnHostname(%s) = %d, want %d", pass, u, got, want)
+			}
+		}
+		q := CDXQuery{Host: "news.simtest", Status: 200}
+		if got, want := m.CDXCount(q), a.CDXCount(q); got != want {
+			t.Errorf("pass %d CDXCount = %d, want %d", pass, got, want)
+		}
+		if got, want := m.CDXList(q), a.CDXList(q); len(got) != len(want) {
+			t.Errorf("pass %d CDXList = %d rows, want %d", pass, len(got), len(want))
+		}
+		gotURLs, gotTrunc := m.DomainURLs("news.simtest", 100)
+		wantURLs, wantTrunc := a.DomainURLs("news.simtest", 100)
+		if gotTrunc != wantTrunc || fmt.Sprint(gotURLs) != fmt.Sprint(wantURLs) {
+			t.Errorf("pass %d DomainURLs = %v/%v, want %v/%v",
+				pass, gotURLs, gotTrunc, wantURLs, wantTrunc)
+		}
+	}
+}
+
+// TestMemoCountsHits asserts the memo actually collapses repeat scans:
+// the second pass over the same keys must be all hits, no new misses.
+func TestMemoCountsHits(t *testing.T) {
+	a := coverageFixture()
+	a.Freeze()
+	m := NewMemo(a)
+
+	work := func() {
+		m.CountInDirectory("http://news.simtest/2014/a.html")
+		m.CountInDirectory("http://news.simtest/2014/b.html") // same dir, distinct self-count
+		m.CountOnHostname("http://news.simtest/2014/a.html")
+		m.DomainURLs("news.simtest", 50)
+	}
+	work()
+	first := m.Stats()
+	if first.Misses == 0 {
+		t.Fatal("first pass recorded no misses")
+	}
+	work()
+	second := m.Stats()
+	if second.Misses != first.Misses {
+		t.Errorf("repeat pass added misses: %d -> %d", first.Misses, second.Misses)
+	}
+	if second.Hits <= first.Hits {
+		t.Errorf("repeat pass added no hits: %d -> %d", first.Hits, second.Hits)
+	}
+}
+
+func TestDomainURLsTruncation(t *testing.T) {
+	a := New()
+	for i := 0; i < 10; i++ {
+		a.Add(snap(fmt.Sprintf("http://big.simtest/page-%02d", i), 10+i, 200))
+	}
+
+	urls, truncated := a.DomainURLs("big.simtest", 4)
+	if !truncated || len(urls) != 4 {
+		t.Errorf("limit 4 over 10 URLs: got %d urls, truncated=%v", len(urls), truncated)
+	}
+	urls, truncated = a.DomainURLs("big.simtest", 10)
+	if truncated || len(urls) != 10 {
+		t.Errorf("limit == count must not truncate: got %d urls, truncated=%v", len(urls), truncated)
+	}
+	urls, truncated = a.DomainURLs("big.simtest", 100)
+	if truncated || len(urls) != 10 {
+		t.Errorf("limit above count: got %d urls, truncated=%v", len(urls), truncated)
+	}
+	// ArchivedURLsUnderDomain keeps its historical shape.
+	if got := a.ArchivedURLsUnderDomain("big.simtest", 4); len(got) != 4 {
+		t.Errorf("ArchivedURLsUnderDomain = %d urls", len(got))
+	}
+}
+
+// TestFrozenArchiveConcurrentReads hammers a frozen archive (and a
+// shared memo over it) from many goroutines; run with -race this
+// enforces the package's concurrency contract.
+func TestFrozenArchiveConcurrentReads(t *testing.T) {
+	a := coverageFixture()
+	a.Freeze()
+	if !a.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	m := NewMemo(a)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a.Snapshots("http://news.simtest/2014/a.html")
+				a.CDXCount(CDXQuery{Host: "news.simtest", Status: 200})
+				a.CountInDirectory("http://news.simtest/2014/b.html")
+				a.TotalSnapshots()
+				a.Hosts()
+				m.CountOnHostname("http://blog.news.simtest/post-1")
+				m.DomainURLs("news.simtest", 50)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestUnfrozenArchiveConcurrentReadWrite checks the RWMutex side of the
+// contract: before Freeze, concurrent reads and writes are safe.
+func TestUnfrozenArchiveConcurrentReadWrite(t *testing.T) {
+	a := coverageFixture()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				a.Add(snap(fmt.Sprintf("http://w%d.simtest/p%d", g, i), 10+i, 200))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				a.Snapshots("http://news.simtest/2014/a.html")
+				a.CDXCount(CDXQuery{Host: "news.simtest"})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWriteAfterFreezePanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		write func(a *Archive)
+	}{
+		{"Add", func(a *Archive) { a.Add(snap("http://x.simtest/p", 10, 200)) }},
+		{"AddBulkCoverage", func(a *Archive) {
+			a.AddBulkCoverage(BulkRegion{Host: "x.simtest", DirPrefix: "/a/", Count: 5, FirstDay: d(10), LastDay: d(20)})
+		}},
+		{"SetLookupLatencyKey", func(a *Archive) { a.SetLookupLatencyKey("x", 100) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := New()
+			a.Freeze()
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after Freeze did not panic", c.name)
+				}
+			}()
+			c.write(a)
+		})
+	}
+}

@@ -63,20 +63,36 @@ func (p *Pool) Query(q AvailabilityQuery) (PoolResult, bool, error) {
 	return PoolResult{}, false, nil
 }
 
-// Snapshots merges every member's captures of url, oldest first.
+// Snapshots merges every member's captures of url, oldest first. Ties
+// on Day resolve by member priority order (then by each member's own
+// capture order), so the merge is stable and deterministic: a k-way
+// merge of the members' already-sorted lists rather than a re-sort of
+// the concatenation.
 func (p *Pool) Snapshots(url string) []PoolResult {
-	var out []PoolResult
-	for _, m := range p.Members {
-		for _, s := range m.Archive.Snapshots(url) {
-			out = append(out, PoolResult{Snapshot: s, Member: m.Name})
-		}
+	lists := make([][]Snapshot, len(p.Members))
+	total := 0
+	for i, m := range p.Members {
+		lists[i] = m.Archive.Snapshots(url)
+		total += len(lists[i])
 	}
-	// Insertion sort by day: member lists are already sorted and the
-	// total per URL is tiny.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Snapshot.Day < out[j-1].Snapshot.Day; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	if total == 0 {
+		return nil
+	}
+	out := make([]PoolResult, 0, total)
+	idx := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for mi := range lists {
+			if idx[mi] >= len(lists[mi]) {
+				continue
+			}
+			// Strict < keeps the earliest member on equal days.
+			if best < 0 || lists[mi][idx[mi]].Day < lists[best][idx[best]].Day {
+				best = mi
+			}
 		}
+		out = append(out, PoolResult{Snapshot: lists[best][idx[best]], Member: p.Members[best].Name})
+		idx[best]++
 	}
 	return out
 }

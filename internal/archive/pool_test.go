@@ -115,3 +115,59 @@ func TestPoolCoverageGain(t *testing.T) {
 		t.Errorf("single-member gain = %d", gain)
 	}
 }
+
+// TestPoolSnapshotsKWayMerge exercises the merge across three members
+// with interleaved and duplicate days: output must be Day-ascending,
+// ties broken by member priority order, and within one member the
+// original capture order must survive.
+func TestPoolSnapshotsKWayMerge(t *testing.T) {
+	const url = "http://merge.simtest/p"
+	first, second, third := New(), New(), New()
+	first.Add(snap(url, 10, 200))
+	first.Add(snap(url, 30, 404))
+	first.Add(snap(url, 30, 200)) // duplicate day within one member
+	second.Add(snap(url, 10, 301))
+	second.Add(snap(url, 20, 200))
+	third.Add(snap(url, 5, 200))
+	third.Add(snap(url, 30, 500))
+
+	p := NewPool(
+		Member{Name: "m1", Archive: first},
+		Member{Name: "m2", Archive: second},
+		Member{Name: "m3", Archive: third},
+	)
+	got := p.Snapshots(url)
+
+	want := []struct {
+		day    int
+		member string
+		status int
+	}{
+		{5, "m3", 200},
+		{10, "m1", 200}, // day tie across members: m1 outranks m2
+		{10, "m2", 301},
+		{20, "m2", 200},
+		{30, "m1", 404}, // three-way day tie: member order, then capture order
+		{30, "m1", 200},
+		{30, "m3", 500},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d snapshots, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Snapshot.Day != d(w.day) || g.Member != w.member || g.Snapshot.InitialStatus != w.status {
+			t.Errorf("[%d] = {day %d, %s, %d}, want {day %d, %s, %d}",
+				i, g.Snapshot.Day, g.Member, g.Snapshot.InitialStatus, w.day, w.member, w.status)
+		}
+	}
+
+	// Degenerate shapes: empty pool result and single-member passthrough.
+	if extra := p.Snapshots("http://nowhere.simtest/"); len(extra) != 0 {
+		t.Errorf("unknown URL merged %d snapshots", len(extra))
+	}
+	solo := NewPool(Member{Name: "m1", Archive: first})
+	if got := solo.Snapshots(url); len(got) != 3 || got[0].Snapshot.Day != d(10) {
+		t.Errorf("single member merge = %+v", got)
+	}
+}

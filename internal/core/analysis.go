@@ -12,6 +12,14 @@ import (
 	"permadead/internal/urlutil"
 )
 
+// The §4–§5 stages below all follow the same parallel shape: workers
+// classify links independently (the archive is read-only during a run;
+// see the Archive concurrency contract), write per-link outcomes into
+// an index-addressed slice, and a sequential merge folds the slots
+// into the Report in index order. The merge order — not the worker
+// schedule — determines the output, so a Concurrency-32 run produces a
+// byte-identical Report to a Concurrency-1 run with the same seed.
+
 // DatasetStats fills the §2.4 / Figure 3 dataset characterization
 // (domains, hostnames, per-domain URL counts, site ranks, posting
 // dates) for an already-collected sample.
@@ -83,14 +91,29 @@ func (s *Study) LiveCheck(ctx context.Context, r *Report) error {
 	return nil
 }
 
+// archiveOutcome is one link's §4 classification, produced by a worker
+// and merged into the Report in index order.
+type archiveOutcome struct {
+	pre200     bool
+	withRedir  bool
+	validRedir bool
+	postMark   bool
+	postErr    bool
+}
+
 // ArchiveAnalysis performs §4: for every link, classify the archived
 // copies that existed before IABot marked it dead, and validate 3xx
 // copies via sibling cross-examination. It also computes §3's post-
-// mark first-copy erroneousness.
+// mark first-copy erroneousness. Links are classified by
+// Config.Concurrency workers; the redirect checker reads through the
+// study memo so sibling CDX scans are shared across links in the same
+// directory.
 func (s *Study) ArchiveAnalysis(r *Report) {
-	checker := redircheck.NewChecker(s.Arch)
-	for i := range r.Records {
+	checker := redircheck.NewChecker(s.Memo())
+	outs := make([]archiveOutcome, len(r.Records))
+	parallelFor(len(r.Records), s.Config.Concurrency, func(i int) {
 		rec := &r.Records[i]
+		o := &outs[i]
 		pre := s.Arch.SnapshotsBetween(rec.URL, 0, rec.Marked)
 
 		has200 := false
@@ -108,22 +131,50 @@ func (s *Study) ArchiveAnalysis(r *Report) {
 		case has200:
 			// §4.1: a usable copy existed; IABot's timed-out lookup
 			// missed it.
-			r.Pre200 = append(r.Pre200, i)
+			o.pre200 = true
 		case firstRedirect != nil:
-			r.WithRedirCopies = append(r.WithRedirCopies, i)
+			o.withRedir = true
 			if _, v, ok := checker.FindValidatedCopy(rec.URL, rec.Marked); ok && v.NonErroneous {
-				r.ValidRedirCopies = append(r.ValidRedirCopies, i)
+				o.validRedir = true
 			}
 		}
 
 		// §3: the first capture after the link was marked dead.
 		if post, ok := s.Arch.FirstAfter(rec.URL, rec.Marked); ok {
+			o.postMark = true
+			o.postErr = SnapshotErroneous(post)
+		}
+	})
+
+	for i := range outs {
+		o := &outs[i]
+		if o.pre200 {
+			r.Pre200 = append(r.Pre200, i)
+		}
+		if o.withRedir {
+			r.WithRedirCopies = append(r.WithRedirCopies, i)
+		}
+		if o.validRedir {
+			r.ValidRedirCopies = append(r.ValidRedirCopies, i)
+		}
+		if o.postMark {
 			r.PostMarkTotal++
-			if SnapshotErroneous(post) {
+			if o.postErr {
 				r.PostMarkFirstErroneous++
 			}
 		}
 	}
+}
+
+// temporalOutcome is one link's §5.1 partition, merged in index order.
+type temporalOutcome struct {
+	analyzed   bool // link had no pre-mark 200 copy
+	noCopy     bool
+	prePost    bool
+	gap        float64
+	hasGap     bool
+	sameDay    bool
+	sameDayErr bool
 }
 
 // TemporalAnalysis performs §5.1 on the links with no pre-mark 200
@@ -135,29 +186,54 @@ func (s *Study) TemporalAnalysis(r *Report) {
 		pre200[i] = struct{}{}
 	}
 
-	var gaps []float64
-	for i := range r.Records {
+	outs := make([]temporalOutcome, len(r.Records))
+	parallelFor(len(r.Records), s.Config.Concurrency, func(i int) {
 		if _, ok := pre200[i]; ok {
-			continue
+			return
 		}
 		rec := &r.Records[i]
-		r.NoPre200++
+		o := &outs[i]
+		o.analyzed = true
 		first, ok := s.Arch.First(rec.URL)
 		if !ok {
+			o.noCopy = true
+			return
+		}
+		if first.Day.Before(rec.Added) {
+			// §5.1 sets aside the 619 links archived before posting.
+			o.prePost = true
+			return
+		}
+		gap := first.Day.Sub(rec.Added)
+		o.gap, o.hasGap = float64(gap), true
+		if gap <= 0 {
+			o.sameDay = true
+			o.sameDayErr = SnapshotErroneous(first)
+		}
+	})
+
+	var gaps []float64
+	for i := range outs {
+		o := &outs[i]
+		if !o.analyzed {
+			continue
+		}
+		r.NoPre200++
+		if o.noCopy {
 			r.NoCopies = append(r.NoCopies, i)
 			continue
 		}
 		r.WithAnyCopies++
-		if first.Day.Before(rec.Added) {
-			// §5.1 sets aside the 619 links archived before posting.
+		if o.prePost {
 			r.PrePostCopies++
 			continue
 		}
-		gap := first.Day.Sub(rec.Added)
-		gaps = append(gaps, float64(gap))
-		if gap <= 0 {
+		if o.hasGap {
+			gaps = append(gaps, o.gap)
+		}
+		if o.sameDay {
 			r.SameDayCaptures++
-			if SnapshotErroneous(first) {
+			if o.sameDayErr {
 				r.SameDayErroneous++
 			}
 		}
@@ -165,57 +241,96 @@ func (s *Study) TemporalAnalysis(r *Report) {
 	r.GapCDF = stats.NewCDF(gaps)
 }
 
+// spatialOutcome is one never-archived link's §5.2 measurements,
+// merged in NoCopies order.
+type spatialOutcome struct {
+	dir, host int
+	query     bool
+	typo      bool
+	truncated bool
+}
+
 // SpatialAnalysis performs §5.2 on the never-archived links: CDX
 // coverage counts at directory and hostname granularity (Figure 6),
 // typo detection via a unique edit-distance-1 archived URL, and the
-// query-parameter share.
+// query-parameter share. All CDX scans go through the study memo, so
+// the per-directory, per-hostname, and per-domain work is done once
+// regardless of how many links share the region.
 func (s *Study) SpatialAnalysis(r *Report) {
-	var dirCounts, hostCounts []int
-	for _, i := range r.NoCopies {
-		rec := &r.Records[i]
-		d := s.Arch.CountInDirectory(rec.URL)
-		h := s.Arch.CountOnHostname(rec.URL)
-		dirCounts = append(dirCounts, d)
-		hostCounts = append(hostCounts, h)
-		if d == 0 {
+	memo := s.Memo()
+	outs := make([]spatialOutcome, len(r.NoCopies))
+	parallelFor(len(r.NoCopies), s.Config.Concurrency, func(k int) {
+		rec := &r.Records[r.NoCopies[k]]
+		o := &outs[k]
+		o.dir = memo.CountInDirectory(rec.URL)
+		o.host = memo.CountOnHostname(rec.URL)
+		o.query = urlutil.HasQuery(rec.URL)
+		o.typo, o.truncated = s.isTypo(rec.URL)
+	})
+
+	dirCounts := make([]int, 0, len(outs))
+	hostCounts := make([]int, 0, len(outs))
+	for k := range outs {
+		o := &outs[k]
+		dirCounts = append(dirCounts, o.dir)
+		hostCounts = append(hostCounts, o.host)
+		if o.dir == 0 {
 			r.ZeroDir++
 		}
-		if h == 0 {
+		if o.host == 0 {
 			r.ZeroHost++
 		}
-		if urlutil.HasQuery(rec.URL) {
+		if o.query {
 			r.QueryParamLinks++
 		}
-		if s.isTypo(rec.URL) {
+		if o.typo {
 			r.Typos++
+		}
+		if o.truncated {
+			r.TypoScanTruncated++
 		}
 	}
 	r.DirCounts = stats.NewCDFInts(dirCounts)
 	r.HostCounts = stats.NewCDFInts(hostCounts)
 }
 
+// typoScanLimit bounds the per-domain archived-URL enumeration the
+// typo probe compares against. Domains exceeding it are counted in
+// Report.TypoScanTruncated rather than silently clipped.
+const typoScanLimit = 4000
+
 // isTypo applies the §5.2 methodology: the dead URL is deemed a
 // potential typo iff exactly one archived URL under the same domain
-// has edit distance exactly 1.
-func (s *Study) isTypo(url string) bool {
+// has edit distance exactly 1. The second return reports whether the
+// domain scan hit typoScanLimit (so large domains can be surfaced
+// instead of silently misclassified).
+func (s *Study) isTypo(url string) (typo, truncated bool) {
 	domain := urlutil.Domain(url)
 	if domain == "" {
-		return false
+		return false, false
 	}
+	cands, truncated := s.Memo().DomainURLs(domain, typoScanLimit)
+	self := stripScheme(url)
 	matches := 0
-	for _, cand := range s.Arch.ArchivedURLsUnderDomain(domain, 4000) {
+	for _, cand := range cands {
 		if cand == url {
 			continue
 		}
-		if urlutil.EditDistanceAtMost(stripScheme(cand), stripScheme(url), 1) &&
-			urlutil.EditDistance(stripScheme(cand), stripScheme(url)) == 1 {
+		sc := stripScheme(cand)
+		if sc == self {
+			// Distance 0: an http/https/www variant, not a typo.
+			continue
+		}
+		// Distance <= 1 and != 0 is exactly 1 — one bounded
+		// edit-distance computation per candidate.
+		if urlutil.EditDistanceAtMost(sc, self, 1) {
 			matches++
 			if matches > 1 {
-				return false
+				return false, truncated
 			}
 		}
 	}
-	return matches == 1
+	return matches == 1, truncated
 }
 
 // stripScheme drops the scheme so http/https variants of the same URL
@@ -252,8 +367,14 @@ func SnapshotErroneous(s archive.Snapshot) bool {
 	}
 }
 
+// isRootTarget reports whether target points at a site root. Query
+// strings and fragments are ignored: "http://h.com/?ref=x" is still
+// the homepage, the same mass-redirect signature as a bare "/".
 func isRootTarget(target string) bool {
 	rest := stripScheme(target)
+	if i := strings.IndexAny(rest, "?#"); i >= 0 {
+		rest = rest[:i]
+	}
 	if i := strings.IndexByte(rest, '/'); i >= 0 {
 		return rest[i:] == "/" || rest[i:] == ""
 	}

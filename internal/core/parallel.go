@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) using at most c worker
+// goroutines. With c <= 1 it degenerates to the plain sequential loop,
+// so the two paths share one implementation and one set of semantics.
+//
+// Workers claim indices from a shared atomic counter (work stealing by
+// another name): links vary wildly in archive-side cost — a link on a
+// 4,000-URL domain scans far more CDX rows than one on a single-page
+// host — so static range splitting would leave workers idle behind the
+// heavy shards.
+//
+// Determinism contract: fn must write only to per-index state (e.g.
+// slot i of a pre-sized slice). Callers then merge those slots in
+// index order, which makes the result byte-identical to the
+// sequential path no matter how the indices interleave.
+func parallelFor(n, c int, fn func(i int)) {
+	if c > n {
+		c = n
+	}
+	if c <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(c)
+	for w := 0; w < c; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

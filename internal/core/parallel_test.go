@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+)
+
+func TestParallelForVisitsEveryIndexOnce(t *testing.T) {
+	for _, c := range []struct{ n, conc int }{
+		{0, 8}, {1, 8}, {7, 1}, {7, 3}, {100, 8}, {5, 50}, {10, 0}, {10, -4},
+	} {
+		visits := make([]atomic.Int32, c.n)
+		parallelFor(c.n, c.conc, func(i int) { visits[i].Add(1) })
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Errorf("n=%d conc=%d: index %d visited %d times", c.n, c.conc, i, got)
+			}
+		}
+	}
+}
+
+// newStudy builds a fresh study over the shared small universe. Study
+// values contain a sync.Once and must not be copied, hence a
+// constructor rather than copying a prototype.
+func newStudy(t *testing.T, conc int) *Study {
+	t.Helper()
+	u, _ := runStudy(t)
+	cfg := DefaultConfig()
+	cfg.SampleSize = u.Params.SampleSize
+	cfg.CrawlArticles = 0
+	cfg.Concurrency = conc
+	return &Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+		Ranks:  u.World,
+	}
+}
+
+// TestParallelReportMatchesSequential is the golden determinism check:
+// the fully parallel pipeline must render byte-identical reports to a
+// Concurrency-1 run over the same universe and seed.
+func TestParallelReportMatchesSequential(t *testing.T) {
+	seq, err := newStudy(t, 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conc := range []int{8, 32} {
+		par, err := newStudy(t, conc).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := seq.Render(), par.Render(); a != b {
+			t.Errorf("Concurrency %d Render() differs from sequential:\n--- seq ---\n%s\n--- conc %d ---\n%s",
+				conc, a, conc, b)
+		}
+		if a, b := seq.RenderComparison(), par.RenderComparison(); a != b {
+			t.Errorf("Concurrency %d RenderComparison() differs from sequential", conc)
+		}
+	}
+}
+
+// TestStudyRunConcurrent32 runs the full pipeline at the default fan-out
+// twice over one Study; with -race this enforces the archive/memo
+// concurrency contract end to end.
+func TestStudyRunConcurrent32(t *testing.T) {
+	s := newStudy(t, 32)
+	first, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Render() != second.Render() {
+		t.Error("repeated runs of one Study rendered differently")
+	}
+}
+
+// TestMemoEffectiveness asserts the memo layer actually collapses
+// repeated CDX scans during a study: links sharing directories, hosts,
+// and domains must turn repeat scans into cache hits.
+func TestMemoEffectiveness(t *testing.T) {
+	s := newStudy(t, 8)
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Memo().Stats()
+	if stats.Misses == 0 {
+		t.Fatal("study ran no memoized CDX queries")
+	}
+	if stats.Hits == 0 {
+		t.Errorf("memo never hit (misses %d): spatial scans are not being shared", stats.Misses)
+	}
+}
+
+func TestSnapshotErroneousEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		snap archiveSnap
+		want bool
+	}{
+		// 1xx captures are not usable copies.
+		{"100 continue", archiveSnap{Initial: 100, Final: 100}, true},
+		{"101 switching", archiveSnap{Initial: 101, Final: 200}, true},
+		// Redirect-to-root is erroneous even when the target carries a
+		// query string or fragment: it is still the homepage.
+		{"root with query", archiveSnap{Initial: 302, Final: 200, To: "http://h.com/?ref=dead"}, true},
+		{"root with fragment", archiveSnap{Initial: 301, Final: 200, To: "http://h.com/#top"}, true},
+		{"bare host with query", archiveSnap{Initial: 302, Final: 200, To: "http://h.com?utm=1"}, true},
+		{"deep path with query", archiveSnap{Initial: 301, Final: 200, To: "http://h.com/a/b.html?id=4"}, false},
+		// A 3xx capture with no recorded target is unusable.
+		{"empty redirect target", archiveSnap{Initial: 302, Final: 200, To: ""}, true},
+		{"malformed zero status", archiveSnap{}, true},
+	}
+	for _, c := range cases {
+		if got := SnapshotErroneous(c.snap.toSnapshot()); got != c.want {
+			t.Errorf("%s: erroneous = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTypoScanTruncationSurfaced checks the "no silent caps" counter:
+// a domain holding more archived URLs than the typo-scan cap must be
+// reported, not silently clipped.
+func TestTypoScanTruncationSurfaced(t *testing.T) {
+	u, r := runStudy(t)
+	_ = u
+	if r.TypoScanTruncated < 0 {
+		t.Fatalf("negative truncation counter: %d", r.TypoScanTruncated)
+	}
+	// The small universe stays under the 4000-URL cap, so the baseline
+	// run must report zero truncation and omit the table row.
+	if r.TypoScanTruncated != 0 {
+		t.Errorf("small universe truncated %d typo scans", r.TypoScanTruncated)
+	}
+	if got := r.RenderSpatial(); containsTruncationRow(got) {
+		t.Errorf("spatial table shows truncation row with zero truncations:\n%s", got)
+	}
+	// With a counter forced on, the row appears.
+	forced := *r
+	forced.TypoScanTruncated = 3
+	if got := forced.RenderSpatial(); !containsTruncationRow(got) {
+		t.Errorf("spatial table hides a non-zero truncation counter:\n%s", got)
+	}
+}
+
+func containsTruncationRow(s string) bool {
+	return strings.Contains(s, "truncated")
+}

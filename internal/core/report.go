@@ -55,6 +55,11 @@ type Report struct {
 	ZeroHost        int        // paper: 256
 	Typos           int        // paper: 219
 	QueryParamLinks int
+	// TypoScanTruncated counts links whose typo probe hit the
+	// per-domain enumeration cap — those domains hold more archived
+	// URLs than the scan compared against, so a typo there could be
+	// missed. Surfaced rather than silently clipped.
+	TypoScanTruncated int
 }
 
 // N returns the sample size.
@@ -154,6 +159,9 @@ func (r *Report) RenderSpatial() string {
 	t.AddRow("No 200-status copies in same directory", fmt.Sprint(r.ZeroDir))
 	t.AddRow("No 200-status copies on same hostname", fmt.Sprint(r.ZeroHost))
 	t.AddRow("Potential typos (unique edit-distance-1 archived URL)", fmt.Sprint(r.Typos))
+	if r.TypoScanTruncated > 0 {
+		t.AddRow("…typo scans truncated at domain cap", fmt.Sprint(r.TypoScanTruncated))
+	}
 	t.AddRow("URLs with query parameters", fmt.Sprintf("%d (%s)", r.QueryParamLinks, pct(r.QueryParamLinks, n)))
 	b.WriteString(t.String())
 	b.WriteByte('\n')

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"permadead/internal/archive"
 	"permadead/internal/fetch"
@@ -55,7 +56,10 @@ type Config struct {
 	RandomArticles bool
 	// StudyTime is the live-web measurement day.
 	StudyTime simclock.Day
-	// Concurrency bounds parallel live fetches.
+	// Concurrency bounds the study's parallel stages: the live-web
+	// fetch pool (§3) and the archive-side analysis workers (§4–§5.2).
+	// 1 runs every stage sequentially; any value produces the same
+	// Report byte for byte.
 	Concurrency int
 }
 
@@ -70,7 +74,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Study wires the pipeline's data sources.
+// Study wires the pipeline's data sources. A Study assumes Arch is
+// quiescent (no captures land) for the duration of a Run; generated
+// and loaded universes freeze the archive, which also makes its reads
+// lock-free under the analysis fan-out.
 type Study struct {
 	Config Config
 	Wiki   *wikimedia.Wiki
@@ -79,6 +86,19 @@ type Study struct {
 	Client *fetch.Client
 	// Ranks supplies Figure 3(b) data (may be nil).
 	Ranks Ranker
+
+	memoOnce sync.Once
+	memo     *archive.Memo
+}
+
+// Memo returns the study's memoization layer over Arch, building it on
+// first use. It persists across stages (and across repeated stage runs
+// in benchmarks), so the §4.2 sibling scans, Figure 6 coverage counts,
+// and typo-probe domain enumerations each run once per distinct CDX
+// region instead of once per link.
+func (s *Study) Memo() *archive.Memo {
+	s.memoOnce.Do(func() { s.memo = archive.NewMemo(s.Arch) })
+	return s.memo
 }
 
 // LinkRecord is one sampled permanently-dead link with the §2.4 facts

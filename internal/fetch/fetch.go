@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -191,24 +192,52 @@ func (c *Client) Fetch(ctx context.Context, rawURL string) Result {
 	}
 }
 
-// FetchAll fetches urls with the given concurrency, preserving input
-// order in the returned slice.
+// FetchAll fetches urls with a pool of `concurrency` worker
+// goroutines, preserving input order in the returned slice. The
+// dispatcher stops handing out work as soon as ctx is cancelled;
+// URLs never dispatched come back with the context's error attached
+// (Category Other) so the result slice always lines up with the
+// input. At most `concurrency` goroutines ever exist, regardless of
+// len(urls).
 func (c *Client) FetchAll(ctx context.Context, urls []string, concurrency int) []Result {
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	results := make([]Result, len(urls))
-	sem := make(chan struct{}, concurrency)
-	done := make(chan int)
-	for i := range urls {
-		go func(i int) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- i }()
-			results[i] = c.Fetch(ctx, urls[i])
-		}(i)
+	if concurrency > len(urls) {
+		concurrency = len(urls)
 	}
-	for range urls {
-		<-done
+	results := make([]Result, len(urls))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(concurrency)
+	for w := 0; w < concurrency; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = c.Fetch(ctx, urls[i])
+			}
+		}()
+	}
+
+	next := 0
+dispatch:
+	for ; next < len(urls); next++ {
+		// Check first so an already-cancelled context dispatches
+		// nothing (select would pick randomly between ready cases).
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := next; i < len(urls); i++ {
+		results[i] = Result{URL: urls[i], Category: CatOther, Err: ctx.Err()}
 	}
 	return results
 }

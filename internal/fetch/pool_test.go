@@ -1,0 +1,253 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// probeTransport is a scripted RoundTripper that tracks request
+// concurrency, so the pool's bounds are observable without a network.
+type probeTransport struct {
+	started       atomic.Int32
+	inflight      atomic.Int32
+	maxInflight   atomic.Int32
+	maxGoroutines atomic.Int32
+	// block, when non-nil, parks every request until closed (or the
+	// request context is cancelled).
+	block chan struct{}
+	// respond overrides the default 200 response.
+	respond func(req *http.Request) (*http.Response, error)
+}
+
+func (t *probeTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.started.Add(1)
+	n := t.inflight.Add(1)
+	defer t.inflight.Add(-1)
+	for {
+		max := t.maxInflight.Load()
+		if n <= max || t.maxInflight.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	for {
+		g := int32(runtime.NumGoroutine())
+		max := t.maxGoroutines.Load()
+		if g <= max || t.maxGoroutines.CompareAndSwap(max, g) {
+			break
+		}
+	}
+	if t.block != nil {
+		select {
+		case <-t.block:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if t.respond != nil {
+		return t.respond(req)
+	}
+	return okResponse(req), nil
+}
+
+func okResponse(req *http.Request) *http.Response {
+	return &http.Response{
+		StatusCode: 200,
+		Body:       io.NopCloser(strings.NewReader("ok")),
+		Header:     make(http.Header),
+		Request:    req,
+	}
+}
+
+func manyURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = "http://pool.simtest/page-" + string(rune('a'+i%26)) + ".html"
+	}
+	return urls
+}
+
+func TestFetchAllBoundedWorkers(t *testing.T) {
+	tr := &probeTransport{}
+	c := New(tr)
+	base := runtime.NumGoroutine()
+	const conc = 5
+	results := c.FetchAll(context.Background(), manyURLs(200), conc)
+	if len(results) != 200 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Category != Cat200 || r.Err != nil {
+			t.Fatalf("result[%d]: %+v", i, r)
+		}
+	}
+	if max := tr.maxInflight.Load(); max > conc {
+		t.Errorf("max in-flight requests = %d, concurrency bound %d", max, conc)
+	}
+	// The pool spawns `conc` workers, not one goroutine per URL. Allow
+	// generous slack for runtime/test goroutines.
+	if max := int(tr.maxGoroutines.Load()); max > base+conc+20 {
+		t.Errorf("max goroutines = %d (base %d): pool is not bounded", max, base)
+	}
+}
+
+func TestFetchAllCancelStopsDispatch(t *testing.T) {
+	tr := &probeTransport{block: make(chan struct{})}
+	c := New(tr)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	const n, conc = 40, 3
+	done := make(chan []Result, 1)
+	go func() { done <- c.FetchAll(ctx, manyURLs(n), conc) }()
+
+	// Wait until the pool is saturated, then cancel mid-run.
+	deadline := time.After(5 * time.Second)
+	for tr.inflight.Load() < conc {
+		select {
+		case <-deadline:
+			t.Fatal("pool never saturated")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+
+	var results []Result
+	select {
+	case results = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("FetchAll did not return after cancellation")
+	}
+
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d (order/shape must survive cancellation)", len(results), n)
+	}
+	// Dispatch stopped: far fewer requests started than URLs given.
+	// At most the saturated workers plus one extra round can have
+	// started before the dispatcher observed the cancellation.
+	if s := tr.started.Load(); s >= n {
+		t.Errorf("%d of %d fetches started after cancel: dispatch did not stop", s, n)
+	}
+	undispatched := 0
+	for i, r := range results {
+		if r.URL == "" {
+			t.Fatalf("result[%d] missing URL", i)
+		}
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) && len(r.Hops) == 0 {
+			undispatched++
+		}
+	}
+	if undispatched == 0 {
+		t.Error("expected undispatched URLs marked with context.Canceled")
+	}
+}
+
+func TestFetchAllPreCancelledDispatchesNothing(t *testing.T) {
+	tr := &probeTransport{}
+	c := New(tr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := c.FetchAll(ctx, manyURLs(25), 4)
+	if len(results) != 25 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if s := tr.started.Load(); s != 0 {
+		t.Errorf("%d fetches started under a pre-cancelled context", s)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) || r.Category != CatOther {
+			t.Errorf("result[%d] = %+v, want context.Canceled / Other", i, r)
+		}
+	}
+}
+
+func TestFetchAllEmptyAndSmall(t *testing.T) {
+	tr := &probeTransport{}
+	c := New(tr)
+	if got := c.FetchAll(context.Background(), nil, 8); len(got) != 0 {
+		t.Errorf("empty input: %d results", len(got))
+	}
+	// Concurrency above len(urls) and below 1 both work.
+	if got := c.FetchAll(context.Background(), manyURLs(2), 64); len(got) != 2 {
+		t.Errorf("small input: %d results", len(got))
+	}
+	if got := c.FetchAll(context.Background(), manyURLs(3), 0); len(got) != 3 {
+		t.Errorf("conc 0: %d results", len(got))
+	}
+}
+
+// --- classifyError exotic paths ---
+
+type timeoutNetErr struct{}
+
+func (timeoutNetErr) Error() string   { return "deadline would be exceeded" }
+func (timeoutNetErr) Timeout() bool   { return true }
+func (timeoutNetErr) Temporary() bool { return true }
+
+func TestClassifyErrorExotic(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Category
+	}{
+		{"wrapped deadline", &url.Error{Op: "Get", URL: "http://x/", Err: context.DeadlineExceeded}, CatTimeout},
+		{"wrapped net timeout", &url.Error{Op: "Get", URL: "http://x/", Err: timeoutNetErr{}}, CatTimeout},
+		{"doubly wrapped dns", &url.Error{Op: "Get", URL: "http://x/",
+			Err: &net.OpError{Op: "dial", Err: &net.DNSError{Err: "no such host", Name: "x"}}}, CatDNSFailure},
+		{"client timeout string", errors.New(`Get "http://x/": Client.Timeout exceeded while awaiting headers`), CatTimeout},
+		{"plain failure", errors.New("connection reset by peer"), CatOther},
+	}
+	for _, c := range cases {
+		if got := classifyError(c.err); got != c.want {
+			t.Errorf("%s: classified %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFetchDNSErrorInsideRedirectHop(t *testing.T) {
+	// First hop redirects to a host whose DNS lookup fails: the fetch
+	// must classify by the error on the *later* hop and keep the
+	// recorded chain.
+	tr := &probeTransport{respond: func(req *http.Request) (*http.Response, error) {
+		if req.URL.Host == "gone.simtest" {
+			return nil, &net.OpError{Op: "dial", Err: &net.DNSError{Err: "no such host", Name: "gone.simtest"}}
+		}
+		resp := okResponse(req)
+		resp.StatusCode = http.StatusFound
+		resp.Header.Set("Location", "http://gone.simtest/moved")
+		return resp, nil
+	}}
+	c := New(tr)
+	res := c.Fetch(context.Background(), "http://alive.simtest/old")
+	if res.Category != CatDNSFailure {
+		t.Fatalf("category = %v, err = %v", res.Category, res.Err)
+	}
+	if res.InitialStatus != http.StatusFound || !res.Redirected || len(res.Hops) != 1 {
+		t.Errorf("redirect chain not recorded: %+v", res)
+	}
+}
+
+func TestFetchTimeoutInsideRedirectHop(t *testing.T) {
+	tr := &probeTransport{respond: func(req *http.Request) (*http.Response, error) {
+		if req.URL.Host == "slow.simtest" {
+			return nil, &url.Error{Op: "Get", URL: req.URL.String(), Err: timeoutNetErr{}}
+		}
+		resp := okResponse(req)
+		resp.StatusCode = http.StatusMovedPermanently
+		resp.Header.Set("Location", "http://slow.simtest/next")
+		return resp, nil
+	}}
+	c := New(tr)
+	res := c.Fetch(context.Background(), "http://alive.simtest/old")
+	if res.Category != CatTimeout {
+		t.Fatalf("category = %v, err = %v", res.Category, res.Err)
+	}
+}

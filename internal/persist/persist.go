@@ -230,6 +230,9 @@ func Load(r io.Reader) (*Bundle, error) {
 	for _, l := range f.Latencies {
 		arch.SetLookupLatencyKey(l.Key, l.MS)
 	}
+	// A loaded universe's history is complete; freeze the archive so
+	// analysis reads are lock-free and stray writes fail loudly.
+	arch.Freeze()
 
 	return &Bundle{Params: f.Params, World: world, Wiki: wiki, Archive: arch}, nil
 }

@@ -24,9 +24,22 @@ import (
 	"permadead/internal/urlutil"
 )
 
-// Checker validates archived redirects against sibling captures.
+// Source is the read-only archive surface the checker consumes: the
+// CDX sibling enumeration plus per-URL snapshot lookups. Both
+// *archive.Archive and *archive.Memo satisfy it; the study passes the
+// memo so sibling scans are shared across links in the same directory
+// (and across the parallel §4 workers).
+type Source interface {
+	CDXList(q archive.CDXQuery) []archive.CDXEntry
+	Snapshots(url string) []archive.Snapshot
+	SnapshotsBetween(url string, from, to simclock.Day) []archive.Snapshot
+}
+
+// Checker validates archived redirects against sibling captures. It
+// holds no mutable state, so one Checker may be shared by concurrent
+// goroutines as long as its Source is concurrency-safe.
 type Checker struct {
-	Archive *archive.Archive
+	Archive Source
 	// WindowDays is the ± window around the capture in which sibling
 	// redirects are comparable (paper: 90).
 	WindowDays int
@@ -37,8 +50,8 @@ type Checker struct {
 }
 
 // NewChecker returns a Checker with the paper's parameters.
-func NewChecker(a *archive.Archive) *Checker {
-	return &Checker{Archive: a, WindowDays: 90, MaxSiblings: 6, CandidateLimit: 500}
+func NewChecker(src Source) *Checker {
+	return &Checker{Archive: src, WindowDays: 90, MaxSiblings: 6, CandidateLimit: 500}
 }
 
 // Verdict is the outcome of validating one archived redirect.

@@ -41,6 +41,10 @@ type Options struct {
 	// RandomArticles selects the paper's September 2022
 	// representativeness sample instead of the alphabetical crawl.
 	RandomArticles bool
+	// Concurrency bounds the study's parallel stages (fetch pool and
+	// §4–§5 analysis workers). Zero keeps the default fan-out; 1 runs
+	// fully sequentially. Any value yields the same report.
+	Concurrency int
 }
 
 // Universe is a generated simulation; see worldgen.Universe.
@@ -70,6 +74,9 @@ func Study(u *Universe, o Options) *core.Study {
 	cfg.SampleSize = u.Params.SampleSize
 	cfg.CrawlArticles = 0
 	cfg.RandomArticles = o.RandomArticles
+	if o.Concurrency != 0 {
+		cfg.Concurrency = o.Concurrency
+	}
 	return &core.Study{
 		Config: cfg,
 		Wiki:   u.Wiki,
