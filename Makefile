@@ -1,8 +1,9 @@
 # Development entry points. `make check` is what CI runs.
 
 GO ?= go
+BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench benchsmoke
 
 check: vet build test race
 
@@ -18,5 +19,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the archive and analysis benchmarks and records the
+# results (name -> ns/op, B/op, allocs/op) in BENCH_PR2.json via
+# cmd/benchjson, so each PR's perf numbers are a diffable artifact.
+# Raise BENCHTIME (e.g. BENCHTIME=1s) for more stable numbers.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/archive . \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+# benchsmoke compiles and runs every benchmark exactly once — a CI
+# guard that the benchmarks keep building and don't panic.
+benchsmoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -1,0 +1,109 @@
+// Command benchjson turns `go test -bench` output into a JSON
+// benchmark record, so each PR's perf numbers land in a diffable file
+// (the perf trajectory the Makefile's bench target maintains in
+// BENCH_PR2.json). Input lines stream through to stdout unchanged, so
+// it sits at the end of a pipe without hiding the run:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson -o BENCH_PR2.json
+//
+// Each benchmark maps name → {ns_per_op, b_per_op, allocs_per_op,
+// plus any custom -benchmem/ReportMetric units}. The -cpu suffix
+// ("-8") is stripped so records diff across machines with different
+// core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   7 B/op ..."
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output JSON file")
+	flag.Parse()
+
+	results := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := stripCPUSuffix(m[1])
+		metrics := parseMetrics(m[3])
+		if len(metrics) == 0 {
+			continue
+		}
+		if n, err := strconv.ParseFloat(m[2], 64); err == nil {
+			metrics["iterations"] = n
+		}
+		results[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen; not writing", *out)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// stripCPUSuffix drops the trailing "-<gomaxprocs>" go test appends.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseMetrics reads the "<value> <unit>" pairs after the iteration
+// count: ns/op, B/op, allocs/op, and any ReportMetric units.
+func parseMetrics(rest string) map[string]float64 {
+	fields := strings.Fields(rest)
+	metrics := make(map[string]float64)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			metrics["ns_per_op"] = v
+		case "B/op":
+			metrics["b_per_op"] = v
+		case "allocs/op":
+			metrics["allocs_per_op"] = v
+		default:
+			metrics[unit] = v
+		}
+	}
+	return metrics
+}

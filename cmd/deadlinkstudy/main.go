@@ -82,8 +82,8 @@ func main() {
 	}
 
 	// World generation is done; freeze the archive so the parallel
-	// analysis stages read it lock-free (idempotent for loaded
-	// bundles, which persist.Load already froze).
+	// analysis stages read the freeze-time CDX indexes lock-free
+	// (idempotent: worldgen.Generate and persist.Load already froze).
 	bundle.Archive.Freeze()
 
 	cfg := core.DefaultConfig()

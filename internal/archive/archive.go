@@ -117,6 +117,12 @@ type Archive struct {
 	byHost map[string]*hostIndex
 	// latency overrides for the Availability API, keyed like byKey.
 	latency map[string]int // milliseconds
+
+	// index and domains are the freeze-time read-optimized CDX
+	// indexes (see index.go). Built once by Freeze; nil while the
+	// archive is mutable, when CDX queries fall back to linear scans.
+	index   map[string]*frozenHostIndex
+	domains map[string][]string
 }
 
 type hostIndex struct {
@@ -142,10 +148,21 @@ func New() *Archive {
 }
 
 // Freeze marks the store immutable: subsequent writes panic and reads
-// no longer take the lock. Call it once world generation (and any
-// post-run state planting) is complete, before fanning analysis out
-// across goroutines. Idempotent.
-func (a *Archive) Freeze() { a.frozen.Store(true) }
+// no longer take the lock. It is also the single build point of the
+// read-optimized CDX indexes (index.go): sorted per-host prefix
+// ranges, status partitions, the canonical-query-key map, and the
+// domain → hosts map, which every CDX read uses from then on. Call it
+// once world generation (and any post-run state planting) is
+// complete, before fanning analysis out across goroutines. Idempotent.
+func (a *Archive) Freeze() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.frozen.Load() {
+		return
+	}
+	a.buildFrozenIndexesLocked()
+	a.frozen.Store(true)
+}
 
 // Frozen reports whether Freeze has been called.
 func (a *Archive) Frozen() bool { return a.frozen.Load() }

@@ -40,10 +40,21 @@ const DefaultCDXLimit = 10000
 
 // CDXCount returns the number of index rows matching the query,
 // including bulk-coverage regions (which count as initial-status-200
-// rows). Bulk regions are counted in O(1).
+// rows). Bulk regions are counted in O(1). On a frozen archive the
+// count is a binary-search range width (O(log n)); while mutable it
+// is a linear scan under the read lock.
 func (a *Archive) CDXCount(q CDXQuery) int {
 	host := strings.ToLower(q.Host)
+	if a.frozen.Load() {
+		return a.cdxCountFrozen(host, q)
+	}
 	defer a.rlock()()
+	return a.cdxCountScan(host, q)
+}
+
+// cdxCountScan is the mutable-path (and reference) implementation:
+// a full walk of the host's entries. Caller holds the read lock.
+func (a *Archive) cdxCountScan(host string, q CDXQuery) int {
 	hi := a.byHost[host]
 	if hi == nil {
 		return 0
@@ -62,27 +73,40 @@ func (a *Archive) CDXCount(q CDXQuery) int {
 	return n
 }
 
-// CDXList enumerates matching rows up to the limit. Bulk-region rows
-// materialize deterministically.
+// CDXList enumerates matching rows up to the limit: explicit entries
+// in capture-insertion order, then bulk-region rows (which
+// materialize deterministically). On a frozen archive the matching
+// rows come from a binary-search range with prebuilt URLs; while
+// mutable they come from a linear scan under the read lock.
 func (a *Archive) CDXList(q CDXQuery) []CDXEntry {
 	host := strings.ToLower(q.Host)
 	limit := q.Limit
 	if limit <= 0 {
 		limit = DefaultCDXLimit
 	}
+	if a.frozen.Load() {
+		return a.cdxListFrozen(host, q, limit)
+	}
 	defer a.rlock()()
+	return a.cdxListScan(host, q, limit)
+}
+
+// cdxListScan is the mutable-path (and reference) implementation.
+// Caller holds the read lock.
+func (a *Archive) cdxListScan(host string, q CDXQuery, limit int) []CDXEntry {
 	hi := a.byHost[host]
 	if hi == nil {
 		return nil
 	}
-	var out []CDXEntry
+	out := make([]CDXEntry, 0, min(limit, len(hi.entries)))
+	prefix := "http://" + host
 	for _, e := range hi.entries {
 		if len(out) >= limit {
 			return out
 		}
 		if matchEntry(e, q) {
 			out = append(out, CDXEntry{
-				URL:           "http://" + host + e.pathQuery,
+				URL:           prefix + e.pathQuery,
 				Day:           e.day,
 				InitialStatus: e.initialStatus,
 			})
@@ -95,6 +119,9 @@ func (a *Archive) CDXList(q CDXQuery) []CDXEntry {
 			}
 			out = appendBulk(out, r, q, limit)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -169,7 +196,16 @@ func (a *Archive) CountOnHostname(url string) int {
 }
 
 func (a *Archive) countSelf(host, pathQuery string) int {
+	if a.frozen.Load() {
+		return a.countSelfFrozen(host, pathQuery)
+	}
 	defer a.rlock()()
+	return a.countSelfScan(host, pathQuery)
+}
+
+// countSelfScan is the mutable-path (and reference) implementation.
+// Caller holds the read lock.
+func (a *Archive) countSelfScan(host, pathQuery string) int {
 	hi := a.byHost[host]
 	if hi == nil {
 		return 0
@@ -202,14 +238,20 @@ func (a *Archive) DomainURLs(domain string, limit int) (urls []string, truncated
 	}
 	domain = strings.ToLower(domain)
 	var hosts []string
-	unlock := a.rlock()
-	for h := range a.byHost {
-		if urlutil.DomainOfHost(h) == domain {
-			hosts = append(hosts, h)
+	if a.frozen.Load() {
+		// Freeze-time map: only the queried domain's hosts, already
+		// sorted, no per-host registrable-domain derivation.
+		hosts = a.domainHostsFrozen(domain)
+	} else {
+		unlock := a.rlock()
+		for h := range a.byHost {
+			if urlutil.DomainOfHost(h) == domain {
+				hosts = append(hosts, h)
+			}
 		}
+		unlock()
+		sort.Strings(hosts)
 	}
-	unlock()
-	sort.Strings(hosts)
 
 	seen := make(map[string]struct{})
 	var out []string
@@ -246,8 +288,10 @@ func pathDirOf(rawURL string) string {
 // rawURL except for the order of its query parameters — the paper's
 // §5.2 implication (b): some query-heavy URLs were archived under a
 // permuted parameter order and can be rescued by canonicalizing.
-// It scans the URL's host index (explicit entries only; bulk regions
-// carry no query strings) and returns the first match.
+// Explicit entries only; bulk regions carry no query strings. On a
+// frozen archive this is a probe of the freeze-time canonical-query-
+// key map; while mutable it scans the URL's host index and normalizes
+// every query-bearing candidate.
 func (a *Archive) FindQueryPermutation(rawURL string) (string, bool) {
 	if !urlutil.HasQuery(rawURL) {
 		return "", false
@@ -255,6 +299,9 @@ func (a *Archive) FindQueryPermutation(rawURL string) (string, bool) {
 	want := urlutil.CanonicalQueryKey(rawURL)
 	self := urlutil.Normalize(rawURL)
 	host := urlutil.Hostname(rawURL)
+	if a.frozen.Load() {
+		return a.findQueryPermutationFrozen(host, want, self)
+	}
 
 	unlock := a.rlock()
 	hi := a.byHost[host]

@@ -1,0 +1,313 @@
+package archive
+
+import (
+	"slices"
+	"sort"
+	"strings"
+
+	"permadead/internal/urlutil"
+)
+
+// Freeze-time CDX indexing. While an Archive is mutable, every CDX
+// query is a linear scan of the host's insertion-ordered entry slice —
+// simple, obviously correct, and cheap to keep consistent under
+// writes. Once the world's history is complete, Freeze builds the
+// immutable read-optimized indexes below and every CDX read routes
+// through them:
+//
+//   - a (pathQuery, day)-sorted permutation of each host's entries, so
+//     path-prefix and exact-path queries resolve as binary-search
+//     ranges: O(log n + k) instead of O(n);
+//   - the same permutation partitioned by initial status, so
+//     status-filtered counts (the Figure 6 "Status: 200" queries) are
+//     range-width subtractions with no row walk;
+//   - per-entry prebuilt replay URLs ("http://" + host + pathQuery),
+//     backed by one shared string, so CDXList emits rows without
+//     re-concatenating per row;
+//   - a urlutil.CanonicalQueryKey → entries map over the query-bearing
+//     entries, so FindQueryPermutation is a map probe instead of a
+//     host-wide scan plus per-candidate normalization;
+//   - a registrable-domain → hosts map, so DomainURLs touches only the
+//     queried domain's hosts instead of re-deriving the domain of
+//     every host in the archive per call.
+//
+// The unfrozen scan path is retained verbatim as the reference
+// implementation; the differential test in index_test.go asserts the
+// two paths agree query-for-query on randomized worlds.
+
+// frozenHostIndex is one host's read-optimized view of its cdxRecord
+// slice. All int32 values are indexes into hostIndex.entries.
+type frozenHostIndex struct {
+	// sortedAll is a permutation of entry indexes ordered by
+	// (pathQuery, day, insertion index).
+	sortedAll []int32
+	// sortedByStatus partitions sortedAll by initial status,
+	// preserving its order, so a prefix range inside a partition is
+	// both a status-filtered count and an enumerable row set.
+	sortedByStatus map[int][]int32
+	// insByStatus holds the same partitions in insertion order, for
+	// whole-host status-filtered listings (CDXList output preserves
+	// the mutable path's insertion order).
+	insByStatus map[int][]int32
+	// urls[i] is the prebuilt row URL of entries[i]; all slices share
+	// one backing string.
+	urls []string
+	// queryKeys maps CanonicalQueryKey(url) to the query-bearing
+	// entries under that key, in insertion order.
+	queryKeys map[string][]int32
+}
+
+// buildFrozenIndexesLocked constructs every host's frozenHostIndex and
+// the domain → hosts map. Caller holds the write lock; the archive is
+// not yet marked frozen.
+func (a *Archive) buildFrozenIndexesLocked() {
+	a.index = make(map[string]*frozenHostIndex, len(a.byHost))
+	a.domains = make(map[string][]string)
+	for host, hi := range a.byHost {
+		a.index[host] = buildHostIndex(host, hi.entries)
+		d := urlutil.DomainOfHost(host)
+		a.domains[d] = append(a.domains[d], host)
+	}
+	// DomainURLs enumerates a domain's hosts in sorted order; fix that
+	// order once here instead of per query.
+	for _, hosts := range a.domains {
+		sort.Strings(hosts)
+	}
+}
+
+func buildHostIndex(host string, entries []cdxRecord) *frozenHostIndex {
+	fz := &frozenHostIndex{
+		sortedByStatus: make(map[int][]int32),
+		insByStatus:    make(map[int][]int32),
+	}
+
+	// One builder holds every row URL; the per-entry strings are
+	// substrings of its single backing allocation.
+	var b strings.Builder
+	size := 0
+	for i := range entries {
+		size += len("http://") + len(host) + len(entries[i].pathQuery)
+	}
+	b.Grow(size)
+	offs := make([]int, len(entries)+1)
+	for i := range entries {
+		b.WriteString("http://")
+		b.WriteString(host)
+		b.WriteString(entries[i].pathQuery)
+		offs[i+1] = b.Len()
+	}
+	backing := b.String()
+	fz.urls = make([]string, len(entries))
+	for i := range entries {
+		fz.urls[i] = backing[offs[i]:offs[i+1]]
+	}
+
+	fz.sortedAll = make([]int32, len(entries))
+	for i := range fz.sortedAll {
+		fz.sortedAll[i] = int32(i)
+	}
+	sort.Slice(fz.sortedAll, func(x, y int) bool {
+		ei, ej := &entries[fz.sortedAll[x]], &entries[fz.sortedAll[y]]
+		if ei.pathQuery != ej.pathQuery {
+			return ei.pathQuery < ej.pathQuery
+		}
+		if ei.day != ej.day {
+			return ei.day < ej.day
+		}
+		return fz.sortedAll[x] < fz.sortedAll[y]
+	})
+	for _, idx := range fz.sortedAll {
+		st := entries[idx].initialStatus
+		fz.sortedByStatus[st] = append(fz.sortedByStatus[st], idx)
+	}
+	for i := range entries {
+		st := entries[i].initialStatus
+		fz.insByStatus[st] = append(fz.insByStatus[st], int32(i))
+	}
+
+	for i := range entries {
+		if !strings.ContainsRune(entries[i].pathQuery, '?') {
+			continue
+		}
+		if fz.queryKeys == nil {
+			fz.queryKeys = make(map[string][]int32)
+		}
+		key := urlutil.CanonicalQueryKey(fz.urls[i])
+		fz.queryKeys[key] = append(fz.queryKeys[key], int32(i))
+	}
+	return fz
+}
+
+// sortedView returns the (pathQuery, day)-ordered entry-index view for
+// a status filter: the full permutation for status 0, the status
+// partition otherwise (nil when the host has no such rows).
+func (fz *frozenHostIndex) sortedView(status int) []int32 {
+	if status == 0 {
+		return fz.sortedAll
+	}
+	return fz.sortedByStatus[status]
+}
+
+// prefixRange returns the half-open range of view whose pathQuery
+// starts with prefix. view must be (pathQuery, …)-ordered.
+func prefixRange(entries []cdxRecord, view []int32, prefix string) (lo, hi int) {
+	if prefix == "" {
+		return 0, len(view)
+	}
+	lo = sort.Search(len(view), func(i int) bool {
+		return entries[view[i]].pathQuery >= prefix
+	})
+	// Matching rows are contiguous from lo; find the first that no
+	// longer carries the prefix.
+	hi = lo + sort.Search(len(view)-lo, func(j int) bool {
+		return !strings.HasPrefix(entries[view[lo+j]].pathQuery, prefix)
+	})
+	return lo, hi
+}
+
+// exactRange returns the half-open range of view whose pathQuery
+// equals key exactly.
+func exactRange(entries []cdxRecord, view []int32, key string) (lo, hi int) {
+	lo = sort.Search(len(view), func(i int) bool {
+		return entries[view[i]].pathQuery >= key
+	})
+	hi = lo + sort.Search(len(view)-lo, func(j int) bool {
+		return entries[view[lo+j]].pathQuery > key
+	})
+	return lo, hi
+}
+
+// cdxCountFrozen answers CDXCount from the frozen index: a binary-
+// search range width plus the O(#regions) bulk arithmetic.
+func (a *Archive) cdxCountFrozen(host string, q CDXQuery) int {
+	hi := a.byHost[host]
+	if hi == nil {
+		return 0
+	}
+	fz := a.index[host]
+	view := fz.sortedView(q.Status)
+	lo, up := prefixRange(hi.entries, view, q.PathPrefix)
+	n := up - lo
+	if q.Status == 0 || q.Status == 200 {
+		for _, r := range hi.bulk {
+			n += bulkMatchCount(r, q)
+		}
+	}
+	return n
+}
+
+// countSelfFrozen answers countSelf (exact path, status 200) from the
+// 200 partition in O(log n).
+func (a *Archive) countSelfFrozen(host, pathQuery string) int {
+	hi := a.byHost[host]
+	if hi == nil {
+		return 0
+	}
+	fz := a.index[host]
+	lo, up := exactRange(hi.entries, fz.sortedByStatus[200], pathQuery)
+	return up - lo
+}
+
+// cdxListFrozen answers CDXList from the frozen index. Output order
+// matches the mutable path exactly: explicit entries in insertion
+// order, then bulk regions. For prefix queries the matched range is
+// re-sorted back to insertion order — O(k log k) on the k matches
+// rather than O(n) on the host.
+func (a *Archive) cdxListFrozen(host string, q CDXQuery, limit int) []CDXEntry {
+	hi := a.byHost[host]
+	if hi == nil {
+		return nil
+	}
+	fz := a.index[host]
+
+	var sel []int32 // matched entry indexes in insertion order
+	if q.PathPrefix == "" {
+		if q.Status == 0 {
+			// Whole host: entries are already insertion-ordered; the
+			// index list for "all" is sortedAll re-sorted, so avoid it
+			// and synthesize the identity lazily below.
+			sel = nil
+		} else {
+			sel = fz.insByStatus[q.Status]
+		}
+	} else {
+		view := fz.sortedView(q.Status)
+		lo, up := prefixRange(hi.entries, view, q.PathPrefix)
+		if up > lo {
+			sel = make([]int32, up-lo)
+			copy(sel, view[lo:up])
+			slices.Sort(sel) // back to insertion order
+		}
+	}
+
+	nExplicit := len(sel)
+	wholeHost := q.PathPrefix == "" && q.Status == 0
+	if wholeHost {
+		nExplicit = len(hi.entries)
+	}
+	total := nExplicit
+	if q.Status == 0 || q.Status == 200 {
+		for _, r := range hi.bulk {
+			total += bulkMatchCount(r, q)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]CDXEntry, 0, min(limit, total))
+
+	emit := func(idx int32) {
+		e := &hi.entries[idx]
+		out = append(out, CDXEntry{
+			URL:           fz.urls[idx],
+			Day:           e.day,
+			InitialStatus: e.initialStatus,
+		})
+	}
+	if wholeHost {
+		for i := 0; i < len(hi.entries) && len(out) < limit; i++ {
+			emit(int32(i))
+		}
+	} else {
+		for _, idx := range sel {
+			if len(out) >= limit {
+				break
+			}
+			emit(idx)
+		}
+	}
+	if q.Status == 0 || q.Status == 200 {
+		for _, r := range hi.bulk {
+			if len(out) >= limit {
+				break
+			}
+			out = appendBulk(out, r, q, limit)
+		}
+	}
+	return out
+}
+
+// findQueryPermutationFrozen answers FindQueryPermutation with a map
+// probe: candidates sharing the canonical query key are precomputed,
+// so only they — typically zero or one — are normalized per call.
+func (a *Archive) findQueryPermutationFrozen(host, want, self string) (string, bool) {
+	hi := a.byHost[host]
+	if hi == nil {
+		return "", false
+	}
+	fz := a.index[host]
+	for _, idx := range fz.queryKeys[want] {
+		cand := fz.urls[idx]
+		if urlutil.Normalize(cand) == self {
+			continue
+		}
+		return cand, true
+	}
+	return "", false
+}
+
+// domainHostsFrozen returns the sorted hosts under a registrable
+// domain from the freeze-time map.
+func (a *Archive) domainHostsFrozen(domain string) []string {
+	return a.domains[domain]
+}

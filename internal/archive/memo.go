@@ -29,6 +29,7 @@ type Memo struct {
 	lists   map[CDXQuery][]CDXEntry
 	selves  map[hostPath]int
 	domains map[domainLimit]domainURLs
+	perms   map[string]permutation
 
 	hits, misses atomic.Int64
 }
@@ -45,6 +46,11 @@ type domainURLs struct {
 	truncated bool
 }
 
+type permutation struct {
+	url string
+	ok  bool
+}
+
 // NewMemo returns an empty memo over a.
 func NewMemo(a *Archive) *Memo {
 	return &Memo{
@@ -53,6 +59,7 @@ func NewMemo(a *Archive) *Memo {
 		lists:   make(map[CDXQuery][]CDXEntry),
 		selves:  make(map[hostPath]int),
 		domains: make(map[domainLimit]domainURLs),
+		perms:   make(map[string]permutation),
 	}
 }
 
@@ -136,6 +143,18 @@ func (m *Memo) DomainURLs(domain string, limit int) ([]string, bool) {
 		return domainURLs{urls: urls, truncated: truncated}
 	})
 	return v.urls, v.truncated
+}
+
+// FindQueryPermutation mirrors Archive.FindQueryPermutation with
+// per-URL memoization, so the §5.2 rescue probe canonicalizes and
+// scans each query-bearing link once regardless of how many stages
+// (or repeated runs) probe it.
+func (m *Memo) FindQueryPermutation(rawURL string) (string, bool) {
+	v := memoGet(m, m.perms, rawURL, func() permutation {
+		url, ok := m.a.FindQueryPermutation(rawURL)
+		return permutation{url: url, ok: ok}
+	})
+	return v.url, v.ok
 }
 
 // Snapshots passes through to the archive (per-URL snapshot lists are

@@ -87,6 +87,44 @@ func TestMemoCountsHits(t *testing.T) {
 	}
 }
 
+// TestMemoFindQueryPermutation checks the memoized §5.2 rescue probe
+// matches the archive on hits, misses, and query-less URLs, and that
+// repeat probes are cache hits rather than re-scans.
+func TestMemoFindQueryPermutation(t *testing.T) {
+	a := New()
+	a.Add(snap("http://q.simtest/view.asp?b=2&a=1", 100, 200))
+	a.Add(snap("http://q.simtest/plain.html", 100, 200))
+	a.Freeze()
+	m := NewMemo(a)
+
+	probes := []string{
+		"http://q.simtest/view.asp?a=1&b=2", // rescuable permutation
+		"http://q.simtest/view.asp?b=2&a=1", // identical URL: no rescue
+		"http://q.simtest/view.asp?a=9&b=2", // different values: no rescue
+		"http://q.simtest/plain.html",       // query-less: skipped
+		"http://none.simtest/x?a=1&b=2",     // unknown host
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, u := range probes {
+			gotURL, gotOK := m.FindQueryPermutation(u)
+			wantURL, wantOK := a.FindQueryPermutation(u)
+			if gotURL != wantURL || gotOK != wantOK {
+				t.Errorf("pass %d FindQueryPermutation(%s) = %q/%v, want %q/%v",
+					pass, u, gotURL, gotOK, wantURL, wantOK)
+			}
+		}
+	}
+
+	st := m.Stats()
+	// First pass: one miss per distinct probe; second pass: all hits.
+	if want := int64(len(probes)); st.Misses != want {
+		t.Errorf("misses = %d, want %d", st.Misses, want)
+	}
+	if want := int64(len(probes)); st.Hits != want {
+		t.Errorf("hits = %d, want %d", st.Hits, want)
+	}
+}
+
 func TestDomainURLsTruncation(t *testing.T) {
 	a := New()
 	for i := 0; i < 10; i++ {

@@ -253,9 +253,11 @@ type spatialOutcome struct {
 // SpatialAnalysis performs §5.2 on the never-archived links: CDX
 // coverage counts at directory and hostname granularity (Figure 6),
 // typo detection via a unique edit-distance-1 archived URL, and the
-// query-parameter share. All CDX scans go through the study memo, so
-// the per-directory, per-hostname, and per-domain work is done once
-// regardless of how many links share the region.
+// query-parameter share. All CDX queries go through the study memo —
+// and underneath it the frozen archive's sorted prefix ranges and
+// domain map (DESIGN.md §3.2) — so the per-directory, per-hostname,
+// and per-domain work is done once regardless of how many links share
+// the region, and each cold query is a binary search, not a scan.
 func (s *Study) SpatialAnalysis(r *Report) {
 	memo := s.Memo()
 	outs := make([]spatialOutcome, len(r.NoCopies))

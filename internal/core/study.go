@@ -94,8 +94,11 @@ type Study struct {
 // Memo returns the study's memoization layer over Arch, building it on
 // first use. It persists across stages (and across repeated stage runs
 // in benchmarks), so the §4.2 sibling scans, Figure 6 coverage counts,
-// and typo-probe domain enumerations each run once per distinct CDX
-// region instead of once per link.
+// typo-probe domain enumerations, and §5.2 query-permutation probes
+// each run once per distinct CDX region instead of once per link. The
+// underlying queries hit Arch's freeze-time indexes (DESIGN.md §3.2);
+// the memo collapses the remaining per-region cost — row emission,
+// URL enumeration — across links sharing the region.
 func (s *Study) Memo() *archive.Memo {
 	s.memoOnce.Do(func() { s.memo = archive.NewMemo(s.Arch) })
 	return s.memo

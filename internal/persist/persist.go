@@ -231,7 +231,8 @@ func Load(r io.Reader) (*Bundle, error) {
 		arch.SetLookupLatencyKey(l.Key, l.MS)
 	}
 	// A loaded universe's history is complete; freeze the archive so
-	// analysis reads are lock-free and stray writes fail loudly.
+	// analysis reads run lock-free against the freeze-time CDX indexes
+	// (DESIGN.md §3.2) and stray writes fail loudly.
 	arch.Freeze()
 
 	return &Bundle{Params: f.Params, World: world, Wiki: wiki, Archive: arch}, nil

@@ -27,8 +27,10 @@ import (
 // Source is the read-only archive surface the checker consumes: the
 // CDX sibling enumeration plus per-URL snapshot lookups. Both
 // *archive.Archive and *archive.Memo satisfy it; the study passes the
-// memo so sibling scans are shared across links in the same directory
-// (and across the parallel §4 workers).
+// memo so sibling listings are shared across links in the same
+// directory (and across the parallel §4 workers). On a frozen archive
+// each cold listing resolves as a sorted prefix range (DESIGN.md
+// §3.2) rather than a host-wide scan.
 type Source interface {
 	CDXList(q archive.CDXQuery) []archive.CDXEntry
 	Snapshots(url string) []archive.Snapshot

@@ -72,6 +72,11 @@ func Generate(p Params) *Universe {
 	u.runTimeline(rng, progress)
 	progress("planting post-run state", 0, 0)
 	u.plantPostRunState(rng, crawler)
+	// History is complete: freeze the archive so the study's CDX reads
+	// run lock-free against the freeze-time indexes and any stray
+	// capture fails loudly.
+	progress("freezing archive", 0, 0)
+	arch.Freeze()
 	progress("done", 0, 0)
 	return u
 }
