@@ -3,7 +3,7 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench benchsmoke
+.PHONY: check build test vet race bench benchsmoke servesmoke
 
 check: vet build test race
 
@@ -31,3 +31,8 @@ bench:
 # guard that the benchmarks keep building and don't panic.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# servesmoke boots permadeadd over a small universe, curls every
+# endpoint, and drives it with loadgen — zero 5xx required.
+servesmoke:
+	./scripts/service_smoke.sh

@@ -1,0 +1,155 @@
+// Command loadgen exercises a running permadeadd with N requests from
+// C concurrent clients and reports throughput and latency quantiles.
+// It discovers target URLs from the server's own /v1/sample endpoint,
+// then spreads requests across the three query endpoints
+// (/v1/classify, /v1/status, /v1/availability) over a bounded URL
+// pool, so repeat traffic exercises the response cache.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 [-n 200] [-c 16] [-sample 64]
+//
+// Exit status is 1 if any request got a 5xx or transport error, or if
+// nothing succeeded — CI smoke tests assert on the exit code alone.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var endpoints = []string{"/v1/classify", "/v1/status", "/v1/availability"}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "permadeadd address (host:port)")
+		n       = flag.Int("n", 200, "total number of requests")
+		c       = flag.Int("c", 16, "concurrent clients")
+		sample  = flag.Int("sample", 64, "URL pool size (smaller pools repeat URLs and hit the cache)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+	if *n < 1 || *c < 1 || *sample < 1 {
+		fatal(fmt.Errorf("-n, -c, and -sample must all be >= 1"))
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+
+	pool, err := fetchSample(client, base, *sample)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d URLs in pool, firing %d requests from %d clients\n", len(pool), *n, *c)
+
+	var (
+		next      atomic.Int64
+		errors    atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		byClass   = map[string]*atomic.Int64{"2xx": {}, "3xx": {}, "4xx": {}, "5xx": {}}
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				target := base + endpoints[i%len(endpoints)] + "?url=" + url.QueryEscape(pool[i%len(pool)])
+				t0 := time.Now()
+				resp, err := client.Get(target)
+				d := time.Since(t0)
+				if err != nil {
+					errors.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", target, err)
+					continue
+				}
+				resp.Body.Close()
+				byClass[statusClass(resp.StatusCode)].Add(1)
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ok := byClass["2xx"].Load() + byClass["3xx"].Load()
+	fmt.Printf("requests:   %d ok, %d 4xx, %d 5xx, %d transport errors\n",
+		ok, byClass["4xx"].Load(), byClass["5xx"].Load(), errors.Load())
+	fmt.Printf("throughput: %.1f req/s (%d requests in %.2fs)\n",
+		float64(len(latencies))/elapsed.Seconds(), len(latencies), elapsed.Seconds())
+	if len(latencies) > 0 {
+		fmt.Printf("latency:    p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(latencies, 0.50), quantile(latencies, 0.90),
+			quantile(latencies, 0.99), latencies[len(latencies)-1])
+	}
+
+	if byClass["5xx"].Load() > 0 || errors.Load() > 0 || ok == 0 {
+		os.Exit(1)
+	}
+}
+
+// fetchSample pulls up to n URLs from the server's sampled population.
+func fetchSample(client *http.Client, base string, n int) ([]string, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sample?n=%d", base, n))
+	if err != nil {
+		return nil, fmt.Errorf("fetching /v1/sample: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/sample returned %d", resp.StatusCode)
+	}
+	var sr struct {
+		URLs []string `json:"urls"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decoding /v1/sample: %w", err)
+	}
+	if len(sr.URLs) == 0 {
+		return nil, fmt.Errorf("/v1/sample returned no URLs")
+	}
+	return sr.URLs, nil
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// quantile returns the q-th latency from an ascending-sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command permadeadd serves link-status queries over a simulated
+// universe: Wayback-style availability lookups, live-web verdicts,
+// and the full per-link study classification, each as an HTTP
+// endpoint (see internal/service for the API).
+//
+// Usage:
+//
+//	permadeadd [-addr host:port] [-scale f] [-seed n] [-load file]
+//
+// The universe is generated at startup (or loaded from a 'worldgen
+// -save' file); the server then answers queries until SIGINT/SIGTERM,
+// at which point it drains gracefully: in-flight requests complete,
+// new ones get 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"permadead/internal/persist"
+	"permadead/internal/service"
+	"permadead/internal/worldgen"
+)
+
+func main() {
+	defaults := service.DefaultConfig()
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		scale    = flag.Float64("scale", 0.25, "universe scale relative to the paper's 10,000-link study")
+		seed     = flag.Int64("seed", 1, "generation and sampling seed")
+		sample   = flag.Int("sample", 0, "sample size override (0 = scaled default)")
+		load     = flag.String("load", "", "serve a universe saved by 'worldgen -save' instead of generating one")
+
+		maxInFlight     = flag.Int("max-inflight", defaults.MaxInFlight, "bound on concurrently admitted requests")
+		classifyWorkers = flag.Int("classify-workers", defaults.ClassifyWorkers, "bound on concurrent classifications")
+		reqTimeout      = flag.Duration("request-timeout", defaults.RequestTimeout, "per-request deadline (admission wait included)")
+		cacheEntries    = flag.Int("cache-entries", defaults.CacheEntries, "response cache capacity in entries (0 disables)")
+		cacheShards     = flag.Int("cache-shards", defaults.CacheShards, "response cache shard count")
+		memoCap         = flag.Int("memo-cap", defaults.MemoCap, "per-map entry bound on the archive memo (0 = unbounded)")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	var bundle *persist.Bundle
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		bundle, err = persist.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded universe from %s in %.1fs\n", *load, time.Since(start).Seconds())
+	} else {
+		params := worldgen.DefaultParams().Scale(*scale)
+		params.Seed = *seed
+		fmt.Fprintf(os.Stderr, "generating universe (scale %.2f, seed %d)...\n", *scale, *seed)
+		start := time.Now()
+		u := worldgen.Generate(params)
+		fmt.Fprintf(os.Stderr, "generated in %.1fs\n", time.Since(start).Seconds())
+		bundle = persist.FromUniverse(u)
+	}
+
+	cfg := defaults
+	cfg.Study.Seed = *seed
+	cfg.Study.SampleSize = bundle.Params.SampleSize
+	if *sample > 0 {
+		cfg.Study.SampleSize = *sample
+	}
+	cfg.Study.CrawlArticles = 0
+	cfg.MaxInFlight = *maxInFlight
+	cfg.ClassifyWorkers = *classifyWorkers
+	cfg.RequestTimeout = *reqTimeout
+	cfg.CacheEntries = *cacheEntries
+	cfg.CacheShards = *cacheShards
+	cfg.MemoCap = *memoCap
+
+	srv, err := service.New(bundle, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "permadeadd: serving %d sampled links on http://%s\n", srv.SampleSize(), srv.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "permadeadd: %v received, draining (up to %v)...\n", sig, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("drain incomplete: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "permadeadd: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "permadeadd: %v\n", err)
+	os.Exit(1)
+}

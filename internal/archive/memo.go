@@ -18,11 +18,21 @@ import (
 //
 // Memo is safe for concurrent use. It assumes the underlying Archive
 // is quiescent (ideally Frozen) for its lifetime: cached entries are
-// never invalidated. On a miss two goroutines may both compute the
-// same entry; both compute identical values against the immutable
-// store, so last-writer-wins is deterministic.
+// never invalidated (though capped memos may evict and recompute
+// them). On a miss two goroutines may both compute the same entry;
+// both compute identical values against the immutable store, so
+// last-writer-wins is deterministic.
 type Memo struct {
 	a *Archive
+
+	// cap bounds each cache map's entry count (0 = unbounded). A batch
+	// study's working set is naturally bounded by its sample, but a
+	// long-running server sees an open-ended query stream; the cap
+	// turns the memo into a bounded cache with arbitrary-entry
+	// eviction (any resident entry may be dropped; correctness is
+	// unaffected because entries are pure recomputable functions of
+	// the immutable archive).
+	cap int
 
 	mu      sync.RWMutex
 	counts  map[CDXQuery]int
@@ -31,7 +41,7 @@ type Memo struct {
 	domains map[domainLimit]domainURLs
 	perms   map[string]permutation
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 type hostPath struct{ host, pathQuery string }
@@ -51,10 +61,23 @@ type permutation struct {
 	ok  bool
 }
 
-// NewMemo returns an empty memo over a.
-func NewMemo(a *Archive) *Memo {
+// NewMemo returns an empty, unbounded memo over a — the right shape
+// for batch studies, whose distinct-key population is bounded by the
+// sample itself.
+func NewMemo(a *Archive) *Memo { return NewMemoCapped(a, 0) }
+
+// NewMemoCapped returns a memo whose five cache maps each hold at most
+// entryCap entries; above the cap an arbitrary resident entry is
+// evicted per insert and counted in MemoStats.Evictions. entryCap <= 0
+// means unbounded. Long-running servers should set a cap so the memo
+// cannot grow without limit under an open-ended query stream.
+func NewMemoCapped(a *Archive, entryCap int) *Memo {
+	if entryCap < 0 {
+		entryCap = 0
+	}
 	return &Memo{
 		a:       a,
+		cap:     entryCap,
 		counts:  make(map[CDXQuery]int),
 		lists:   make(map[CDXQuery][]CDXEntry),
 		selves:  make(map[hostPath]int),
@@ -64,15 +87,29 @@ func NewMemo(a *Archive) *Memo {
 }
 
 // MemoStats reports cache effectiveness: Misses is how many distinct
-// CDX scans actually ran, Hits how many repeat scans were avoided.
+// CDX scans actually ran, Hits how many repeat scans were avoided,
+// Evictions how many entries a capped memo dropped to stay within its
+// bound, and Entries the current resident total across all caches.
 type MemoStats struct {
-	Hits, Misses int64
+	Hits, Misses, Evictions int64
+	Entries                 int
 }
 
-// Stats returns the memo's cumulative hit/miss counters.
+// Stats returns the memo's cumulative counters and resident size.
 func (m *Memo) Stats() MemoStats {
-	return MemoStats{Hits: m.hits.Load(), Misses: m.misses.Load()}
+	m.mu.RLock()
+	entries := len(m.counts) + len(m.lists) + len(m.selves) + len(m.domains) + len(m.perms)
+	m.mu.RUnlock()
+	return MemoStats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+		Entries:   entries,
+	}
 }
+
+// EntryCap returns the per-map entry bound (0 = unbounded).
+func (m *Memo) EntryCap() int { return m.cap }
 
 // lookup runs the double-checked read-compute-store cycle shared by
 // every memoized query.
@@ -87,6 +124,17 @@ func memoGet[K comparable, V any](m *Memo, cache map[K]V, key K, compute func() 
 	m.misses.Add(1)
 	v = compute()
 	m.mu.Lock()
+	if _, resident := cache[key]; !resident && m.cap > 0 && len(cache) >= m.cap {
+		// Evict an arbitrary resident entry (Go's map iteration picks
+		// it). O(1), no recency bookkeeping on the hot read path; the
+		// worst case is recomputing a pure function of the frozen
+		// archive.
+		for k := range cache {
+			delete(cache, k)
+			m.evictions.Add(1)
+			break
+		}
+	}
 	cache[key] = v
 	m.mu.Unlock()
 	return v

@@ -229,3 +229,48 @@ func TestWriteAfterFreezePanics(t *testing.T) {
 		})
 	}
 }
+
+// TestMemoEntryCap checks a capped memo stays within its per-map bound
+// under a query stream of many distinct keys, counts evictions, and
+// keeps returning correct values for evicted (recomputed) entries.
+func TestMemoEntryCap(t *testing.T) {
+	a := New()
+	for i := 0; i < 32; i++ {
+		a.Add(snap(fmt.Sprintf("http://h%02d.simtest/p", 10+i), 10+i, 200))
+	}
+	a.Freeze()
+
+	const cap = 8
+	m := NewMemoCapped(a, cap)
+	if m.EntryCap() != cap {
+		t.Fatalf("EntryCap() = %d, want %d", m.EntryCap(), cap)
+	}
+	for i := 0; i < 32; i++ {
+		q := CDXQuery{Host: fmt.Sprintf("h%02d.simtest", 10+i), Status: 200}
+		if got, want := m.CDXCount(q), a.CDXCount(q); got != want {
+			t.Fatalf("CDXCount(%v) = %d, want %d", q, got, want)
+		}
+	}
+	st := m.Stats()
+	if st.Evictions != 32-cap {
+		t.Errorf("Evictions = %d, want %d", st.Evictions, 32-cap)
+	}
+	if st.Entries > cap {
+		t.Errorf("Entries = %d, exceeds cap %d", st.Entries, cap)
+	}
+	// Evicted keys still answer correctly (recomputed, counted as a
+	// fresh miss — never a wrong value).
+	q := CDXQuery{Host: "h10.simtest", Status: 200}
+	if got, want := m.CDXCount(q), a.CDXCount(q); got != want {
+		t.Errorf("post-eviction CDXCount = %d, want %d", got, want)
+	}
+
+	// An unbounded memo never evicts.
+	u := NewMemo(a)
+	for i := 0; i < 32; i++ {
+		u.CDXCount(CDXQuery{Host: fmt.Sprintf("h%02d.simtest", 10+i), Status: 200})
+	}
+	if st := u.Stats(); st.Evictions != 0 || st.Entries != 32 {
+		t.Errorf("unbounded memo: evictions=%d entries=%d, want 0/32", st.Evictions, st.Entries)
+	}
+}

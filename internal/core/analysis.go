@@ -112,38 +112,7 @@ func (s *Study) ArchiveAnalysis(r *Report) {
 	checker := redircheck.NewChecker(s.Memo())
 	outs := make([]archiveOutcome, len(r.Records))
 	parallelFor(len(r.Records), s.Config.Concurrency, func(i int) {
-		rec := &r.Records[i]
-		o := &outs[i]
-		pre := s.Arch.SnapshotsBetween(rec.URL, 0, rec.Marked)
-
-		has200 := false
-		var firstRedirect *archive.Snapshot
-		for j := range pre {
-			if pre[j].InitialStatus == 200 {
-				has200 = true
-				break
-			}
-			if pre[j].IsRedirect() && firstRedirect == nil {
-				firstRedirect = &pre[j]
-			}
-		}
-		switch {
-		case has200:
-			// §4.1: a usable copy existed; IABot's timed-out lookup
-			// missed it.
-			o.pre200 = true
-		case firstRedirect != nil:
-			o.withRedir = true
-			if _, v, ok := checker.FindValidatedCopy(rec.URL, rec.Marked); ok && v.NonErroneous {
-				o.validRedir = true
-			}
-		}
-
-		// §3: the first capture after the link was marked dead.
-		if post, ok := s.Arch.FirstAfter(rec.URL, rec.Marked); ok {
-			o.postMark = true
-			o.postErr = SnapshotErroneous(post)
-		}
+		outs[i] = s.archiveOutcomeFor(&r.Records[i], checker)
 	})
 
 	for i := range outs {
@@ -164,6 +133,44 @@ func (s *Study) ArchiveAnalysis(r *Report) {
 			}
 		}
 	}
+}
+
+// archiveOutcomeFor classifies one link's pre-mark archive history —
+// the §4 unit of work, shared verbatim by the batch fan-out above and
+// the per-link ClassifyLink entry point.
+func (s *Study) archiveOutcomeFor(rec *LinkRecord, checker *redircheck.Checker) archiveOutcome {
+	var o archiveOutcome
+	pre := s.Arch.SnapshotsBetween(rec.URL, 0, rec.Marked)
+
+	has200 := false
+	var firstRedirect *archive.Snapshot
+	for j := range pre {
+		if pre[j].InitialStatus == 200 {
+			has200 = true
+			break
+		}
+		if pre[j].IsRedirect() && firstRedirect == nil {
+			firstRedirect = &pre[j]
+		}
+	}
+	switch {
+	case has200:
+		// §4.1: a usable copy existed; IABot's timed-out lookup
+		// missed it.
+		o.pre200 = true
+	case firstRedirect != nil:
+		o.withRedir = true
+		if _, v, ok := checker.FindValidatedCopy(rec.URL, rec.Marked); ok && v.NonErroneous {
+			o.validRedir = true
+		}
+	}
+
+	// §3: the first capture after the link was marked dead.
+	if post, ok := s.Arch.FirstAfter(rec.URL, rec.Marked); ok {
+		o.postMark = true
+		o.postErr = SnapshotErroneous(post)
+	}
+	return o
 }
 
 // temporalOutcome is one link's §5.1 partition, merged in index order.
@@ -191,25 +198,7 @@ func (s *Study) TemporalAnalysis(r *Report) {
 		if _, ok := pre200[i]; ok {
 			return
 		}
-		rec := &r.Records[i]
-		o := &outs[i]
-		o.analyzed = true
-		first, ok := s.Arch.First(rec.URL)
-		if !ok {
-			o.noCopy = true
-			return
-		}
-		if first.Day.Before(rec.Added) {
-			// §5.1 sets aside the 619 links archived before posting.
-			o.prePost = true
-			return
-		}
-		gap := first.Day.Sub(rec.Added)
-		o.gap, o.hasGap = float64(gap), true
-		if gap <= 0 {
-			o.sameDay = true
-			o.sameDayErr = SnapshotErroneous(first)
-		}
+		outs[i] = s.temporalOutcomeFor(&r.Records[i])
 	})
 
 	var gaps []float64
@@ -241,6 +230,29 @@ func (s *Study) TemporalAnalysis(r *Report) {
 	r.GapCDF = stats.NewCDF(gaps)
 }
 
+// temporalOutcomeFor measures one non-pre-200 link's §5.1 partition —
+// shared by the batch fan-out above and ClassifyLink.
+func (s *Study) temporalOutcomeFor(rec *LinkRecord) temporalOutcome {
+	o := temporalOutcome{analyzed: true}
+	first, ok := s.Arch.First(rec.URL)
+	if !ok {
+		o.noCopy = true
+		return o
+	}
+	if first.Day.Before(rec.Added) {
+		// §5.1 sets aside the 619 links archived before posting.
+		o.prePost = true
+		return o
+	}
+	gap := first.Day.Sub(rec.Added)
+	o.gap, o.hasGap = float64(gap), true
+	if gap <= 0 {
+		o.sameDay = true
+		o.sameDayErr = SnapshotErroneous(first)
+	}
+	return o
+}
+
 // spatialOutcome is one never-archived link's §5.2 measurements,
 // merged in NoCopies order.
 type spatialOutcome struct {
@@ -259,15 +271,9 @@ type spatialOutcome struct {
 // and per-domain work is done once regardless of how many links share
 // the region, and each cold query is a binary search, not a scan.
 func (s *Study) SpatialAnalysis(r *Report) {
-	memo := s.Memo()
 	outs := make([]spatialOutcome, len(r.NoCopies))
 	parallelFor(len(r.NoCopies), s.Config.Concurrency, func(k int) {
-		rec := &r.Records[r.NoCopies[k]]
-		o := &outs[k]
-		o.dir = memo.CountInDirectory(rec.URL)
-		o.host = memo.CountOnHostname(rec.URL)
-		o.query = urlutil.HasQuery(rec.URL)
-		o.typo, o.truncated = s.isTypo(rec.URL)
+		outs[k] = s.spatialOutcomeFor(&r.Records[r.NoCopies[k]])
 	})
 
 	dirCounts := make([]int, 0, len(outs))
@@ -287,6 +293,7 @@ func (s *Study) SpatialAnalysis(r *Report) {
 		}
 		if o.typo {
 			r.Typos++
+			r.TypoLinks = append(r.TypoLinks, r.NoCopies[k])
 		}
 		if o.truncated {
 			r.TypoScanTruncated++
@@ -294,6 +301,18 @@ func (s *Study) SpatialAnalysis(r *Report) {
 	}
 	r.DirCounts = stats.NewCDFInts(dirCounts)
 	r.HostCounts = stats.NewCDFInts(hostCounts)
+}
+
+// spatialOutcomeFor measures one never-archived link's §5.2 facts —
+// shared by the batch fan-out above and ClassifyLink.
+func (s *Study) spatialOutcomeFor(rec *LinkRecord) spatialOutcome {
+	memo := s.Memo()
+	var o spatialOutcome
+	o.dir = memo.CountInDirectory(rec.URL)
+	o.host = memo.CountOnHostname(rec.URL)
+	o.query = urlutil.HasQuery(rec.URL)
+	o.typo, o.truncated = s.isTypo(rec.URL)
+	return o
 }
 
 // typoScanLimit bounds the per-domain archived-URL enumeration the

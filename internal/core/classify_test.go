@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+// studyOver builds a fresh Study over an already-generated universe,
+// as the serving layer does — no batch Run state carried over.
+func studyOver(u *worldgen.Universe, cfg Config) *Study {
+	return &Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+		Ranks:  u.World,
+	}
+}
+
+// TestClassifyLinkAgreesWithBatch is the refactor's contract: for
+// every link in a sampled universe, the exported per-link entry point
+// must assign exactly the verdict the batch pipeline recorded, and the
+// supporting facts must match the batch stage outputs.
+func TestClassifyLinkAgreesWithBatch(t *testing.T) {
+	u, r := runStudy(t)
+	if len(r.Verdicts) != r.N() {
+		t.Fatalf("batch verdicts: %d for %d records", len(r.Verdicts), r.N())
+	}
+
+	s := studyOver(u, r.Config)
+	ctx := context.Background()
+
+	inSet := func(idxs []int) map[int]struct{} {
+		m := make(map[int]struct{}, len(idxs))
+		for _, i := range idxs {
+			m[i] = struct{}{}
+		}
+		return m
+	}
+	pre200 := inSet(r.Pre200)
+	withRedir := inSet(r.WithRedirCopies)
+	valid := inSet(r.ValidRedirCopies)
+	noCopy := inSet(r.NoCopies)
+	typo := inSet(r.TypoLinks)
+
+	counts := map[Verdict]int{}
+	for i, rec := range r.Records {
+		c, err := s.ClassifyLink(ctx, rec)
+		if err != nil {
+			t.Fatalf("ClassifyLink(%s): %v", rec.URL, err)
+		}
+		counts[c.Verdict]++
+		if c.Verdict != r.Verdicts[i] {
+			t.Errorf("%s: per-link verdict %q, batch %q", rec.URL, c.Verdict, r.Verdicts[i])
+		}
+		if _, want := pre200[i]; c.Archive.Pre200Copy != want {
+			t.Errorf("%s: Pre200Copy = %v, batch %v", rec.URL, c.Archive.Pre200Copy, want)
+		}
+		if _, want := withRedir[i]; c.Archive.RedirectCopy != want {
+			t.Errorf("%s: RedirectCopy = %v, batch %v", rec.URL, c.Archive.RedirectCopy, want)
+		}
+		if _, want := valid[i]; c.Archive.ValidatedRedirect != want {
+			t.Errorf("%s: ValidatedRedirect = %v, batch %v", rec.URL, c.Archive.ValidatedRedirect, want)
+		}
+		if _, want := noCopy[i]; c.Archive.NeverArchived != want {
+			t.Errorf("%s: NeverArchived = %v, batch %v", rec.URL, c.Archive.NeverArchived, want)
+		}
+		if _, want := typo[i]; (c.Spatial != nil && c.Spatial.Typo) != want {
+			t.Errorf("%s: typo = %v, batch %v", rec.URL, c.Spatial != nil && c.Spatial.Typo, want)
+		}
+		if c.Archive.NeverArchived != (c.Spatial != nil) {
+			t.Errorf("%s: spatial facts present = %v for never_archived = %v",
+				rec.URL, c.Spatial != nil, c.Archive.NeverArchived)
+		}
+	}
+
+	// The verdict partition must cover the sample exactly once.
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != r.N() {
+		t.Errorf("verdicts cover %d of %d links", total, r.N())
+	}
+	t.Logf("verdict breakdown over %d links: %v", r.N(), counts)
+}
+
+// TestVerdictPrecedence pins the fold order the paper's narrative
+// implies: alive > usable copy > typo > coverage gap > dead.
+func TestVerdictPrecedence(t *testing.T) {
+	cases := []struct {
+		functional, usable, never, typo bool
+		want                            Verdict
+	}{
+		{true, true, false, false, VerdictAlive},
+		{true, false, true, true, VerdictAlive},
+		{false, true, false, false, VerdictUsableCopyMissed},
+		{false, false, true, true, VerdictTypo},
+		{false, false, true, false, VerdictCoverageGap},
+		{false, false, false, false, VerdictDead},
+	}
+	for _, c := range cases {
+		if got := verdictFrom(c.functional, c.usable, c.never, c.typo); got != c.want {
+			t.Errorf("verdictFrom(%v,%v,%v,%v) = %q, want %q",
+				c.functional, c.usable, c.never, c.typo, got, c.want)
+		}
+	}
+}
+
+// TestClassifyLinkCancelled checks the per-link path honors context
+// cancellation instead of classifying against a dead context.
+func TestClassifyLinkCancelled(t *testing.T) {
+	u, r := runStudy(t)
+	s := studyOver(u, r.Config)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ClassifyLink(ctx, r.Records[0]); err == nil {
+		t.Error("cancelled context classified without error")
+	}
+}

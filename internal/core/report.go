@@ -60,6 +60,14 @@ type Report struct {
 	// URLs than the scan compared against, so a typo there could be
 	// missed. Surfaced rather than silently clipped.
 	TypoScanTruncated int
+	// TypoLinks are the indices (into Records) of the potential typos,
+	// a subset of NoCopies in NoCopies order.
+	TypoLinks []int
+
+	// Verdicts is the per-link study verdict, one per record, derived
+	// from the stage outcomes above (see Verdict). The serving layer's
+	// /v1/classify endpoint must agree with these for every link.
+	Verdicts []Verdict
 }
 
 // N returns the sample size.

@@ -86,6 +86,11 @@ type Study struct {
 	Client *fetch.Client
 	// Ranks supplies Figure 3(b) data (may be nil).
 	Ranks Ranker
+	// MemoCap bounds the study memo's per-map entry count (0 =
+	// unbounded). Batch runs have a naturally bounded key population
+	// and leave it 0; a long-running server over an open-ended query
+	// stream should set it (see archive.NewMemoCapped).
+	MemoCap int
 
 	memoOnce sync.Once
 	memo     *archive.Memo
@@ -100,7 +105,7 @@ type Study struct {
 // the memo collapses the remaining per-region cost — row emission,
 // URL enumeration — across links sharing the region.
 func (s *Study) Memo() *archive.Memo {
-	s.memoOnce.Do(func() { s.memo = archive.NewMemo(s.Arch) })
+	s.memoOnce.Do(func() { s.memo = archive.NewMemoCapped(s.Arch, s.MemoCap) })
 	return s.memo
 }
 
@@ -195,5 +200,6 @@ func (s *Study) Run(ctx context.Context) (*Report, error) {
 	s.ArchiveAnalysis(r)
 	s.TemporalAnalysis(r)
 	s.SpatialAnalysis(r)
+	s.assignVerdicts(r)
 	return r, nil
 }

@@ -13,6 +13,7 @@
 package persist
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -25,8 +26,10 @@ import (
 )
 
 // formatVersion guards against decoding streams written by an
-// incompatible build.
-const formatVersion = 1
+// incompatible build. Version 2 moved the header to its own gob value
+// ahead of the body, so a mismatched stream can report the version it
+// actually carries instead of failing opaquely mid-decode.
+const formatVersion = 2
 
 // Bundle is the restorable state of a universe.
 type Bundle struct {
@@ -98,7 +101,6 @@ type latencyRec struct {
 }
 
 type file struct {
-	Header    fileHeader
 	Params    worldgen.Params
 	Sites     []siteRec
 	Articles  []articleRec
@@ -107,9 +109,15 @@ type file struct {
 	Latencies []latencyRec
 }
 
-// Save writes the bundle to w.
+// saveBufferSize sizes the write buffer: universes serialize to tens
+// of megabytes of small gob writes, so batching them matters when w is
+// an *os.File.
+const saveBufferSize = 1 << 20
+
+// Save writes the bundle to w. Writes are buffered; the stream is a
+// gob-encoded header (format version) followed by the body.
 func Save(w io.Writer, b *Bundle) error {
-	f := file{Header: fileHeader{Version: formatVersion}, Params: b.Params}
+	f := file{Params: b.Params}
 
 	b.World.EachSite(func(s *simweb.Site) {
 		rec := siteRec{
@@ -165,17 +173,31 @@ func Save(w io.Writer, b *Bundle) error {
 		f.Latencies = append(f.Latencies, latencyRec{Key: key, MS: ms})
 	})
 
-	return gob.NewEncoder(w).Encode(&f)
+	bw := bufio.NewWriterSize(w, saveBufferSize)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(fileHeader{Version: formatVersion}); err != nil {
+		return fmt.Errorf("persist: encode header: %w", err)
+	}
+	if err := enc.Encode(&f); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return bw.Flush()
 }
 
-// Load reads a bundle from r.
+// Load reads a bundle from r. Reads are buffered. A stream written by
+// an incompatible build fails with an error naming the version found.
 func Load(r io.Reader) (*Bundle, error) {
-	var f file
-	if err := gob.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("persist: decode: %w", err)
+	dec := gob.NewDecoder(bufio.NewReaderSize(r, saveBufferSize))
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("persist: decode header: %w", err)
 	}
-	if f.Header.Version != formatVersion {
-		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)", f.Header.Version, formatVersion)
+	if hdr.Version != formatVersion {
+		return nil, fmt.Errorf("persist: incompatible save file: format version %d found, this build reads version %d", hdr.Version, formatVersion)
+	}
+	var f file
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
 	}
 
 	world := simweb.NewWorld()

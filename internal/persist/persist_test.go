@@ -3,6 +3,9 @@ package persist
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
+	"fmt"
+	"strings"
 	"testing"
 
 	"permadead/internal/core"
@@ -101,5 +104,29 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(nil)); err == nil {
 		t.Error("empty stream should fail to load")
+	}
+}
+
+// TestLoadReportsFoundVersion checks a version-mismatched stream fails
+// with an error naming the version actually found, not an opaque
+// decode failure.
+func TestLoadReportsFoundVersion(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(fileHeader{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(&file{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("version-99 stream loaded without error")
+	}
+	if !strings.Contains(err.Error(), "version 99 found") {
+		t.Errorf("error does not name the found version: %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("version %d", formatVersion)) {
+		t.Errorf("error does not name the supported version: %v", err)
 	}
 }

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the service's load-shedding gate: a counting semaphore
+// bounding how much work is in flight at once. A request that cannot
+// get a slot waits — queuing is the normal overload response, so a
+// burst of N > max concurrent clients is absorbed, not 5xx'd — until
+// its own deadline or disconnect cancels the wait, at which point it
+// is rejected and counted. The same type doubles as the per-endpoint
+// worker pool for expensive handlers (classification), nested inside
+// the global gate.
+type admission struct {
+	slots    chan struct{}
+	rejected atomic.Int64
+}
+
+func newAdmission(max int) *admission {
+	if max < 1 {
+		max = 1
+	}
+	return &admission{slots: make(chan struct{}, max)}
+}
+
+// acquire blocks until a slot frees up or ctx is done. It returns nil
+// on success; the caller must release() exactly once.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		a.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports how many slots are currently held.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// max reports the semaphore's capacity.
+func (a *admission) max() int { return cap(a.slots) }
+
+// rejectedCount reports how many acquires gave up waiting.
+func (a *admission) rejectedCount() int64 { return a.rejected.Load() }

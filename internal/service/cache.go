@@ -1,0 +1,136 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the response cache: a sharded LRU over rendered JSON
+// bodies, keyed by endpoint + canonical URL + policy knobs. Sharding
+// keeps lock contention off the hot path — each shard has its own
+// mutex, recency list, and capacity slice, and a request only ever
+// touches one shard. Entries are immutable []byte values; callers
+// must not modify what Get returns.
+type Cache struct {
+	shards []*cacheShard
+
+	hits, misses, evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache holding at most `capacity` entries split
+// across `shards` shards (each shard gets capacity/shards, minimum 1).
+// capacity <= 0 disables caching: Get always misses, Put is a no-op.
+func NewCache(capacity, shards int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Cache{shards: make([]*cacheShard, shards)}
+	per := capacity / shards
+	if capacity > 0 && per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:   per,
+			ll:    list.New(),
+			items: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// fnv32a hashes the key for shard selection.
+func fnv32a(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return c.shards[fnv32a(key)%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key, promoting it to most recently
+// used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the shard's least recently used
+// entry when full.
+func (c *Cache) Put(key string, val []byte) {
+	s := c.shard(key)
+	if s.cap <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		lru := s.ll.Back()
+		s.ll.Remove(lru)
+		delete(s.items, lru.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+	s.mu.Unlock()
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats returns the cumulative counters and current resident size.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

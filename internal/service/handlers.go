@@ -1,0 +1,401 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"permadead/internal/archive"
+	"permadead/internal/core"
+	"permadead/internal/simclock"
+	"permadead/internal/urlutil"
+)
+
+// errorEnvelope is the one error shape every endpoint speaks:
+//
+//	{"error":{"code":"overloaded","message":"..."}}
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{ //nolint:errcheck // headers are out
+		Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/availability", s.v1("availability", s.handleAvailability))
+	mux.Handle("/v1/status", s.v1("status", s.handleStatus))
+	mux.Handle("/v1/classify", s.v1("classify", s.handleClassify))
+	mux.Handle("/v1/sample", s.v1("sample", s.handleSample))
+	mux.Handle("/metrics", s.met.handler())
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// v1 wraps an endpoint handler with the serving-layer contract, in
+// order: method check, drain check (503 while shutting down), the
+// per-request deadline, the admission-control semaphore (queue, then
+// shed at the deadline), and metrics (status class + latency,
+// measured to include admission wait — that is the latency a client
+// sees).
+func (s *Server) v1(name string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() { s.met.observe(name, rec.status, time.Since(start)) }()
+
+		if r.Method != http.MethodGet {
+			writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+			return
+		}
+		if s.draining.Load() {
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusServiceUnavailable, "draining", "server is shutting down")
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		if err := s.gate.acquire(ctx); err != nil {
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusServiceUnavailable, "overloaded",
+				"no capacity within the request deadline: %v", err)
+			return
+		}
+		defer s.gate.release()
+
+		h(rec, r.WithContext(ctx))
+	})
+}
+
+// cachedJSON consults the response cache before computing; on a miss
+// it renders v() to JSON, stores it, and serves it. Only successful
+// computations are cached. An empty key bypasses the cache.
+func (s *Server) cachedJSON(w http.ResponseWriter, key string, v func() (any, error)) {
+	if key != "" {
+		if body, ok := s.cache.Get(key); ok {
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(body) //nolint:errcheck
+			return
+		}
+	}
+	val, err := v()
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	body, err := json.Marshal(val)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode", "%v", err)
+		return
+	}
+	body = append(body, '\n')
+	if key != "" {
+		s.cache.Put(key, body)
+	}
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body) //nolint:errcheck
+}
+
+// writeComputeError maps handler-level failures to the envelope:
+// deadline exhaustion becomes 504, everything else 500.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded: %v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+}
+
+// --- /v1/availability ---
+
+// availabilitySnapshot is the served view of an archived capture.
+type availabilitySnapshot struct {
+	URL        string `json:"url"`
+	Timestamp  string `json:"timestamp"`
+	Status     int    `json:"status"`
+	WaybackURL string `json:"wayback_url"`
+}
+
+type availabilityResponse struct {
+	URL       string                `json:"url"`
+	Policy    availabilityPolicy    `json:"policy"`
+	Available bool                  `json:"available"`
+	TimedOut  bool                  `json:"timed_out"`
+	LatencyMS int64                 `json:"lookup_latency_ms"`
+	Snapshot  *availabilitySnapshot `json:"snapshot,omitempty"`
+}
+
+type availabilityPolicy struct {
+	TimeoutMS int64  `json:"timeout_ms"`
+	Accept    string `json:"accept"`
+}
+
+// handleAvailability is the Wayback-style closest-usable-snapshot
+// lookup with the paper's two failure knobs exposed per request:
+//
+//	timeout  — IABot's lookup budget (§4.1). A slow lookup answers
+//	           "timed_out": true with no snapshot, indistinguishable
+//	           from absence, exactly the misclassification the paper
+//	           documents. Accepts Go durations ("2s") or bare
+//	           milliseconds. Default: unbounded.
+//	accept   — "usable" (initial-200 only, IABot's §4.2 policy) or
+//	           "any" (3xx copies included). Default: usable.
+//	ts       — desired capture timestamp (YYYYMMDD[HHMMSS]); the
+//	           closest capture wins. Default: the study day.
+//	asof     — hide captures after this day (a bot scanning in 2018
+//	           cannot see 2020 copies).
+func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rawURL := q.Get("url")
+	if rawURL == "" {
+		writeError(w, http.StatusBadRequest, "missing_url", "missing url parameter")
+		return
+	}
+	want := s.cfg.Study.StudyTime
+	if ts := q.Get("ts"); ts != "" {
+		d, err := simclock.ParseTimestamp(ts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_ts", "malformed ts %q: %v", ts, err)
+			return
+		}
+		want = d
+	}
+	var asOf simclock.Day
+	if v := q.Get("asof"); v != "" {
+		d, err := simclock.ParseTimestamp(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_asof", "malformed asof %q: %v", v, err)
+			return
+		}
+		asOf = d
+	}
+	timeout, err := parseTimeout(q.Get("timeout"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_timeout", "%v", err)
+		return
+	}
+	acceptName := q.Get("accept")
+	if acceptName == "" {
+		acceptName = "usable"
+	}
+	var accept func(archive.Snapshot) bool
+	switch acceptName {
+	case "usable":
+		accept = archive.AcceptUsable
+	case "any":
+		accept = archive.AcceptAny
+	default:
+		writeError(w, http.StatusBadRequest, "bad_accept", "accept must be 'usable' or 'any', got %q", acceptName)
+		return
+	}
+
+	key := strings.Join([]string{
+		"a", urlutil.SchemeAgnosticKey(rawURL), strconv.Itoa(int(want)),
+		strconv.Itoa(int(asOf)), timeout.String(), acceptName,
+	}, "\x00")
+	s.cachedJSON(w, key, func() (any, error) {
+		resp := availabilityResponse{
+			URL:       rawURL,
+			Policy:    availabilityPolicy{TimeoutMS: int64(timeout / time.Millisecond), Accept: acceptName},
+			LatencyMS: int64(s.study.Arch.LookupLatency(rawURL) / time.Millisecond),
+		}
+		snap, ok, err := s.study.Arch.Query(archive.AvailabilityQuery{
+			URL: rawURL, Want: want, AsOf: asOf, Accept: accept, Timeout: timeout,
+		})
+		switch {
+		case errors.Is(err, archive.ErrAvailabilityTimeout):
+			resp.TimedOut = true
+		case err != nil:
+			return nil, err
+		case ok:
+			resp.Available = true
+			resp.Snapshot = &availabilitySnapshot{
+				URL:        snap.URL,
+				Timestamp:  snap.Day.Timestamp(),
+				Status:     snap.InitialStatus,
+				WaybackURL: snap.WaybackURL(),
+			}
+		}
+		return resp, nil
+	})
+}
+
+func parseTimeout(v string) (time.Duration, error) {
+	if v == "" {
+		return 0, nil
+	}
+	if d, err := time.ParseDuration(v); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("negative timeout %q", v)
+		}
+		return d, nil
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("malformed timeout %q (want a duration like '2s' or milliseconds)", v)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// --- /v1/status ---
+
+type statusResponse struct {
+	URL  string          `json:"url"`
+	Live core.LiveStatus `json:"live"`
+}
+
+// handleStatus answers the §3 question for any URL: one live-web GET
+// against the simulated web plus the soft-404 probe for 200s.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rawURL := r.URL.Query().Get("url")
+	if rawURL == "" {
+		writeError(w, http.StatusBadRequest, "missing_url", "missing url parameter")
+		return
+	}
+	key := "s\x00" + urlutil.SchemeAgnosticKey(rawURL)
+	s.cachedJSON(w, key, func() (any, error) {
+		live, err := s.study.CheckLive(r.Context(), rawURL)
+		if err != nil {
+			return nil, err
+		}
+		return statusResponse{URL: rawURL, Live: live}, nil
+	})
+}
+
+// --- /v1/classify ---
+
+// handleClassify serves the full study verdict for one sampled link.
+// It runs inside the classify worker pool on top of the global gate:
+// classification fans out into a live fetch, soft-404 probes, and
+// archive scans, so its concurrency is bounded tighter than cheap
+// lookups.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	rawURL := r.URL.Query().Get("url")
+	if rawURL == "" {
+		writeError(w, http.StatusBadRequest, "missing_url", "missing url parameter")
+		return
+	}
+	rec, ok := s.records[urlutil.SchemeAgnosticKey(rawURL)]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_link",
+			"%s is not in the served sample of %d permanently dead links", rawURL, len(s.order))
+		return
+	}
+
+	if err := s.classifyPool.acquire(r.Context()); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "overloaded",
+			"classification pool full within the request deadline: %v", err)
+		return
+	}
+	defer s.classifyPool.release()
+
+	if s.testHookClassify != nil {
+		s.testHookClassify()
+	}
+
+	key := "c\x00" + urlutil.SchemeAgnosticKey(rec.URL)
+	s.cachedJSON(w, key, func() (any, error) {
+		return s.study.ClassifyLink(r.Context(), rec)
+	})
+}
+
+// --- /v1/sample ---
+
+type sampleResponse struct {
+	Total  int      `json:"total"`
+	Offset int      `json:"offset"`
+	Count  int      `json:"count"`
+	URLs   []string `json:"urls"`
+}
+
+// handleSample lists the served link population in sample order, so
+// load generators and clients can discover classifiable URLs.
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 100
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, "bad_n", "malformed n %q", v)
+			return
+		}
+		n = parsed
+	}
+	offset := 0
+	if v := q.Get("offset"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, "bad_offset", "malformed offset %q", v)
+			return
+		}
+		offset = parsed
+	}
+	resp := sampleResponse{Total: len(s.order), Offset: offset}
+	for i := offset; i < len(s.order) && len(resp.URLs) < n; i++ {
+		resp.URLs = append(resp.URLs, s.order[i].URL)
+	}
+	resp.Count = len(resp.URLs)
+	writeJSON(w, resp)
+}
+
+// --- /healthz ---
+
+type healthResponse struct {
+	Status     string  `json:"status"`
+	UptimeS    float64 `json:"uptime_s"`
+	SampleSize int     `json:"sample_size"`
+	InFlight   int     `json:"in_flight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:     "ok",
+		UptimeS:    time.Since(s.started).Seconds(),
+		SampleSize: len(s.order),
+		InFlight:   s.gate.inFlight(),
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+		return
+	}
+	writeJSON(w, resp)
+}

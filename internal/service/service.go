@@ -1,0 +1,221 @@
+// Package service is permadead's serving layer: a long-running HTTP
+// API answering link-status questions over a loaded or generated
+// universe. It exposes the three queries the paper's findings revolve
+// around —
+//
+//	GET /v1/availability?url=&ts=   closest-usable-snapshot lookup with
+//	                                the §4.1 timeout and §4.2 3xx
+//	                                policy as per-request knobs
+//	GET /v1/status?url=             live-web verdict (§3: Figure 4
+//	                                category + soft-404 probe)
+//	GET /v1/classify?url=           the full per-link study verdict
+//	                                (alive / usable-copy-missed /
+//	                                typo / coverage-gap / dead)
+//
+// plus /v1/sample (the sampled link population, for load generators),
+// /metrics (expvar-based counters, latency histograms, cache and memo
+// stats), and /healthz.
+//
+// Production shape: every /v1 request passes an admission-control
+// semaphore bounding total in-flight work (waiters queue until their
+// per-request deadline, then are shed with 503); classification
+// additionally runs inside a smaller bounded worker pool, since it
+// fans out into archive scans and live fetches. Successful responses
+// are cached in a sharded LRU keyed by canonical URL + policy knobs.
+// Errors use one JSON envelope. Shutdown drains: in-flight requests
+// complete while new ones get 503.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/persist"
+	"permadead/internal/simweb"
+	"permadead/internal/urlutil"
+)
+
+// Config tunes the server. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// Study configures sampling for the served universe (sample size,
+	// seed, crawl bounds, study day). The server collects the link
+	// population once at startup.
+	Study core.Config
+
+	// MaxInFlight bounds concurrently admitted /v1 requests. Requests
+	// beyond it queue until a slot frees or their deadline expires.
+	MaxInFlight int
+	// ClassifyWorkers bounds the classification worker pool nested
+	// inside the global gate (classification is the heavy endpoint:
+	// live fetch + soft-404 probe + archive scans).
+	ClassifyWorkers int
+	// RequestTimeout is the per-request deadline applied to every /v1
+	// request (admission wait included).
+	RequestTimeout time.Duration
+	// CacheEntries bounds the response cache (0 disables it);
+	// CacheShards is its shard count.
+	CacheEntries int
+	CacheShards  int
+	// MemoCap bounds the study memo's per-map entries
+	// (archive.NewMemoCapped); 0 means unbounded.
+	MemoCap int
+}
+
+// DefaultConfig returns production-shaped defaults over the paper's
+// study configuration.
+func DefaultConfig() Config {
+	return Config{
+		Study:           core.DefaultConfig(),
+		MaxInFlight:     64,
+		ClassifyWorkers: 32,
+		RequestTimeout:  10 * time.Second,
+		CacheEntries:    4096,
+		CacheShards:     16,
+		MemoCap:         1 << 16,
+	}
+}
+
+// Server is the link-status query service.
+type Server struct {
+	cfg   Config
+	study *core.Study
+
+	// records maps canonical (scheme/www-agnostic) URL keys to the
+	// sampled link records; order preserves sample order for /v1/sample.
+	records map[string]core.LinkRecord
+	order   []core.LinkRecord
+
+	cache        *Cache
+	gate         *admission // global in-flight bound
+	classifyPool *admission // nested classify worker pool
+	met          *metrics
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+	ln       net.Listener
+	started  time.Time
+
+	// testHookClassify, when set, runs inside every /v1/classify
+	// handler after admission — tests use it to hold requests in
+	// flight across a shutdown.
+	testHookClassify func()
+}
+
+// New builds a Server over a universe bundle. The bundle's archive is
+// frozen (idempotently) so concurrent request handlers read the
+// freeze-time CDX indexes lock-free; the link population is collected
+// up front, exactly as a batch study would.
+func New(b *persist.Bundle, cfg Config) (*Server, error) {
+	if cfg.MaxInFlight <= 0 || cfg.RequestTimeout <= 0 {
+		return nil, fmt.Errorf("service: config requires MaxInFlight > 0 and RequestTimeout > 0 (got %d, %v)",
+			cfg.MaxInFlight, cfg.RequestTimeout)
+	}
+	if cfg.ClassifyWorkers <= 0 || cfg.ClassifyWorkers > cfg.MaxInFlight {
+		cfg.ClassifyWorkers = cfg.MaxInFlight
+	}
+	b.Archive.Freeze()
+
+	study := &core.Study{
+		Config:  cfg.Study,
+		Wiki:    b.Wiki,
+		Arch:    b.Archive,
+		Client:  fetch.New(simweb.NewTransport(b.World, cfg.Study.StudyTime)),
+		Ranks:   b.World,
+		MemoCap: cfg.MemoCap,
+	}
+	records := study.Collect()
+	if len(records) == 0 {
+		return nil, fmt.Errorf("service: universe has no IABot-marked permanently dead links to serve")
+	}
+
+	s := &Server{
+		cfg:          cfg,
+		study:        study,
+		records:      make(map[string]core.LinkRecord, len(records)),
+		order:        records,
+		cache:        NewCache(cfg.CacheEntries, cfg.CacheShards),
+		gate:         newAdmission(cfg.MaxInFlight),
+		classifyPool: newAdmission(cfg.ClassifyWorkers),
+		met:          newMetrics([]string{"availability", "status", "classify", "sample"}),
+		started:      time.Now(),
+	}
+	for _, rec := range records {
+		key := urlutil.SchemeAgnosticKey(rec.URL)
+		if _, dup := s.records[key]; !dup {
+			s.records[key] = rec
+		}
+	}
+
+	s.met.publishFunc("cache", func() any { return s.cache.Stats() })
+	s.met.publishFunc("memo", func() any { return s.study.Memo().Stats() })
+	s.met.publishFunc("admission", func() any {
+		return map[string]any{
+			"in_flight":         s.gate.inFlight(),
+			"max_in_flight":     s.gate.max(),
+			"rejected":          s.gate.rejectedCount(),
+			"classify_in_use":   s.classifyPool.inFlight(),
+			"classify_workers":  s.classifyPool.max(),
+			"classify_rejected": s.classifyPool.rejectedCount(),
+		}
+	})
+	return s, nil
+}
+
+// SampleSize reports how many links the server can classify.
+func (s *Server) SampleSize() int { return len(s.order) }
+
+// Handler returns the full route tree (useful for tests and
+// embedding).
+func (s *Server) Handler() http.Handler { return s.routes() }
+
+// Start listens on addr and serves in the background. Use Addr to
+// learn the bound address (addr may end in ":0") and Shutdown to stop.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
+	return nil
+}
+
+// Addr returns the listener's address (empty before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// BeginDrain flips the server into draining mode without closing
+// anything: every new /v1 request is answered 503 and /healthz
+// reports draining, while in-flight requests keep running. Load
+// balancers use the health flip to stop routing here before Shutdown
+// closes the listener.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Shutdown drains the server gracefully: it begins draining (new
+// requests get 503), then waits — up to ctx — for in-flight requests
+// to complete before closing the listener and connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke-test the serving layer end to end: boot permadeadd over a
+# small generated universe, hit every endpoint once, then drive it
+# with loadgen and require sustained throughput with zero 5xx.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/permadeadd" ./cmd/permadeadd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+"$workdir/permadeadd" -addr 127.0.0.1:0 -scale 0.05 -addr-file "$workdir/addr" \
+  >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$workdir/addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "permadeadd died during startup:"; cat "$workdir/server.log"; exit 1; }
+  sleep 0.2
+done
+[ -s "$workdir/addr" ] || { echo "permadeadd never wrote its address"; cat "$workdir/server.log"; exit 1; }
+addr=$(cat "$workdir/addr")
+echo "permadeadd up on $addr"
+
+fail() { echo "FAIL: $1"; cat "$workdir/server.log"; exit 1; }
+
+# One URL from the served sample drives each endpoint once.
+url=$(curl -sf "http://$addr/v1/sample?n=1" | sed -n 's/.*"urls":\["\([^"]*\)".*/\1/p')
+[ -n "$url" ] || fail "/v1/sample returned no URL"
+curl -sf "http://$addr/v1/classify?url=$url" | grep -q '"verdict"' || fail "/v1/classify"
+curl -sf "http://$addr/v1/status?url=$url" | grep -q '"category"' || fail "/v1/status"
+curl -sf "http://$addr/v1/availability?url=$url" | grep -q '"available"' || fail "/v1/availability"
+curl -sf "http://$addr/healthz" | grep -q '"ok"' || fail "/healthz"
+echo "all endpoints answer"
+
+# Load: two rounds so the second one runs against a warm cache.
+# loadgen exits 1 on any 5xx, transport error, or zero successes.
+"$workdir/loadgen" -addr "$addr" -n 200 -c 16 || fail "loadgen round 1"
+"$workdir/loadgen" -addr "$addr" -n 200 -c 16 || fail "loadgen round 2"
+
+# The repeat traffic must have produced cache hits.
+curl -sf "http://$addr/metrics" | grep -q '"hits": *[1-9]' || fail "no cache hits in /metrics"
+
+# Zero 5xx across the whole run, as counted by the server itself.
+if curl -sf "http://$addr/metrics" | grep -q '"5xx": *[1-9]'; then
+  fail "server counted 5xx responses"
+fi
+
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "permadeadd did not drain cleanly"
+echo "service smoke OK"
