@@ -72,8 +72,12 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	el, ok := s.items[key]
+	var val []byte
 	if ok {
 		s.ll.MoveToFront(el)
+		// Read val under the lock: Put's overwrite branch mutates the
+		// entry's val field, and an unlocked read here races with it.
+		val = el.Value.(*cacheEntry).val
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -81,7 +85,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).val, true
+	return val, true
 }
 
 // Put stores val under key, evicting the shard's least recently used

@@ -100,17 +100,28 @@ func (s *Server) v1(name string, h func(w http.ResponseWriter, r *http.Request))
 	})
 }
 
+// tryServeCached serves the cached body for key if present, returning
+// whether it did. An empty key never hits.
+func (s *Server) tryServeCached(w http.ResponseWriter, key string) bool {
+	if key == "" {
+		return false
+	}
+	body, ok := s.cache.Get(key)
+	if !ok {
+		return false
+	}
+	w.Header().Set("X-Cache", "hit")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body) //nolint:errcheck
+	return true
+}
+
 // cachedJSON consults the response cache before computing; on a miss
 // it renders v() to JSON, stores it, and serves it. Only successful
 // computations are cached. An empty key bypasses the cache.
 func (s *Server) cachedJSON(w http.ResponseWriter, key string, v func() (any, error)) {
-	if key != "" {
-		if body, ok := s.cache.Get(key); ok {
-			w.Header().Set("X-Cache", "hit")
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			w.Write(body) //nolint:errcheck
-			return
-		}
+	if s.tryServeCached(w, key) {
+		return
 	}
 	val, err := v()
 	if err != nil {
@@ -131,11 +142,21 @@ func (s *Server) cachedJSON(w http.ResponseWriter, key string, v func() (any, er
 	w.Write(body) //nolint:errcheck
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// went away before we could answer. It keeps client-side aborts in the
+// 4xx class so they don't pollute server-error (5xx) accounting.
+const statusClientClosedRequest = 499
+
 // writeComputeError maps handler-level failures to the envelope:
-// deadline exhaustion becomes 504, everything else 500.
+// deadline exhaustion becomes 504, a client disconnect becomes 499
+// (a 4xx — the server did nothing wrong), everything else 500.
 func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	if errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded: %v", err)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeError(w, statusClientClosedRequest, "client_closed_request", "client closed request: %v", err)
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
@@ -224,8 +245,11 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The raw URL is part of the key (not just the canonical form)
+	// because the cached body echoes it back: two spellings of one
+	// canonical URL must not share a rendered response.
 	key := strings.Join([]string{
-		"a", urlutil.SchemeAgnosticKey(rawURL), strconv.Itoa(int(want)),
+		"a", urlutil.SchemeAgnosticKey(rawURL), rawURL, strconv.Itoa(int(want)),
 		strconv.Itoa(int(asOf)), timeout.String(), acceptName,
 	}, "\x00")
 	s.cachedJSON(w, key, func() (any, error) {
@@ -287,7 +311,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing_url", "missing url parameter")
 		return
 	}
-	key := "s\x00" + urlutil.SchemeAgnosticKey(rawURL)
+	// rawURL rides in the key because the body echoes it (see
+	// handleAvailability).
+	key := "s\x00" + urlutil.SchemeAgnosticKey(rawURL) + "\x00" + rawURL
 	s.cachedJSON(w, key, func() (any, error) {
 		live, err := s.study.CheckLive(r.Context(), rawURL)
 		if err != nil {
@@ -317,6 +343,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Probe the cache before taking a classify-pool slot: a hit costs
+	// nothing, so it must not queue behind (or be shed from) the small
+	// heavy-work pool. The body is rendered from rec, so the canonical
+	// key is safe to share across raw spellings.
+	key := "c\x00" + urlutil.SchemeAgnosticKey(rec.URL)
+	if s.tryServeCached(w, key) {
+		return
+	}
+
 	if err := s.classifyPool.acquire(r.Context()); err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "overloaded",
@@ -329,7 +364,6 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.testHookClassify()
 	}
 
-	key := "c\x00" + urlutil.SchemeAgnosticKey(rec.URL)
 	s.cachedJSON(w, key, func() (any, error) {
 		return s.study.ClassifyLink(r.Context(), rec)
 	})
