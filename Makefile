@@ -3,9 +3,9 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench benchsmoke servesmoke
+.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke
 
-check: vet build test race
+check: vet build test race retrysmoke
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,9 @@ benchsmoke:
 # endpoint, and drives it with loadgen — zero 5xx required.
 servesmoke:
 	./scripts/service_smoke.sh
+
+# retrysmoke runs the retry-policy ablation over a fully flaky small
+# universe and fails unless the false-dead rate strictly decreases
+# single-GET -> retry -> confirmation (DESIGN.md 3.4).
+retrysmoke:
+	$(GO) run ./cmd/ablate -scale 0.06 -seed 1 -flaky 1 -flaky-rate 0.6 -smoke

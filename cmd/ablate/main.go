@@ -4,9 +4,14 @@
 // parameters, the §5.1 capture-on-post delay, the §3 re-check cadence,
 // and the WaybackMedic intervention.
 //
+// With -flaky > 0 the generated universe gets transient-fault windows
+// and an extra sweep compares fetch policies (single GET vs retries vs
+// confirmation checks) by false-dead rate; -smoke runs only that sweep
+// and exits non-zero unless the rate strictly decreases up the ladder.
+//
 // Usage:
 //
-//	ablate [-scale f] [-seed n]
+//	ablate [-scale f] [-seed n] [-flaky f] [-flaky-rate f] [-smoke]
 package main
 
 import (
@@ -29,14 +34,24 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.1, "universe scale")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		figsDir = flag.String("figs", "", "write sweep SVG figures into this directory")
+		scale     = flag.Float64("scale", 0.1, "universe scale")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		figsDir   = flag.String("figs", "", "write sweep SVG figures into this directory")
+		flaky     = flag.Float64("flaky", 0, "fraction of sites given transient-fault windows (enables the retry-policy ablation)")
+		flakyRate = flag.Float64("flaky-rate", 0.5, "per-attempt failure probability inside a fault window")
+		smoke     = flag.Bool("smoke", false, "run only the retry-policy ablation and fail unless the false-dead rate strictly decreases single-GET → retry → confirmation")
 	)
 	flag.Parse()
 
+	if *smoke && *flaky <= 0 {
+		fmt.Fprintln(os.Stderr, "ablate: -smoke requires fault injection (-flaky > 0)")
+		os.Exit(2)
+	}
+
 	params := worldgen.DefaultParams().Scale(*scale)
 	params.Seed = *seed
+	params.FlakySiteFrac = *flaky
+	params.FlakyRate = *flakyRate
 	fmt.Fprintf(os.Stderr, "generating universe (scale %.2f)...\n", *scale)
 	u := worldgen.Generate(params)
 
@@ -55,6 +70,36 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sampled %d permanently dead links\n\n", len(records))
 	n := float64(len(records))
 	_ = context.Background()
+
+	// --- §3: false-dead rate vs retry policy (fault-injected universe). ---
+	var falseDeadPts []ablation.FalseDeadPoint
+	if *flaky > 0 {
+		falseDeadPts = ablation.FalseDeadSweep(u.World, records, u.Params.StudyTime,
+			ablation.DefaultRetryPolicySpecs())
+		t9 := stats.Table{
+			Title:   "Ablation §3: false-dead rate vs retry policy (fault-injected universe)",
+			Headers: []string{"Policy", "Truly alive", "False dead", "Rate", "Fetches spent"},
+		}
+		for _, pt := range falseDeadPts {
+			t9.AddRow(pt.Label, fmt.Sprint(pt.TrulyAlive),
+				fmt.Sprint(pt.FalseDead), fmt.Sprintf("%.1f%%", pt.Rate*100),
+				fmt.Sprint(pt.Fetches))
+		}
+		fmt.Println(t9.String())
+	}
+
+	if *smoke {
+		if err := writeFigs(*figsDir, figures.FalseDeadFigure(falseDeadPts)); err != nil {
+			fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := checkMonotone(falseDeadPts); err != nil {
+			fmt.Fprintf(os.Stderr, "ablate: smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "smoke OK: false-dead rate strictly decreases single-GET → retry → confirmation")
+		return
+	}
 
 	timeoutPts := ablation.TimeoutSweep(u.Archive, records, []time.Duration{
 		500 * time.Millisecond, time.Second, ablation.Baseline.AvailabilityTimeout,
@@ -181,20 +226,49 @@ func main() {
 		fmt.Sprint(res.WithRedirects.RedirectPatched), fmt.Sprint(res.WithRedirects.Unfixable))
 	fmt.Println(t5.String())
 
-	if *figsDir != "" {
-		if err := os.MkdirAll(*figsDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
-			os.Exit(1)
+	figs := figures.AblationSweeps(timeoutPts, delayPts, recheckPts)
+	for name, svg := range figures.FalseDeadFigure(falseDeadPts) {
+		figs[name] = svg
+	}
+	if err := writeFigs(*figsDir, figs); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeFigs writes each rendered SVG into dir (no-op when dir or figs
+// is empty).
+func writeFigs(dir string, figs map[string]string) error {
+	if dir == "" || len(figs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, svg := range figs {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
 		}
-		for name, svg := range figures.AblationSweeps(timeoutPts, delayPts, recheckPts) {
-			path := filepath.Join(*figsDir, name)
-			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// checkMonotone enforces the smoke invariant: each step up the retry
+// ladder must strictly reduce the false-dead count.
+func checkMonotone(pts []ablation.FalseDeadPoint) error {
+	if len(pts) < 2 {
+		return fmt.Errorf("retry sweep produced %d points; need at least 2", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		prev, cur := pts[i-1], pts[i]
+		if cur.FalseDead >= prev.FalseDead {
+			return fmt.Errorf("false-dead count did not strictly decrease: %q=%d vs %q=%d",
+				prev.Label, prev.FalseDead, cur.Label, cur.FalseDead)
 		}
 	}
+	return nil
 }
 
 func pctOf(n, of int) float64 {

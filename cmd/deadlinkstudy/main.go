@@ -43,6 +43,12 @@ func main() {
 		compare = flag.Bool("compare", false, "with -figs: also run the random sample and write both-sample overlays (the paper's Figure 3/4 style)")
 		timeout = flag.Duration("timeout", 15*time.Minute, "overall run timeout")
 		conc    = flag.Int("conc", core.DefaultConfig().Concurrency, "worker count for the fetch and analysis stages (1 = sequential; any value yields the same report)")
+
+		retries        = flag.Int("retries", 1, "max fetch attempts per live check (1 = the paper's single GET)")
+		confirmChecks  = flag.Int("confirm-checks", 1, "IABot-style confirmation checks before a dead verdict (1 = single check)")
+		confirmSpacing = flag.Int("confirm-spacing", 30, "simulated days between confirmation checks")
+		flaky          = flag.Float64("flaky", 0, "fraction of generated sites given transient-fault windows (0 = off)")
+		flakyRate      = flag.Float64("flaky-rate", 0.5, "per-attempt failure probability inside a fault window")
 	)
 	flag.Parse()
 
@@ -67,6 +73,8 @@ func main() {
 	} else {
 		params := worldgen.DefaultParams().Scale(*scale)
 		params.Seed = *seed
+		params.FlakySiteFrac = *flaky
+		params.FlakyRate = *flakyRate
 		params.Progress = func(stage string, done, total int) {
 			if total > 0 {
 				fmt.Fprintf(os.Stderr, "\r  %s: %d/%d        ", stage, done, total)
@@ -95,6 +103,9 @@ func main() {
 	}
 	cfg.CrawlArticles = 0
 	cfg.RandomArticles = *random
+	cfg.Retries = *retries
+	cfg.ConfirmChecks = *confirmChecks
+	cfg.ConfirmSpacingDays = *confirmSpacing
 
 	study := &core.Study{
 		Config: cfg,

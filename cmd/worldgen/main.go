@@ -26,11 +26,18 @@ func main() {
 		savePath = flag.String("save", "", "persist the generated universe (gob) to this file")
 		dumpPath = flag.String("dump", "", "export the simulated wiki as a MediaWiki XML dump to this file")
 		verbose  = flag.Bool("v", false, "print per-fate counts")
+
+		flaky          = flag.Float64("flaky", 0, "fraction of sites given transient-fault windows (0 = off; the study's default universe)")
+		flakyRate      = flag.Float64("flaky-rate", 0.5, "per-attempt failure probability inside a fault window")
+		flakyRetryWait = flag.Int("flaky-retry-after", 0, "Retry-After seconds advertised by injected 429/503 responses (0 = per-window default)")
 	)
 	flag.Parse()
 
 	params := worldgen.DefaultParams().Scale(*scale)
 	params.Seed = *seed
+	params.FlakySiteFrac = *flaky
+	params.FlakyRate = *flakyRate
+	params.FlakyRetryAfterSec = *flakyRetryWait
 
 	start := time.Now()
 	u := worldgen.Generate(params)

@@ -1,0 +1,63 @@
+package ablation
+
+import (
+	"testing"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+func TestFalseDeadSweepMonotone(t *testing.T) {
+	p := worldgen.SmallParams()
+	p.FlakySiteFrac = 1
+	p.FlakyRate = 0.6
+	u := worldgen.Generate(p)
+
+	cfg := core.DefaultConfig()
+	cfg.SampleSize = u.Params.SampleSize
+	cfg.CrawlArticles = 0
+	s := &core.Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+	}
+	records := s.Collect()
+	if len(records) == 0 {
+		t.Fatal("no records")
+	}
+
+	pts := FalseDeadSweep(u.World, records, u.Params.StudyTime, DefaultRetryPolicySpecs())
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].TrulyAlive == 0 {
+		t.Fatal("no truly-alive links in the fault-injected sample")
+	}
+	// The sweep's one job: each rung of the ladder strictly reduces
+	// false deads, and the single GET is genuinely fooled.
+	if pts[0].FalseDead == 0 {
+		t.Error("single GET was never fooled — injection too weak for the smoke to mean anything")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FalseDead >= pts[i-1].FalseDead {
+			t.Errorf("not strictly decreasing: %q=%d then %q=%d",
+				pts[i-1].Label, pts[i-1].FalseDead, pts[i].Label, pts[i].FalseDead)
+		}
+	}
+	// More aggressive policies spend more fetches.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Fetches < pts[i-1].Fetches {
+			t.Errorf("fetch spend decreased: %+v", pts)
+		}
+	}
+	// Determinism: a second sweep over the same universe is identical.
+	again := FalseDeadSweep(u.World, records, u.Params.StudyTime, DefaultRetryPolicySpecs())
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Errorf("sweep not deterministic: %+v vs %+v", pts[i], again[i])
+		}
+	}
+}

@@ -36,8 +36,13 @@ var ErrUnreachable = errors.New("archive: target unreachable at capture time")
 // Capture fetches url from the world as of day and stores a snapshot.
 // It returns the stored snapshot, or ErrUnreachable when the host did
 // not answer (in which case nothing is stored).
+//
+// Captures bypass transient-fault injection (simweb.NoFaultAttempt):
+// archival crawlers requeue and retry offline until a fetch completes,
+// so a flaky day changes when a capture lands, not whether it records
+// the page's true state.
 func (c *Crawler) Capture(url string, day simclock.Day) (Snapshot, error) {
-	res := c.World.Get(url, day)
+	res := c.World.GetAttempt(url, day, simweb.NoFaultAttempt)
 	if res.Kind != simweb.KindResponse {
 		return Snapshot{}, ErrUnreachable
 	}
@@ -57,7 +62,7 @@ func (c *Crawler) Capture(url string, day simclock.Day) (Snapshot, error) {
 		if hops == 0 {
 			snap.RedirectTo = next
 		}
-		nres := c.World.Get(next, day)
+		nres := c.World.GetAttempt(next, day, simweb.NoFaultAttempt)
 		if nres.Kind != simweb.KindResponse {
 			// Redirect into the void: keep what we have.
 			snap.FinalStatus = cur.Status

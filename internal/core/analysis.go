@@ -60,7 +60,7 @@ func (s *Study) LiveCheck(ctx context.Context, r *Report) error {
 	for i := range r.Records {
 		urls[i] = r.Records[i].URL
 	}
-	results := s.Client.FetchAll(ctx, urls, s.Config.Concurrency)
+	results := s.Fetcher().FetchAll(ctx, urls, s.Config.Concurrency)
 	if err := ctx.Err(); err != nil {
 		return err
 	}

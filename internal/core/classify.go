@@ -104,6 +104,9 @@ type LiveStatus struct {
 	Functional bool `json:"functional"`
 	// SoftReason explains the soft-404 probe's judgment for 200s.
 	SoftReason string `json:"soft_reason,omitempty"`
+	// Attempts is the number of HTTP fetches a retry policy spent on
+	// this verdict (absent under the default single-GET policy).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // ArchiveStatus is the §4–§5.1 archive-side half of a Classification.
@@ -139,17 +142,26 @@ type SpatialStatus struct {
 	TypoScanTruncated bool `json:"typo_scan_truncated,omitempty"`
 }
 
-// CheckLive runs the §3 live-web measurement for one URL: a single
-// GET through the study's client, Figure 4 classification, and the
-// soft-404 probe when the final status is 200. It is the live half of
+// CheckLive runs the §3 live-web measurement for one URL through the
+// study's configured fetch policy (single GET unless Config enables
+// retries/confirmation): Figure 4 classification plus the soft-404
+// probe when the final status is 200. It is the live half of
 // ClassifyLink, exported separately so callers (the serving layer's
 // /v1/status endpoint) can ask "is this link alive?" without an
 // archive-side record.
 func (s *Study) CheckLive(ctx context.Context, url string) (LiveStatus, error) {
+	return s.CheckLiveWith(ctx, s.Fetcher(), url)
+}
+
+// CheckLiveWith is CheckLive under an explicit fetch policy — the
+// serving layer builds per-request Retriers from query knobs. The
+// soft-404 probe always runs through the bare Client: probe fetches
+// are a similarity baseline, not a liveness verdict.
+func (s *Study) CheckLiveWith(ctx context.Context, f fetch.Fetcher, url string) (LiveStatus, error) {
 	if err := ctx.Err(); err != nil {
 		return LiveStatus{}, err
 	}
-	res := s.Client.Fetch(ctx, url)
+	res := f.Fetch(ctx, url)
 	if err := ctx.Err(); err != nil {
 		return LiveStatus{}, err
 	}
@@ -159,6 +171,7 @@ func (s *Study) CheckLive(ctx context.Context, url string) (LiveStatus, error) {
 		FinalStatus:   res.FinalStatus,
 		FinalURL:      res.FinalURL,
 		Redirected:    res.Redirected,
+		Attempts:      res.Attempts,
 	}
 	if res.Category == fetch.Cat200 {
 		v := softerror.NewDetector(s.Client).Check(ctx, res.URL, res)

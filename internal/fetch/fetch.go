@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -86,6 +87,13 @@ type Result struct {
 	Body string
 	// Err is the transport error for DNS/timeout/other failures.
 	Err error
+	// RetryAfter is the final response's Retry-After advertisement
+	// (integer-seconds form only; zero when absent).
+	RetryAfter time.Duration
+	// Attempts is the total number of HTTP fetches a Retrier spent on
+	// this result, retries and confirmation rechecks included. A bare
+	// Client leaves it zero.
+	Attempts int
 }
 
 // Client fetches URLs and classifies outcomes. The zero value is not
@@ -144,6 +152,13 @@ func New(rt http.RoundTripper, opts ...Option) *Client {
 // Fetch GETs rawURL, following redirects up to the configured limit,
 // and classifies the outcome.
 func (c *Client) Fetch(ctx context.Context, rawURL string) Result {
+	return c.FetchWithHeaders(ctx, rawURL, nil)
+}
+
+// FetchWithHeaders is Fetch with extra request headers applied to
+// every hop — how the Retrier threads the simulation's day and attempt
+// annotations through without the Client knowing about them.
+func (c *Client) FetchWithHeaders(ctx context.Context, rawURL string, extra http.Header) Result {
 	res := Result{URL: rawURL}
 	current := rawURL
 	for hop := 0; ; hop++ {
@@ -155,6 +170,11 @@ func (c *Client) Fetch(ctx context.Context, rawURL string) Result {
 			return res
 		}
 		req.Header.Set("User-Agent", c.userAgent)
+		for k, vs := range extra {
+			for _, v := range vs {
+				req.Header.Set(k, v)
+			}
+		}
 
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -162,7 +182,7 @@ func (c *Client) Fetch(ctx context.Context, rawURL string) Result {
 			return res
 		}
 
-		body := readBody(resp, c.maxBody)
+		body, readErr := readBody(resp, c.maxBody)
 		loc := resp.Header.Get("Location")
 		res.Hops = append(res.Hops, Hop{URL: current, Status: resp.StatusCode, Location: loc})
 		if hop == 0 {
@@ -171,6 +191,14 @@ func (c *Client) Fetch(ctx context.Context, rawURL string) Result {
 		res.FinalStatus = resp.StatusCode
 		res.FinalURL = current
 		res.Body = body
+		res.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		if readErr != nil {
+			// The transport died mid-body: a truncated read is a failed
+			// fetch, not a Cat200 with a short body (which would poison
+			// the soft-404 shingle comparison downstream).
+			res.Category, res.Err = classifyError(readErr), readErr
+			return res
+		}
 
 		if !isRedirect(resp.StatusCode) || loc == "" {
 			res.Category = classifyStatus(resp.StatusCode)
@@ -200,6 +228,13 @@ func (c *Client) Fetch(ctx context.Context, rawURL string) Result {
 // input. At most `concurrency` goroutines ever exist, regardless of
 // len(urls).
 func (c *Client) FetchAll(ctx context.Context, urls []string, concurrency int) []Result {
+	return fetchAll(ctx, urls, concurrency, c.Fetch)
+}
+
+// fetchAll is the worker-pool engine shared by Client.FetchAll and
+// Retrier.FetchAll: fn is invoked once per URL from at most
+// `concurrency` goroutines.
+func fetchAll(ctx context.Context, urls []string, concurrency int, fn func(context.Context, string) Result) []Result {
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -214,7 +249,7 @@ func (c *Client) FetchAll(ctx context.Context, urls []string, concurrency int) [
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = c.Fetch(ctx, urls[i])
+				results[i] = fn(ctx, urls[i])
 			}
 		}()
 	}
@@ -242,10 +277,23 @@ dispatch:
 	return results
 }
 
-func readBody(resp *http.Response, limit int64) string {
+func readBody(resp *http.Response, limit int64) (string, error) {
 	defer resp.Body.Close()
-	b, _ := io.ReadAll(io.LimitReader(resp.Body, limit))
-	return string(b)
+	b, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	return string(b), err
+}
+
+// parseRetryAfter reads the integer-seconds form of a Retry-After
+// header (the HTTP-date form is not used by the simulation).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func isRedirect(status int) bool {

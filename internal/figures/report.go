@@ -171,6 +171,27 @@ func AblationSweeps(
 	return out
 }
 
+// FalseDeadFigure renders the retry-policy ablation — the deliverable
+// figure for the transient-fault study: false-dead rate as a function
+// of the checking policy's worst-case fetch spend per link.
+func FalseDeadFigure(pts []ablation.FalseDeadPoint) map[string]string {
+	if len(pts) == 0 {
+		return nil
+	}
+	var rate LineSeries
+	rate.Name = "false-dead rate"
+	for _, pt := range pts {
+		rate.Points = append(rate.Points, XY{float64(pt.MaxFetchesPerLink), pt.Rate * 100})
+	}
+	return map[string]string{
+		"ablation-false-dead.svg": RenderLines(LinePlot{
+			Title:  "Ablation §3: false-dead rate vs retry policy (fault-injected universe)",
+			XLabel: "max fetches per link (attempts × checks)",
+			YLabel: "false-dead rate (% of truly-alive links)",
+		}, rate),
+	}
+}
+
 // CompareReport renders the Figure 3 and Figure 4 overlays exactly as
 // the paper draws them: the alphabetical dataset and the random
 // representativeness sample on shared axes (§2.4).

@@ -28,8 +28,10 @@ import (
 // formatVersion guards against decoding streams written by an
 // incompatible build. Version 2 moved the header to its own gob value
 // ahead of the body, so a mismatched stream can report the version it
-// actually carries instead of failing opaquely mid-decode.
-const formatVersion = 2
+// actually carries instead of failing opaquely mid-decode. Version 3
+// added per-site transient-fault windows — semantic state a fault-
+// unaware reader would silently drop, hence the bump.
+const formatVersion = 3
 
 // Bundle is the restorable state of a universe.
 type Bundle struct {
@@ -67,7 +69,17 @@ type siteRec struct {
 	ErrorStyleSwitchAt simclock.Day
 	ErrorStyleAfter    uint8
 	LoginPath          string
+	Faults             []faultRec
 	Pages              []pageRec
+}
+
+type faultRec struct {
+	From          simclock.Day
+	To            simclock.Day
+	Mode          uint8
+	Rate          float64
+	RetryAfterSec int
+	Seed          uint64
 }
 
 type pageRec struct {
@@ -135,6 +147,12 @@ func Save(w io.Writer, b *Bundle) error {
 			ErrorStyleSwitchAt: s.ErrorStyleSwitchAt,
 			ErrorStyleAfter:    uint8(s.ErrorStyleAfter),
 			LoginPath:          s.LoginPath,
+		}
+		for _, fw := range s.Faults {
+			rec.Faults = append(rec.Faults, faultRec{
+				From: fw.From, To: fw.To, Mode: uint8(fw.Mode),
+				Rate: fw.Rate, RetryAfterSec: fw.RetryAfterSec, Seed: fw.Seed,
+			})
 		}
 		s.EachPage(func(p *simweb.Page) {
 			rec.Pages = append(rec.Pages, pageRec{
@@ -215,6 +233,12 @@ func Load(r io.Reader) (*Bundle, error) {
 		s.ErrorStyleSwitchAt = rec.ErrorStyleSwitchAt
 		s.ErrorStyleAfter = simweb.ErrorStyle(rec.ErrorStyleAfter)
 		s.LoginPath = rec.LoginPath
+		for _, fr := range rec.Faults {
+			s.Faults = append(s.Faults, simweb.FaultWindow{
+				From: fr.From, To: fr.To, Mode: simweb.FaultMode(fr.Mode),
+				Rate: fr.Rate, RetryAfterSec: fr.RetryAfterSec, Seed: fr.Seed,
+			})
+		}
 		for _, pr := range rec.Pages {
 			p := s.AddPage(pr.Path, pr.Created)
 			p.DeletedAt = pr.DeletedAt

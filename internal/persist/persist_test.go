@@ -130,3 +130,55 @@ func TestLoadReportsFoundVersion(t *testing.T) {
 		t.Errorf("error does not name the supported version: %v", err)
 	}
 }
+
+func TestFaultWindowsRoundTrip(t *testing.T) {
+	p := worldgen.SmallParams()
+	p.FlakySiteFrac = 0.5
+	p.FlakyRate = 0.7
+	p.FlakyRetryAfterSec = 33
+	u := worldgen.Generate(p)
+
+	count := func(w *simweb.World) (sites, windows int) {
+		w.EachSite(func(s *simweb.Site) {
+			if len(s.Faults) > 0 {
+				sites++
+				windows += len(s.Faults)
+			}
+		})
+		return
+	}
+	origSites, origWindows := count(u.World)
+	if origSites == 0 {
+		t.Fatal("generation planted no fault windows")
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, FromUniverse(u)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSites, gotWindows := count(b.World)
+	if gotSites != origSites || gotWindows != origWindows {
+		t.Fatalf("faults: %d sites/%d windows vs %d/%d", gotSites, gotWindows, origSites, origWindows)
+	}
+
+	// Window contents survive exactly — fault schedules are seed-pure,
+	// so any field drift would change measured outcomes.
+	for _, host := range u.World.Hostnames() {
+		a, z := u.World.Site(host), b.World.Site(host)
+		if len(a.Faults) != len(z.Faults) {
+			t.Fatalf("%s: %d vs %d windows", host, len(a.Faults), len(z.Faults))
+		}
+		for i := range a.Faults {
+			if a.Faults[i] != z.Faults[i] {
+				t.Fatalf("%s window %d: %+v vs %+v", host, i, a.Faults[i], z.Faults[i])
+			}
+		}
+	}
+	if b.Params.FlakySiteFrac != p.FlakySiteFrac || b.Params.FlakyRate != p.FlakyRate {
+		t.Errorf("flaky params lost: %+v", b.Params)
+	}
+}

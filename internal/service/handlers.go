@@ -12,6 +12,7 @@ import (
 
 	"permadead/internal/archive"
 	"permadead/internal/core"
+	"permadead/internal/fetch"
 	"permadead/internal/simclock"
 	"permadead/internal/urlutil"
 )
@@ -299,28 +300,108 @@ func parseTimeout(v string) (time.Duration, error) {
 // --- /v1/status ---
 
 type statusResponse struct {
-	URL  string          `json:"url"`
-	Live core.LiveStatus `json:"live"`
+	URL    string          `json:"url"`
+	Policy *statusPolicy   `json:"policy,omitempty"`
+	Live   core.LiveStatus `json:"live"`
 }
 
-// handleStatus answers the §3 question for any URL: one live-web GET
-// against the simulated web plus the soft-404 probe for 200s.
+// statusPolicy echoes non-default retry knobs back to the client (the
+// default single-GET policy omits it, keeping those responses
+// byte-identical to a knob-unaware build).
+type statusPolicy struct {
+	Retries       int `json:"retries"`
+	ConfirmChecks int `json:"confirm_checks,omitempty"`
+	SpacingDays   int `json:"spacing_days,omitempty"`
+}
+
+// handleStatus answers the §3 question for any URL: a live-web check
+// against the simulated web plus the soft-404 probe for 200s. By
+// default it issues the paper's single GET; three query knobs select a
+// production-checker policy instead (fetch.Retrier semantics):
+//
+//	retries  — max attempts per check, transient failures only (1–10)
+//	confirm  — consecutive failed checks required before the link
+//	           counts dead (1–10)
+//	spacing  — simulated days between confirmation checks (default 30)
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	rawURL := r.URL.Query().Get("url")
+	q := r.URL.Query()
+	rawURL := q.Get("url")
 	if rawURL == "" {
 		writeError(w, http.StatusBadRequest, "missing_url", "missing url parameter")
 		return
 	}
+	retries, err := parseKnob(q.Get("retries"), 1, 1, 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_retries", "%v", err)
+		return
+	}
+	confirm, err := parseKnob(q.Get("confirm"), 1, 1, 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_confirm", "%v", err)
+		return
+	}
+	spacing, err := parseKnob(q.Get("spacing"), 30, 0, 3650)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_spacing", "%v", err)
+		return
+	}
+
 	// rawURL rides in the key because the body echoes it (see
-	// handleAvailability).
+	// handleAvailability); non-default policies get their own entries.
 	key := "s\x00" + urlutil.SchemeAgnosticKey(rawURL) + "\x00" + rawURL
+	if retries > 1 || confirm > 1 {
+		key += "\x00r" + strconv.Itoa(retries) + "\x00c" + strconv.Itoa(confirm) +
+			"\x00d" + strconv.Itoa(spacing)
+	}
 	s.cachedJSON(w, key, func() (any, error) {
-		live, err := s.study.CheckLive(r.Context(), rawURL)
+		resp := statusResponse{URL: rawURL}
+		var live core.LiveStatus
+		var err error
+		if retries > 1 || confirm > 1 {
+			live, err = s.study.CheckLiveWith(r.Context(), s.retrier(retries, confirm, spacing), rawURL)
+			resp.Policy = &statusPolicy{Retries: retries}
+			if confirm > 1 {
+				resp.Policy.ConfirmChecks = confirm
+				resp.Policy.SpacingDays = spacing
+			}
+		} else {
+			live, err = s.study.CheckLive(r.Context(), rawURL)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return statusResponse{URL: rawURL, Live: live}, nil
+		resp.Live = live
+		return resp, nil
 	})
+}
+
+// retrier builds a per-request retry policy over the study's client,
+// feeding the server-wide retry counters.
+func (s *Server) retrier(retries, confirm, spacing int) *fetch.Retrier {
+	pol := fetch.DefaultRetryPolicy()
+	pol.MaxAttempts = retries
+	if confirm > 1 {
+		pol.ConfirmChecks = confirm
+		pol.ConfirmSpacingDays = spacing
+	}
+	pol.JitterSeed = s.cfg.Study.Seed
+	rt := fetch.NewRetrier(s.study.Client, pol)
+	rt.Day = int(s.cfg.Study.StudyTime)
+	rt.Sleep = fetch.NopSleep
+	rt.Stats = s.retryStats
+	return rt
+}
+
+// parseKnob parses an integer query knob with a default and bounds.
+func parseKnob(v string, def, lo, hi int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < lo || n > hi {
+		return 0, fmt.Errorf("malformed value %q (want an integer in [%d, %d])", v, lo, hi)
+	}
+	return n, nil
 }
 
 // --- /v1/classify ---

@@ -96,6 +96,9 @@ type Server struct {
 	gate         *admission // global in-flight bound
 	classifyPool *admission // nested classify worker pool
 	met          *metrics
+	// retryStats aggregates fetch.Retrier activity across all
+	// /v1/status requests that opt into a retry policy.
+	retryStats *fetch.RetryStats
 
 	draining atomic.Bool
 	httpSrv  *http.Server
@@ -144,6 +147,7 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		gate:         newAdmission(cfg.MaxInFlight),
 		classifyPool: newAdmission(cfg.ClassifyWorkers),
 		met:          newMetrics([]string{"availability", "status", "classify", "sample"}),
+		retryStats:   new(fetch.RetryStats),
 		started:      time.Now(),
 	}
 	for _, rec := range records {
@@ -154,6 +158,7 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 	}
 
 	s.met.publishFunc("cache", func() any { return s.cache.Stats() })
+	s.met.publishFunc("retry", func() any { return s.retryStats.Snapshot() })
 	s.met.publishFunc("memo", func() any { return s.study.Memo().Stats() })
 	s.met.publishFunc("admission", func() any {
 		return map[string]any{

@@ -345,3 +345,64 @@ func TestAdmissionShedsAtCapacity(t *testing.T) {
 }
 
 func queryEscape(s string) string { return neturl.QueryEscape(s) }
+
+// TestStatusRetryKnobs exercises the /v1/status retry policy: default
+// requests carry no policy echo and touch no retry counters, opting in
+// echoes the policy and counts attempts, and malformed knobs are 400s.
+func TestStatusRetryKnobs(t *testing.T) {
+	_, r := fixture(t)
+	s := newServer(t, nil)
+	h := s.Handler()
+	url := queryEscape(r.Records[0].URL)
+
+	var def statusResponse
+	getJSON(t, h, "/v1/status?url="+url, http.StatusOK, &def)
+	if def.Policy != nil {
+		t.Errorf("default request echoed a policy: %+v", def.Policy)
+	}
+	if got := s.retryStats.Snapshot(); got.Attempts != 0 {
+		t.Errorf("default request consumed retry attempts: %+v", got)
+	}
+
+	var with statusResponse
+	getJSON(t, h, "/v1/status?url="+url+"&retries=3&confirm=2&spacing=45", http.StatusOK, &with)
+	if with.Policy == nil || with.Policy.Retries != 3 ||
+		with.Policy.ConfirmChecks != 2 || with.Policy.SpacingDays != 45 {
+		t.Fatalf("policy echo = %+v", with.Policy)
+	}
+	// The universe has no fault windows, so the verdict matches the
+	// single-GET one; only the accounting differs.
+	if with.Live.Category != def.Live.Category {
+		t.Errorf("retry policy changed verdict in a fault-free universe: %q vs %q",
+			with.Live.Category, def.Live.Category)
+	}
+	st := s.retryStats.Snapshot()
+	if st.Attempts == 0 || st.Checks == 0 {
+		t.Errorf("opt-in request recorded no retry stats: %+v", st)
+	}
+
+	// The policy verdict is cached under its own key, not the default's.
+	var cached statusResponse
+	getJSON(t, h, "/v1/status?url="+url+"&retries=3&confirm=2&spacing=45", http.StatusOK, &cached)
+	if cached.Policy == nil {
+		t.Error("cached policy response lost its policy echo")
+	}
+	getJSON(t, h, "/v1/status?url="+url, http.StatusOK, &def)
+	if def.Policy != nil {
+		t.Error("default request served the policy variant from cache")
+	}
+
+	var env errorEnvelope
+	getJSON(t, h, "/v1/status?url="+url+"&retries=0", http.StatusBadRequest, &env)
+	if env.Error.Code != "bad_retries" {
+		t.Errorf("code = %q", env.Error.Code)
+	}
+	getJSON(t, h, "/v1/status?url="+url+"&confirm=banana", http.StatusBadRequest, &env)
+	if env.Error.Code != "bad_confirm" {
+		t.Errorf("code = %q", env.Error.Code)
+	}
+	getJSON(t, h, "/v1/status?url="+url+"&spacing=-1", http.StatusBadRequest, &env)
+	if env.Error.Code != "bad_spacing" {
+		t.Errorf("code = %q", env.Error.Code)
+	}
+}

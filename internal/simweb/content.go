@@ -166,6 +166,27 @@ func outageBody(s *Site) string {
 		s.Hostname)
 }
 
+// busyBody is the 503 page served when a FaultServerBusy window fires
+// — deliberately distinct from outageBody so tests can tell a
+// transient fault from a planned outage.
+func busyBody(s *Site) string {
+	return fmt.Sprintf(
+		"<html><head><title>503 Service Unavailable</title></head><body>"+
+			"<h1>We'll be right back</h1><p>%s is experiencing unusually "+
+			"high load. Please retry shortly.</p></body></html>\n",
+		s.Hostname)
+}
+
+// rateLimitBody is the 429 page served when a FaultRateLimit window
+// fires.
+func rateLimitBody(s *Site) string {
+	return fmt.Sprintf(
+		"<html><head><title>429 Too Many Requests</title></head><body>"+
+			"<h1>Too Many Requests</h1><p>You have sent too many requests "+
+			"to %s. Slow down and retry.</p></body></html>\n",
+		s.Hostname)
+}
+
 // geoBlockBody is the 403 page served to blocked vantage points.
 func geoBlockBody(s *Site) string {
 	return fmt.Sprintf(

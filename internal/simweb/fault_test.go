@@ -1,0 +1,254 @@
+package simweb
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"permadead/internal/simclock"
+)
+
+// faultWorld builds a world with one healthy page on flaky.simtest and
+// one fault window covering StudyTime with the given mode and rate.
+func faultWorld(mode FaultMode, rate float64, retryAfter int) *World {
+	w := NewWorld()
+	created := simclock.FromDate(2008, 1, 1)
+	s := w.AddSite("flaky.simtest", created)
+	s.AddPage("/page.html", created)
+	s.Faults = []FaultWindow{{
+		From:          simclock.StudyTime.Add(-10),
+		To:            simclock.StudyTime.Add(10),
+		Mode:          mode,
+		Rate:          rate,
+		RetryAfterSec: retryAfter,
+		Seed:          7,
+	}}
+	return w
+}
+
+func TestFaultWindowActiveOn(t *testing.T) {
+	fw := FaultWindow{From: 100, To: 110}
+	for day, want := range map[simclock.Day]bool{
+		99: false, 100: true, 109: true, 110: false,
+	} {
+		if got := fw.ActiveOn(day); got != want {
+			t.Errorf("ActiveOn(%d) = %v, want %v", day, got, want)
+		}
+	}
+	open := FaultWindow{From: 100, To: simclock.Never}
+	if !open.ActiveOn(100000) {
+		t.Error("open-ended window should stay active")
+	}
+}
+
+func TestFaultDecisionsDeterministic(t *testing.T) {
+	w := faultWorld(FaultServerBusy, 0.5, 0)
+	day := simclock.StudyTime
+	for attempt := 0; attempt < 8; attempt++ {
+		a := w.GetAttempt("http://flaky.simtest/page.html", day, attempt)
+		b := w.GetAttempt("http://flaky.simtest/page.html", day, attempt)
+		if a.Kind != b.Kind || a.Status != b.Status {
+			t.Fatalf("attempt %d not deterministic: %+v vs %+v", attempt, a, b)
+		}
+	}
+	// At rate 0.5 across 64 (day, attempt) pairs, both outcomes must
+	// appear — otherwise the hash is not mixing.
+	var faulted, clean int
+	for attempt := 0; attempt < 64; attempt++ {
+		if res := w.GetAttempt("http://flaky.simtest/page.html", day, attempt); res.Status == 503 {
+			faulted++
+		} else {
+			clean++
+		}
+	}
+	if faulted == 0 || clean == 0 {
+		t.Errorf("rate-0.5 window produced faulted=%d clean=%d over 64 attempts", faulted, clean)
+	}
+}
+
+func TestFaultModes(t *testing.T) {
+	day := simclock.StudyTime
+	url := "http://flaky.simtest/page.html"
+
+	res := faultWorld(FaultServerBusy, 1, 0).Get(url, day)
+	if res.Kind != KindResponse || res.Status != 503 {
+		t.Errorf("busy: %+v", res)
+	}
+	if res.RetryAfterSec != 120 {
+		t.Errorf("busy Retry-After default = %d, want 120", res.RetryAfterSec)
+	}
+
+	res = faultWorld(FaultRateLimit, 1, 30).Get(url, day)
+	if res.Kind != KindResponse || res.Status != 429 || res.RetryAfterSec != 30 {
+		t.Errorf("rate limit: %+v", res)
+	}
+
+	if res = faultWorld(FaultTimeout, 1, 0).Get(url, day); res.Kind != KindTimeout {
+		t.Errorf("timeout: %+v", res)
+	}
+	if res = faultWorld(FaultDNSFlap, 1, 0).Get(url, day); res.Kind != KindDNSFailure {
+		t.Errorf("dns flap: %+v", res)
+	}
+}
+
+func TestFaultOutsideWindowAndBypass(t *testing.T) {
+	w := faultWorld(FaultServerBusy, 1, 0)
+	url := "http://flaky.simtest/page.html"
+
+	// Outside the window the page is fine.
+	if res := w.Get(url, simclock.StudyTime.Add(20)); res.Status != 200 {
+		t.Errorf("outside window: %+v", res)
+	}
+	// NoFaultAttempt bypasses an always-firing window.
+	if res := w.GetAttempt(url, simclock.StudyTime, NoFaultAttempt); res.Status != 200 {
+		t.Errorf("NoFaultAttempt: %+v", res)
+	}
+	// Zero-rate windows never fire.
+	w2 := faultWorld(FaultServerBusy, 0, 0)
+	if res := w2.Get(url, simclock.StudyTime); res.Status != 200 {
+		t.Errorf("rate 0: %+v", res)
+	}
+}
+
+func TestGetEqualsGetAttemptZeroWithoutFaults(t *testing.T) {
+	w := NewWorld()
+	created := simclock.FromDate(2008, 1, 1)
+	s := w.AddSite("plain.simtest", created)
+	s.AddPage("/p.html", created)
+	for _, day := range []simclock.Day{created, simclock.StudyTime} {
+		a := w.Get("http://plain.simtest/p.html", day)
+		b := w.GetAttempt("http://plain.simtest/p.html", day, 0)
+		if a != b {
+			t.Errorf("day %d: Get != GetAttempt(0): %+v vs %+v", day, a, b)
+		}
+	}
+}
+
+func TestTransportFaultInjection(t *testing.T) {
+	w := faultWorld(FaultServerBusy, 1, 45)
+	tr := NewTransport(w, simclock.StudyTime)
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, "http://flaky.simtest/page.html", nil)
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") != "45" {
+		t.Errorf("status=%d Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// The fault-free transport sees through the same window.
+	ff := NewFaultFreeTransport(w, simclock.StudyTime)
+	resp, err = ff.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("fault-free status = %d", resp.StatusCode)
+	}
+}
+
+func TestTransportAttemptHeader(t *testing.T) {
+	w := faultWorld(FaultServerBusy, 0.5, 0)
+	tr := NewTransport(w, simclock.StudyTime)
+	url := "http://flaky.simtest/page.html"
+
+	// Header-carried attempts must match direct GetAttempt calls.
+	for attempt := 0; attempt < 8; attempt++ {
+		want := w.GetAttempt(url, simclock.StudyTime, attempt)
+		req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+		if attempt > 0 {
+			req.Header.Set(AttemptHeader, strconv.Itoa(attempt))
+		}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want.Status {
+			t.Errorf("attempt %d: transport=%d direct=%d", attempt, resp.StatusCode, want.Status)
+		}
+	}
+
+	// A malformed attempt header is an error, like a malformed day.
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	req.Header.Set(AttemptHeader, "banana")
+	if _, err := tr.RoundTrip(req); err == nil || !strings.Contains(err.Error(), AttemptHeader) {
+		t.Errorf("bad attempt header: err = %v", err)
+	}
+}
+
+func TestHeadContentLength(t *testing.T) {
+	w := NewWorld()
+	created := simclock.FromDate(2008, 1, 1)
+	s := w.AddSite("ok.simtest", created)
+	s.AddPage("/page.html", created)
+	tr := NewTransport(w, simclock.StudyTime)
+
+	get, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, "http://ok.simtest/page.html", nil)
+	gresp, err := tr.RoundTrip(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbody := readAll(t, gresp)
+	if len(gbody) == 0 {
+		t.Fatal("GET body empty")
+	}
+
+	head, _ := http.NewRequestWithContext(context.Background(), http.MethodHead, "http://ok.simtest/page.html", nil)
+	hresp, err := tr.RoundTrip(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody := readAll(t, hresp)
+	if len(hbody) != 0 {
+		t.Errorf("HEAD body = %d bytes, want empty", len(hbody))
+	}
+	// Real servers answer HEAD with the GET entity's Content-Length.
+	if got, want := hresp.Header.Get("Content-Length"), gresp.Header.Get("Content-Length"); got != want || got == "0" {
+		t.Errorf("HEAD Content-Length = %q, GET = %q", got, want)
+	}
+	if hresp.ContentLength != int64(len(gbody)) {
+		t.Errorf("HEAD ContentLength = %d, want %d", hresp.ContentLength, len(gbody))
+	}
+}
+
+func TestTimeoutErrorAddr(t *testing.T) {
+	w := NewWorld()
+	created := simclock.FromDate(2008, 1, 1)
+	s := w.AddSite("hang.simtest", created)
+	s.TimeoutFrom = created
+	tr := NewTransport(w, simclock.StudyTime)
+
+	for _, tc := range []struct{ url, wantAddr string }{
+		{"http://hang.simtest/", "hang.simtest:80"},
+		{"https://hang.simtest/", "hang.simtest:443"},
+		{"http://hang.simtest:8080/", "hang.simtest:8080"},
+	} {
+		req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, tc.url, nil)
+		_, err := tr.RoundTrip(req)
+		if err == nil {
+			t.Fatalf("%s: expected timeout", tc.url)
+		}
+		if !strings.Contains(err.Error(), tc.wantAddr) {
+			t.Errorf("%s: err %q missing %q", tc.url, err, tc.wantAddr)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

@@ -19,6 +19,9 @@ type Result struct {
 	Location string
 	// ContentType of the body; defaults to text/html.
 	ContentType string
+	// RetryAfterSec, when positive, is the Retry-After header value
+	// (in seconds) accompanying 503/429 fault responses.
+	RetryAfterSec int
 }
 
 // ResultKind classifies the transport-level outcome of a request.
@@ -38,6 +41,14 @@ const (
 // the single-hop result: redirects are NOT followed here — that is the
 // client's job, exactly as on the real web.
 func (w *World) Get(rawURL string, day simclock.Day) Result {
+	return w.GetAttempt(rawURL, day, 0)
+}
+
+// GetAttempt is Get with an explicit attempt number for transient-
+// fault evaluation: attempt 0 is the first try, higher numbers are
+// retries (each re-rolls the fault schedule), and NoFaultAttempt
+// bypasses fault injection entirely.
+func (w *World) GetAttempt(rawURL string, day simclock.Day, attempt int) Result {
 	u, err := url.Parse(strings.TrimSpace(rawURL))
 	if err != nil || u.Host == "" {
 		// An unparseable URL can never resolve.
@@ -51,15 +62,29 @@ func (w *World) Get(rawURL string, day simclock.Day) Result {
 	if u.RawQuery != "" {
 		pq += "?" + u.RawQuery
 	}
-	return w.GetPath(host, pq, day)
+	return w.GetPathAttempt(host, pq, day, attempt)
 }
 
 // GetPath is Get for an already-split hostname and path?query string.
 func (w *World) GetPath(host, pathQuery string, day simclock.Day) Result {
+	return w.GetPathAttempt(host, pathQuery, day, 0)
+}
+
+// GetPathAttempt is GetPath with an explicit attempt number (see
+// GetAttempt).
+func (w *World) GetPathAttempt(host, pathQuery string, day simclock.Day, attempt int) Result {
 	if !w.Resolves(host, day) {
 		return Result{Kind: KindDNSFailure}
 	}
 	s := w.Site(host)
+
+	// Transient faults fire at the edge — resolver flap, overloaded
+	// front end — before the origin's own lifecycle state is consulted.
+	if len(s.Faults) > 0 {
+		if fw, ok := s.faultAt(day, attempt); ok {
+			return faultResult(s, fw)
+		}
+	}
 
 	// Server-level states, in precedence order. A host whose server
 	// hangs does so before any HTTP exchange; parking replaces all

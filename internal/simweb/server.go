@@ -99,6 +99,12 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 			day = simclock.Day(n)
 		}
 	}
+	attempt := 0
+	if h := r.Header.Get(AttemptHeader); h != "" {
+		if n, err := strconv.Atoi(h); err == nil {
+			attempt = n
+		}
+	}
 	host := r.Host
 	if h, _, err := net.SplitHostPort(host); err == nil {
 		host = h
@@ -111,9 +117,15 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		pq += "?" + r.URL.RawQuery
 	}
 
-	res := s.World.GetPath(host, pq, day)
+	res := s.World.GetPathAttempt(host, pq, day, attempt)
 	switch res.Kind {
 	case KindDNSFailure:
+		if s.World.Resolves(host, day) {
+			// A DNS-flap fault, not a lapsed registration: the dialer
+			// already connected us, so the closest real-network analogue
+			// is the connection dying mid-exchange.
+			panic(http.ErrAbortHandler)
+		}
 		// The dialer should have failed this request already; if a
 		// client reaches us anyway (e.g. via direct IP), answer 502 so
 		// the mismatch is visible rather than silent.
@@ -139,6 +151,14 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 			scheme = "https"
 		}
 		w.Header().Set("Location", ResolveLocation(scheme, r.Host, res.Location))
+	}
+	if res.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(res.RetryAfterSec))
+	}
+	if r.Method == http.MethodHead {
+		// Mirror real servers (and the in-process Transport): HEAD
+		// advertises the GET entity's length with an empty body.
+		w.Header().Set("Content-Length", strconv.Itoa(len(res.Body)))
 	}
 	w.WriteHeader(res.Status)
 	if r.Method != http.MethodHead {
@@ -171,7 +191,7 @@ func (s *Server) Transport(dialTimeout time.Duration) http.RoundTripper {
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-timer.C:
-				return nil, &timeoutError{host: host}
+				return nil, &timeoutError{addr: addr}
 			}
 		}
 		var d net.Dialer

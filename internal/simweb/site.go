@@ -103,6 +103,10 @@ type Site struct {
 	// Seed perturbs generated page content so distinct sites do not
 	// share bodies.
 	Seed uint64
+	// Faults are the site's transient-fault windows (see fault.go).
+	// Empty for healthy sites; worldgen populates them only when fault
+	// injection is enabled.
+	Faults []FaultWindow
 
 	// pages maps path?query → page. Guarded by the World lock.
 	pages map[string]*Page

@@ -17,6 +17,13 @@ import (
 // by Server) and never reaches response generation.
 const DayHeader = "X-Sim-Day"
 
+// AttemptHeader carries the retry attempt number (0 = first try) into
+// transient-fault evaluation: each attempt re-rolls the site's fault
+// schedule, so a retrying client can succeed on a later attempt within
+// the same simulated day. Like DayHeader it is consumed by the
+// transport (and by Server) and never reaches response generation.
+const AttemptHeader = "X-Sim-Attempt"
+
 // Transport is an http.RoundTripper that answers requests from the
 // world without touching the network. It synthesizes the same error
 // types a real *http.Transport would surface — *net.DNSError for
@@ -27,11 +34,20 @@ type Transport struct {
 	// At is the simulated day requests are evaluated at, unless the
 	// request carries DayHeader.
 	At simclock.Day
+	// NoFaults bypasses transient-fault injection for every request on
+	// this transport (ground-truth readers, ablation baselines).
+	NoFaults bool
 }
 
 // NewTransport returns a Transport pinned to the given day.
 func NewTransport(w *World, at simclock.Day) *Transport {
 	return &Transport{World: w, At: at}
+}
+
+// NewFaultFreeTransport returns a Transport pinned to the given day
+// that never observes transient faults.
+func NewFaultFreeTransport(w *World, at simclock.Day) *Transport {
+	return &Transport{World: w, At: at, NoFaults: true}
 }
 
 // RoundTrip implements http.RoundTripper.
@@ -48,6 +64,17 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		day = simclock.Day(n)
 	}
 
+	attempt := 0
+	if t.NoFaults {
+		attempt = NoFaultAttempt
+	} else if h := req.Header.Get(AttemptHeader); h != "" {
+		n, err := strconv.Atoi(h)
+		if err != nil {
+			return nil, fmt.Errorf("simweb: bad %s header %q: %w", AttemptHeader, h, err)
+		}
+		attempt = n
+	}
+
 	host := req.URL.Hostname()
 	pq := req.URL.EscapedPath()
 	if pq == "" {
@@ -57,7 +84,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		pq += "?" + req.URL.RawQuery
 	}
 
-	res := t.World.GetPath(host, pq, day)
+	res := t.World.GetPathAttempt(host, pq, day, attempt)
 	switch res.Kind {
 	case KindDNSFailure:
 		return nil, &net.DNSError{
@@ -71,18 +98,32 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		if err := req.Context().Err(); err != nil {
 			return nil, err
 		}
-		return nil, &timeoutError{host: host}
+		return nil, &timeoutError{addr: dialAddr(req)}
 	}
 
 	return buildResponse(req, res), nil
 }
 
+// dialAddr reconstructs the host:port a real dialer would have been
+// connecting to, defaulting the port from the request's scheme.
+func dialAddr(req *http.Request) string {
+	host := req.URL.Hostname()
+	port := req.URL.Port()
+	if port == "" {
+		if schemeOf(req) == "https" {
+			port = "443"
+		} else {
+			port = "80"
+		}
+	}
+	return net.JoinHostPort(host, port)
+}
+
 // buildResponse assembles an *http.Response from a Result.
 func buildResponse(req *http.Request, res Result) *http.Response {
+	// Headers describe the full entity; real servers answer HEAD with
+	// the GET entity's Content-Length and an empty body.
 	body := res.Body
-	if req.Method == http.MethodHead {
-		body = ""
-	}
 	h := make(http.Header, 4)
 	ct := res.ContentType
 	if ct == "" {
@@ -93,6 +134,12 @@ func buildResponse(req *http.Request, res Result) *http.Response {
 	if res.Location != "" {
 		h.Set("Location", ResolveLocation(schemeOf(req), req.URL.Host, res.Location))
 	}
+	if res.RetryAfterSec > 0 {
+		h.Set("Retry-After", strconv.Itoa(res.RetryAfterSec))
+	}
+	if req.Method == http.MethodHead {
+		body = ""
+	}
 	return &http.Response{
 		Status:        fmt.Sprintf("%d %s", res.Status, http.StatusText(res.Status)),
 		StatusCode:    res.Status,
@@ -101,7 +148,7 @@ func buildResponse(req *http.Request, res Result) *http.Response {
 		ProtoMinor:    1,
 		Header:        h,
 		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
-		ContentLength: int64(len(body)),
+		ContentLength: int64(len(res.Body)),
 		Request:       req,
 	}
 }
@@ -114,10 +161,13 @@ func schemeOf(req *http.Request) string {
 }
 
 // timeoutError mimics the error a net.Conn read deadline produces.
-type timeoutError struct{ host string }
+// addr is the host:port the dial targeted (port derived from the
+// request's scheme, so https requests read ":443" as a real dialer's
+// error would).
+type timeoutError struct{ addr string }
 
 func (e *timeoutError) Error() string {
-	return "dial tcp " + e.host + ":80: i/o timeout"
+	return "dial tcp " + e.addr + ": i/o timeout"
 }
 func (e *timeoutError) Timeout() bool   { return true }
 func (e *timeoutError) Temporary() bool { return true }

@@ -102,6 +102,20 @@ type Params struct {
 	// ScanIntervalDays is the per-article scan cadence.
 	ScanIntervalDays int
 
+	// --- Transient-fault injection (off by default). ---
+	// FlakySiteFrac is the fraction of sites given transient-fault
+	// windows (simweb.FaultWindow). Zero disables fault injection
+	// entirely, keeping generation byte-identical to a fault-unaware
+	// build; the schedule is drawn from an independent RNG stream, so
+	// the rest of the universe is unchanged either way.
+	FlakySiteFrac float64
+	// FlakyRate is the per-attempt failure probability inside a fault
+	// window (required > 0 for injection to occur).
+	FlakyRate float64
+	// FlakyRetryAfterSec is the Retry-After advertisement on injected
+	// 503/429 responses (default 120 when zero).
+	FlakyRetryAfterSec int
+
 	// Progress, when set, receives coarse generation progress: the
 	// stage name and a done/total pair (total 0 for untracked stages).
 	// Used by the CLIs to show movement during full-scale generation.

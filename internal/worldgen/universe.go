@@ -45,6 +45,9 @@ func Generate(p Params) *Universe {
 
 	progress("building world", 0, 0)
 	world := buildWorld(plan, rng)
+	// Transient-fault windows ride on their own RNG stream so the
+	// universe is byte-identical whether injection is on or off.
+	plantFaults(p, world)
 	arch := archive.New()
 	crawler := archive.NewCrawler(world, arch)
 
