@@ -3,9 +3,9 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke
+.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke
 
-check: vet build test race retrysmoke
+check: vet build test race retrysmoke batchsmoke
 
 build:
 	$(GO) build ./...
@@ -42,3 +42,9 @@ servesmoke:
 # single-GET -> retry -> confirmation (DESIGN.md 3.4).
 retrysmoke:
 	$(GO) run ./cmd/ablate -scale 0.06 -seed 1 -flaky 1 -flaky-rate 0.6 -smoke
+
+# batchsmoke drives zipf-skewed NDJSON batch load against a live
+# permadeadd twice (capture prefilter on and off) — zero 5xx and a p99
+# bound required — and records both runs in BENCH_PR6.json.
+batchsmoke:
+	./scripts/batch_smoke.sh

@@ -1,26 +1,44 @@
 // Command loadgen exercises a running permadeadd with N requests from
 // C concurrent clients and reports throughput and latency quantiles.
 // It discovers target URLs from the server's own /v1/sample endpoint,
-// then spreads requests across the three query endpoints
-// (/v1/classify, /v1/status, /v1/availability) over a bounded URL
-// pool, so repeat traffic exercises the response cache.
+// then drives one of two workloads over a bounded URL pool:
+//
+//	-workload mixed   spread single-link GETs across /v1/classify,
+//	                  /v1/status, and /v1/availability (the default)
+//	-workload batch   POST NDJSON batches of -batch-size links to
+//	                  /v1/classify/batch, counting streamed lines
+//
+// URL selection is uniform round-robin by default; -zipf s (s > 1)
+// draws from a zipf distribution instead, so a few hot links dominate
+// — the shape that exercises the response cache and the singleflight
+// group rather than the classify pool.
 //
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8080 [-n 200] [-c 16] [-sample 64]
+//	        [-workload mixed|batch] [-batch-size 100] [-zipf 1.2]
+//	        [-p99-max 5s] [-bench Name]
 //
-// Exit status is 1 if any request got a 5xx or transport error, or if
-// nothing succeeded — CI smoke tests assert on the exit code alone.
+// -bench Name appends a go-bench-format line to stdout
+// (BenchmarkName <requests> <ns/op> ns/op ...) that cmd/benchjson can
+// parse into a JSON artifact. Exit status is 1 if any request got a
+// 5xx, a transport error, or a server-fault NDJSON line, if nothing
+// succeeded, or if -p99-max is set and p99 latency exceeds it — CI
+// smoke tests assert on the exit code alone.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,15 +48,30 @@ var endpoints = []string{"/v1/classify", "/v1/status", "/v1/availability"}
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "permadeadd address (host:port)")
-		n       = flag.Int("n", 200, "total number of requests")
-		c       = flag.Int("c", 16, "concurrent clients")
-		sample  = flag.Int("sample", 64, "URL pool size (smaller pools repeat URLs and hit the cache)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		addr      = flag.String("addr", "127.0.0.1:8080", "permadeadd address (host:port)")
+		n         = flag.Int("n", 200, "total number of requests (each batch POST counts as one)")
+		c         = flag.Int("c", 16, "concurrent clients")
+		sample    = flag.Int("sample", 64, "URL pool size (smaller pools repeat URLs and hit the cache)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		workload  = flag.String("workload", "mixed", "workload shape: mixed (single-link GETs) or batch (NDJSON POSTs)")
+		batchSize = flag.Int("batch-size", 100, "links per /v1/classify/batch POST (batch workload)")
+		zipfS     = flag.Float64("zipf", 0, "zipf skew s for URL selection (> 1; 0 = uniform round-robin)")
+		seed      = flag.Int64("seed", 1, "zipf draw seed")
+		p99Max    = flag.Duration("p99-max", 0, "fail (exit 1) if p99 latency exceeds this (0 = no bound)")
+		benchName = flag.String("bench", "", "emit a go-bench-format result line under this name (no '-')")
 	)
 	flag.Parse()
-	if *n < 1 || *c < 1 || *sample < 1 {
-		fatal(fmt.Errorf("-n, -c, and -sample must all be >= 1"))
+	if *n < 1 || *c < 1 || *sample < 1 || *batchSize < 1 {
+		fatal(fmt.Errorf("-n, -c, -sample, and -batch-size must all be >= 1"))
+	}
+	if *workload != "mixed" && *workload != "batch" {
+		fatal(fmt.Errorf("-workload must be 'mixed' or 'batch', got %q", *workload))
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		fatal(fmt.Errorf("-zipf needs s > 1 (got %v)", *zipfS))
+	}
+	if strings.Contains(*benchName, "-") {
+		fatal(fmt.Errorf("-bench name %q must not contain '-' (bench parsers treat it as a CPU suffix)", *benchName))
 	}
 
 	base := "http://" + *addr
@@ -48,42 +81,60 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d URLs in pool, firing %d requests from %d clients\n", len(pool), *n, *c)
+	fmt.Fprintf(os.Stderr, "loadgen: %d URLs in pool, firing %d %s requests from %d clients\n",
+		len(pool), *n, *workload, *c)
 
 	var (
-		next      atomic.Int64
-		errors    atomic.Int64
-		mu        sync.Mutex
-		latencies []time.Duration
-		byClass   = map[string]*atomic.Int64{"2xx": {}, "3xx": {}, "4xx": {}, "5xx": {}}
+		next       atomic.Int64
+		errors     atomic.Int64
+		lines      atomic.Int64 // NDJSON verdict lines (batch workload)
+		faultLines atomic.Int64 // NDJSON server-fault lines (batch workload)
+		mu         sync.Mutex
+		latencies  []time.Duration
+		byClass    = map[string]*atomic.Int64{"2xx": {}, "3xx": {}, "4xx": {}, "5xx": {}}
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Each worker draws from its own zipf stream: rand.Zipf is
+			// not safe for concurrent use.
+			pick := uniformPicker(len(pool))
+			if *zipfS != 0 {
+				pick = zipfPicker(*zipfS, len(pool), *seed+int64(worker))
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= *n {
 					return
 				}
-				target := base + endpoints[i%len(endpoints)] + "?url=" + url.QueryEscape(pool[i%len(pool)])
-				t0 := time.Now()
-				resp, err := client.Get(target)
-				d := time.Since(t0)
+				var (
+					d      time.Duration
+					status int
+					err    error
+				)
+				if *workload == "batch" {
+					var got, faults int64
+					d, status, got, faults, err = postBatch(client, base, pool, pick, *batchSize)
+					lines.Add(got)
+					faultLines.Add(faults)
+				} else {
+					target := base + endpoints[i%len(endpoints)] + "?url=" + url.QueryEscape(pool[pick(i)])
+					d, status, err = get(client, target)
+				}
 				if err != nil {
 					errors.Add(1)
-					fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", target, err)
+					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 					continue
 				}
-				resp.Body.Close()
-				byClass[statusClass(resp.StatusCode)].Add(1)
+				byClass[statusClass(status)].Add(1)
 				mu.Lock()
 				latencies = append(latencies, d)
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -92,17 +143,106 @@ func main() {
 	ok := byClass["2xx"].Load() + byClass["3xx"].Load()
 	fmt.Printf("requests:   %d ok, %d 4xx, %d 5xx, %d transport errors\n",
 		ok, byClass["4xx"].Load(), byClass["5xx"].Load(), errors.Load())
+	if *workload == "batch" {
+		fmt.Printf("ndjson:     %d lines streamed, %d server-fault lines\n", lines.Load(), faultLines.Load())
+	}
 	fmt.Printf("throughput: %.1f req/s (%d requests in %.2fs)\n",
 		float64(len(latencies))/elapsed.Seconds(), len(latencies), elapsed.Seconds())
+	var p99 time.Duration
 	if len(latencies) > 0 {
+		p99 = quantile(latencies, 0.99)
 		fmt.Printf("latency:    p50 %s  p90 %s  p99 %s  max %s\n",
 			quantile(latencies, 0.50), quantile(latencies, 0.90),
-			quantile(latencies, 0.99), latencies[len(latencies)-1])
+			p99, latencies[len(latencies)-1])
 	}
 
-	if byClass["5xx"].Load() > 0 || errors.Load() > 0 || ok == 0 {
+	if *benchName != "" && len(latencies) > 0 {
+		// Go bench format so cmd/benchjson can ingest it. One "op" is
+		// one request; extra value/unit pairs carry the smoke's SLOs.
+		mean := elapsed.Nanoseconds() / int64(len(latencies))
+		fmt.Printf("Benchmark%s %d %d ns/op %.3f p99ms %.1f req/s %d lines\n",
+			*benchName, len(latencies), mean,
+			float64(p99.Microseconds())/1000, float64(len(latencies))/elapsed.Seconds(), lines.Load())
+	}
+
+	switch {
+	case byClass["5xx"].Load() > 0 || errors.Load() > 0 || faultLines.Load() > 0 || ok == 0:
+		os.Exit(1)
+	case *p99Max > 0 && p99 > *p99Max:
+		fmt.Fprintf(os.Stderr, "loadgen: p99 %s exceeds bound %s\n", p99, *p99Max)
 		os.Exit(1)
 	}
+}
+
+// uniformPicker spreads request i across the pool round-robin.
+func uniformPicker(poolSize int) func(i int) int {
+	return func(i int) int { return i % poolSize }
+}
+
+// zipfPicker draws pool indexes zipf-distributed with skew s: index 0
+// is the hottest link, and for s around 1.1–1.5 a handful of links
+// take most of the traffic — the cache/singleflight stress shape.
+func zipfPicker(s float64, poolSize int, seed int64) func(i int) int {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(poolSize-1))
+	return func(int) int { return int(z.Uint64()) }
+}
+
+func get(client *http.Client, target string) (time.Duration, int, error) {
+	t0 := time.Now()
+	resp, err := client.Get(target)
+	d := time.Since(t0)
+	if err != nil {
+		return d, 0, fmt.Errorf("%s: %w", target, err)
+	}
+	resp.Body.Close()
+	return d, resp.StatusCode, nil
+}
+
+// postBatch fires one /v1/classify/batch POST of size links drawn via
+// pick and consumes the NDJSON stream, reporting how many lines
+// arrived and how many were server-fault error lines (client-shaped
+// error lines — unknown links, say — don't fail the run; the server
+// answered them correctly).
+func postBatch(client *http.Client, base string, pool []string, pick func(i int) int, size int) (time.Duration, int, int64, int64, error) {
+	urls := make([]string, size)
+	for i := range urls {
+		urls[i] = pool[pick(i)]
+	}
+	body, err := json.Marshal(map[string][]string{"urls": urls})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/classify/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return time.Since(t0), 0, 0, 0, fmt.Errorf("batch POST: %w", err)
+	}
+	defer resp.Body.Close()
+	var got, faults int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		got++
+		var line struct {
+			Error *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(sc.Bytes(), &line) == nil && line.Error != nil {
+			switch line.Error.Code {
+			case "internal", "encode", "deadline", "overloaded":
+				faults++
+			}
+		}
+	}
+	d := time.Since(t0)
+	if err := sc.Err(); err != nil {
+		return d, resp.StatusCode, got, faults, fmt.Errorf("batch stream: %w", err)
+	}
+	if resp.StatusCode == http.StatusOK && got != int64(size) {
+		return d, resp.StatusCode, got, faults, fmt.Errorf("batch stream truncated: %d of %d lines", got, size)
+	}
+	return d, resp.StatusCode, got, faults, nil
 }
 
 // fetchSample pulls up to n URLs from the server's sampled population.

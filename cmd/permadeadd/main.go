@@ -42,6 +42,10 @@ func main() {
 		reqTimeout      = flag.Duration("request-timeout", defaults.RequestTimeout, "per-request deadline (admission wait included)")
 		cacheEntries    = flag.Int("cache-entries", defaults.CacheEntries, "response cache capacity in entries (0 disables)")
 		cacheShards     = flag.Int("cache-shards", defaults.CacheShards, "response cache shard count")
+		negCacheEntries = flag.Int("neg-cache-entries", defaults.NegCacheEntries, "negative-result cache capacity in entries (0 disables)")
+		maxBatch        = flag.Int("max-batch", defaults.MaxBatchLinks, "max links per /v1/classify/batch request")
+		batchWorkers    = flag.Int("batch-workers", defaults.BatchWorkers, "per-batch classify fan-out (clamped to -classify-workers)")
+		noPrefilter     = flag.Bool("no-prefilter", false, "disable the frozen archive's capture prefilter (for benchmarking)")
 		memoCap         = flag.Int("memo-cap", defaults.MemoCap, "per-map entry bound on the archive memo (0 = unbounded)")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	)
@@ -82,6 +86,10 @@ func main() {
 	cfg.RequestTimeout = *reqTimeout
 	cfg.CacheEntries = *cacheEntries
 	cfg.CacheShards = *cacheShards
+	cfg.NegCacheEntries = *negCacheEntries
+	cfg.MaxBatchLinks = *maxBatch
+	cfg.BatchWorkers = *batchWorkers
+	cfg.DisablePrefilter = *noPrefilter
 	cfg.MemoCap = *memoCap
 
 	srv, err := service.New(bundle, cfg)

@@ -123,6 +123,10 @@ type Archive struct {
 	// archive is mutable, when CDX queries fall back to linear scans.
 	index   map[string]*frozenHostIndex
 	domains map[string][]string
+	// prefilter is the freeze-time Bloom filter over snapshot keys
+	// (see prefilter.go); prefilterOn gates its use.
+	prefilter   *capturePrefilter
+	prefilterOn atomic.Bool
 }
 
 type hostIndex struct {
@@ -150,8 +154,9 @@ func New() *Archive {
 // Freeze marks the store immutable: subsequent writes panic and reads
 // no longer take the lock. It is also the single build point of the
 // read-optimized CDX indexes (index.go): sorted per-host prefix
-// ranges, status partitions, the canonical-query-key map, and the
-// domain → hosts map, which every CDX read uses from then on. Call it
+// ranges, status partitions, the canonical-query-key map, the
+// domain → hosts map, and the capture prefilter (prefilter.go), which
+// every CDX read uses from then on. Call it
 // once world generation (and any post-run state planting) is
 // complete, before fanning analysis out across goroutines. Idempotent.
 func (a *Archive) Freeze() {
@@ -236,8 +241,14 @@ func (a *Archive) rlock() func() {
 // Snapshots returns all captures of url (any scheme/www variant),
 // oldest first. The returned slice must not be modified.
 func (a *Archive) Snapshots(url string) []Snapshot {
+	key := urlutil.SchemeAgnosticKey(url)
+	// Once frozen, the compact prefilter settles the dominant
+	// "no captures at all" case without touching the byKey map.
+	if a.frozen.Load() && !a.mightHaveCapturesKey(key) {
+		return nil
+	}
 	defer a.rlock()()
-	return a.byKey[urlutil.SchemeAgnosticKey(url)]
+	return a.byKey[key]
 }
 
 // SnapshotsBetween returns captures of url with from <= Day < to.

@@ -73,6 +73,7 @@ func (a *Archive) buildFrozenIndexesLocked() {
 	for _, hosts := range a.domains {
 		sort.Strings(hosts)
 	}
+	a.buildPrefilterLocked()
 }
 
 func buildHostIndex(host string, entries []cdxRecord) *frozenHostIndex {

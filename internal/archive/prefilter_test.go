@@ -1,0 +1,134 @@
+package archive
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"permadead/internal/urlutil"
+)
+
+// probeURLs draws a mix of present, variant-spelled, and absent URLs
+// against a randomWorld — the population the prefilter must judge.
+func (w *randomWorld) probeURLs(rng *rand.Rand) []string {
+	var urls []string
+	for i := 0; i < 40; i++ {
+		host := w.hosts[rng.Intn(len(w.hosts))]
+		path := w.paths[rng.Intn(len(w.paths))]
+		switch rng.Intn(4) {
+		case 0:
+			urls = append(urls, "http://"+host+path)
+		case 1:
+			// Scheme/www variants share the snapshot key.
+			urls = append(urls, "https://www."+host+path)
+		case 2:
+			urls = append(urls, "http://"+host+"/never/"+fmt.Sprintf("gone-%d.html", rng.Intn(1e6)))
+		default:
+			urls = append(urls, fmt.Sprintf("http://absent-%d.simtest/x", rng.Intn(1e6)))
+		}
+	}
+	return urls
+}
+
+// TestPrefilterDifferential extends the PR 2 randomized differential
+// harness to the snapshot path: across random worlds, the frozen
+// archive (whose Snapshots route through the prefilter) must agree
+// row for row with the naive mutable reference, and a "definitely
+// not captured" answer must never contradict the reference.
+func TestPrefilterDifferential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			w := generateRandomWorld(rng)
+			for _, url := range w.probeURLs(rng) {
+				got, want := w.frozen.Snapshots(url), w.naive.Snapshots(url)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("Snapshots(%s): frozen %d rows, naive %d rows", url, len(got), len(want))
+				}
+				if !w.frozen.MightHaveCaptures(url) && len(want) != 0 {
+					t.Errorf("prefilter false negative: %s has %d captures", url, len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestPrefilterNoFalseNegatives asserts the filter's one hard
+// guarantee: every archived key — under any scheme/www spelling —
+// probes true.
+func TestPrefilterNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := generateRandomWorld(rng)
+	w.frozen.EachSnapshot(func(s Snapshot) {
+		for _, u := range []string{s.URL, "https://" + urlutil.SchemeAgnosticKey(s.URL)} {
+			if !w.frozen.MightHaveCaptures(u) {
+				t.Errorf("MightHaveCaptures(%s) = false for an archived URL", u)
+			}
+		}
+	})
+}
+
+// TestPrefilterFalsePositiveRate checks the filter is actually
+// filtering: at ~10 bits/key the absent-URL false-positive rate
+// should sit near 1%, so 5% is a generous regression bound.
+func TestPrefilterFalsePositiveRate(t *testing.T) {
+	a := New()
+	for i := 0; i < 5000; i++ {
+		a.Add(snap(fmt.Sprintf("http://fp.simtest/page-%d.html", i), 100, 200))
+	}
+	a.Freeze()
+
+	const probes = 20000
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if a.MightHaveCaptures(fmt.Sprintf("http://fp.simtest/absent-%d.html", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Errorf("false-positive rate %.3f, want <= 0.05", rate)
+	}
+	st := a.PrefilterStats()
+	if st.Keys != 5000 || st.Checks < probes || st.DefiniteNo == 0 || !st.Enabled {
+		t.Errorf("PrefilterStats = %+v", st)
+	}
+}
+
+// TestPrefilterToggle verifies the benchmark knob: disabled, every
+// probe conservatively answers true and lookups still work.
+func TestPrefilterToggle(t *testing.T) {
+	a := New()
+	a.Add(snap("http://t.simtest/p.html", 10, 200))
+	a.Freeze()
+
+	if a.MightHaveCaptures("http://t.simtest/absent") {
+		t.Skip("absent URL is a Bloom false positive; pick another") // ~1% of seeds
+	}
+	a.SetPrefilterEnabled(false)
+	if !a.MightHaveCaptures("http://t.simtest/absent") {
+		t.Error("disabled prefilter must answer true")
+	}
+	if n := len(a.Snapshots("http://t.simtest/p.html")); n != 1 {
+		t.Errorf("Snapshots with disabled prefilter = %d rows, want 1", n)
+	}
+	a.SetPrefilterEnabled(true)
+	if a.MightHaveCaptures("http://t.simtest/absent") {
+		t.Error("re-enabled prefilter lost its bits")
+	}
+	if st := a.PrefilterStats(); !st.Enabled {
+		t.Errorf("PrefilterStats.Enabled = false after re-enable")
+	}
+}
+
+// TestPrefilterUnfrozen: before Freeze there is no filter; probes are
+// conservative and stats are zero.
+func TestPrefilterUnfrozen(t *testing.T) {
+	a := New()
+	if !a.MightHaveCaptures("http://anything.simtest/x") {
+		t.Error("unfrozen archive must answer true")
+	}
+	if st := a.PrefilterStats(); st != (PrefilterStats{}) {
+		t.Errorf("unfrozen PrefilterStats = %+v, want zero", st)
+	}
+}

@@ -122,3 +122,36 @@ func TestClassifyLinkCancelled(t *testing.T) {
 		t.Error("cancelled context classified without error")
 	}
 }
+
+// TestClassifyAllMatchesBatch checks the streaming bulk fold: results
+// arrive for every record, in input order, with verdicts identical to
+// the batch pipeline's — under a concurrency wide enough to force
+// reordering inside StreamOrdered.
+func TestClassifyAllMatchesBatch(t *testing.T) {
+	u, r := runStudy(t)
+	s := studyOver(u, r.Config)
+
+	next := 0
+	err := s.ClassifyAll(context.Background(), r.Records, 16, func(i int, c Classification, err error) error {
+		if err != nil {
+			t.Fatalf("record %d (%s): %v", i, r.Records[i].URL, err)
+		}
+		if i != next {
+			t.Fatalf("emitted index %d, want %d", i, next)
+		}
+		next++
+		if c.Verdict != r.Verdicts[i] {
+			t.Errorf("%s: bulk verdict %q, batch %q", c.URL, c.Verdict, r.Verdicts[i])
+		}
+		if c.URL != r.Records[i].URL {
+			t.Errorf("index %d echoed %q, want %q", i, c.URL, r.Records[i].URL)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != r.N() {
+		t.Errorf("ClassifyAll emitted %d of %d records", next, r.N())
+	}
+}

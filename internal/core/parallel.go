@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -45,4 +46,107 @@ func parallelFor(n, c int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// StreamOrdered runs work(i) for every i in [0, n) on up to c worker
+// goroutines and delivers the results to emit in strict index order,
+// each as soon as it and all its predecessors are ready — the shape a
+// streaming batch response needs: item 0 can be flushed to the client
+// while item 500 is still computing, yet output order always matches
+// input order. emit runs on the calling goroutine only.
+//
+// Workers claim indices from a shared counter (the parallelFor
+// discipline: per-item cost varies wildly, so static splitting would
+// idle workers behind heavy items). Completed out-of-order results
+// wait in a bounded reorder buffer; its size tracks the worker count,
+// so memory stays O(c), not O(n), no matter how far ahead a fast
+// worker runs.
+//
+// Cancellation: when ctx is done or emit returns an error, no new
+// work is started, in-flight work is allowed to finish, and the first
+// error is returned. work itself is responsible for honoring ctx in
+// long computations.
+func StreamOrdered[T any](ctx context.Context, n, c int, work func(i int) T, emit func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if c > n {
+		c = n
+	}
+	if c <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := emit(i, work(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		i int
+		v T
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		results = make(chan slot, c)
+	)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				results <- slot{i: i, v: work(i)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The reorder buffer: emit index `want` the moment it arrives,
+	// park later indices until their turn. Workers never run more
+	// than c items ahead of the emit frontier (the results channel
+	// plus one in-hand result per worker), so len(pending) <= 2c.
+	pending := make(map[int]T, 2*c)
+	want := 0
+	var firstErr error
+	stop := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		stopped.Store(true)
+	}
+	for s := range results {
+		if firstErr != nil {
+			continue // drain so workers sending on results can exit
+		}
+		if err := ctx.Err(); err != nil {
+			stop(err)
+			continue
+		}
+		pending[s.i] = s.v
+		for {
+			v, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			if err := emit(want, v); err != nil {
+				stop(err)
+				break
+			}
+			want++
+		}
+	}
+	return firstErr
 }

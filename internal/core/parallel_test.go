@@ -155,3 +155,79 @@ func TestTypoScanTruncationSurfaced(t *testing.T) {
 func containsTruncationRow(s string) bool {
 	return strings.Contains(s, "truncated")
 }
+
+// TestStreamOrderedEmitsInOrder checks the batch fold's core contract
+// across concurrency shapes: every index is emitted exactly once, in
+// strict ascending order, regardless of how workers interleave.
+func TestStreamOrderedEmitsInOrder(t *testing.T) {
+	for _, c := range []struct{ n, conc int }{
+		{0, 8}, {1, 8}, {7, 1}, {100, 8}, {5, 50}, {500, 16},
+	} {
+		var emitted []int
+		err := StreamOrdered(context.Background(), c.n, c.conc,
+			func(i int) int { return i * i },
+			func(i, v int) error {
+				if v != i*i {
+					t.Fatalf("n=%d conc=%d: index %d carried %d, want %d", c.n, c.conc, i, v, i*i)
+				}
+				emitted = append(emitted, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("n=%d conc=%d: %v", c.n, c.conc, err)
+		}
+		if len(emitted) != c.n {
+			t.Fatalf("n=%d conc=%d: emitted %d values", c.n, c.conc, len(emitted))
+		}
+		for i, got := range emitted {
+			if got != i {
+				t.Fatalf("n=%d conc=%d: position %d emitted index %d", c.n, c.conc, i, got)
+			}
+		}
+	}
+}
+
+// TestStreamOrderedEmitError checks an emit error stops the fan-out:
+// the error comes back, no further emits happen, and workers exit
+// (the test would deadlock or leak otherwise under -race).
+func TestStreamOrderedEmitError(t *testing.T) {
+	wantErr := context.DeadlineExceeded // any sentinel
+	emits := 0
+	err := StreamOrdered(context.Background(), 1000, 8,
+		func(i int) int { return i },
+		func(i, v int) error {
+			emits++
+			if i == 3 {
+				return wantErr
+			}
+			return nil
+		})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if emits != 4 {
+		t.Errorf("emitted %d times after error at index 3, want 4", emits)
+	}
+}
+
+// TestStreamOrderedCancellation checks ctx cancellation mid-stream
+// returns the ctx error without emitting the full range.
+func TestStreamOrderedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	emits := 0
+	err := StreamOrdered(ctx, 1000, 4,
+		func(i int) int { return i },
+		func(i, v int) error {
+			emits++
+			if emits == 5 {
+				cancel()
+			}
+			return nil
+		})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emits >= 1000 {
+		t.Error("cancellation did not stop the stream")
+	}
+}

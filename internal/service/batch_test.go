@@ -1,0 +1,449 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"permadead/internal/core"
+)
+
+// flushCountingRecorder counts Flush calls reaching the underlying
+// writer, proving the batch endpoint pushes each NDJSON line through
+// the statusRecorder wrapper instead of buffering the stream.
+type flushCountingRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushCountingRecorder) Flush() { f.flushes++ }
+
+// postBatch drives one /v1/classify/batch request and returns the
+// recorder plus the parsed NDJSON lines.
+type batchLine struct {
+	URL     string       `json:"url"`
+	Verdict core.Verdict `json:"verdict"`
+	Error   *errorBody   `json:"error"`
+}
+
+func postBatch(t *testing.T, h http.Handler, urls []string, wantStatus int) (*flushCountingRecorder, []batchLine) {
+	t.Helper()
+	body, err := json.Marshal(map[string][]string{"urls": urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/classify/batch", bytes.NewReader(body))
+	w := &flushCountingRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h.ServeHTTP(w, req)
+	if w.Code != wantStatus {
+		t.Fatalf("POST /v1/classify/batch = %d, want %d (body: %s)", w.Code, wantStatus, w.Body.String())
+	}
+	if wantStatus != http.StatusOK {
+		return w, nil
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var lines []batchLine
+	for _, raw := range strings.Split(strings.TrimSpace(w.Body.String()), "\n") {
+		var l batchLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", raw, err)
+		}
+		lines = append(lines, l)
+	}
+	return w, lines
+}
+
+// TestBatchMatchesOfflineStudy is the batch golden: one POST carrying
+// the whole sample must stream back, in input order, exactly the
+// verdicts the offline batch study assigned, one flushed line each.
+func TestBatchMatchesOfflineStudy(t *testing.T) {
+	_, r := fixture(t)
+	s := newServer(t, nil)
+
+	urls := make([]string, r.N())
+	for i, rec := range r.Records {
+		urls[i] = rec.URL
+	}
+	w, lines := postBatch(t, s.Handler(), urls, http.StatusOK)
+	if len(lines) != len(urls) {
+		t.Fatalf("%d NDJSON lines for %d urls", len(lines), len(urls))
+	}
+	for i, l := range lines {
+		if l.Error != nil {
+			t.Errorf("line %d (%s): unexpected error %+v", i, urls[i], l.Error)
+			continue
+		}
+		if l.URL != urls[i] {
+			t.Errorf("line %d: url %q, want %q (stream out of order)", i, l.URL, urls[i])
+		}
+		if l.Verdict != r.Verdicts[i] {
+			t.Errorf("%s: batch verdict %q, offline study %q", urls[i], l.Verdict, r.Verdicts[i])
+		}
+	}
+	if w.flushes < len(urls) {
+		t.Errorf("%d flushes for %d lines; the stream is buffering", w.flushes, len(urls))
+	}
+	if n := s.met.count5xx(); n != 0 {
+		t.Errorf("%d 5xx responses during batch golden", n)
+	}
+
+	// A repeat of the same batch answers entirely from the caches: no
+	// new singleflight leaders.
+	leadersBefore := s.flight.stats().Leaders
+	_, again := postBatch(t, s.Handler(), urls, http.StatusOK)
+	if len(again) != len(urls) {
+		t.Fatalf("repeat batch: %d lines for %d urls", len(again), len(urls))
+	}
+	if got := s.flight.stats().Leaders; got != leadersBefore {
+		t.Errorf("repeat batch led %d new computations, want 0", got-leadersBefore)
+	}
+}
+
+// TestBatchErrorLines: per-link failures become NDJSON error lines in
+// place, not stream aborts — the surrounding links still classify.
+func TestBatchErrorLines(t *testing.T) {
+	_, r := fixture(t)
+	s := newServer(t, nil)
+
+	urls := []string{r.Records[0].URL, "http://not.in.sample/x", "", r.Records[1].URL}
+	_, lines := postBatch(t, s.Handler(), urls, http.StatusOK)
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	if lines[0].Error != nil || lines[0].Verdict == "" {
+		t.Errorf("line 0: %+v, want a verdict", lines[0])
+	}
+	if lines[1].Error == nil || lines[1].Error.Code != "unknown_link" {
+		t.Errorf("line 1: %+v, want unknown_link error", lines[1])
+	}
+	if lines[2].Error == nil || lines[2].Error.Code != "missing_url" {
+		t.Errorf("line 2: %+v, want missing_url error", lines[2])
+	}
+	if lines[3].Error != nil || lines[3].URL != r.Records[1].URL {
+		t.Errorf("line 3: %+v, want a verdict for %s", lines[3], r.Records[1].URL)
+	}
+}
+
+// TestBatchLimits covers the request-shape rejections.
+func TestBatchLimits(t *testing.T) {
+	_, r := fixture(t)
+	s := newServer(t, func(c *Config) { c.MaxBatchLinks = 3 })
+	h := s.Handler()
+
+	postErr := func(body string) errorEnvelope {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/v1/classify/batch", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		var env errorEnvelope
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("bad envelope %q: %v", w.Body.String(), err)
+		}
+		return env
+	}
+
+	if env := postErr(`{"urls": []}`); env.Error.Code != "empty_batch" {
+		t.Errorf("empty batch code = %q, want empty_batch", env.Error.Code)
+	}
+	if env := postErr(`{not json`); env.Error.Code != "bad_body" {
+		t.Errorf("malformed body code = %q, want bad_body", env.Error.Code)
+	}
+
+	u := r.Records[0].URL
+	body, _ := json.Marshal(map[string][]string{"urls": {u, u, u, u}})
+	req := httptest.NewRequest(http.MethodPost, "/v1/classify/batch", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch = %d, want 413 (body: %s)", w.Code, w.Body.String())
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "batch_too_large" {
+		t.Errorf("code = %q, want batch_too_large", env.Error.Code)
+	}
+}
+
+// TestMethodContract pins the per-route method restructuring: the
+// batch route accepts POST (the old blanket GET-only middleware
+// rejected it), GET routes reject POST, and every 405 names the
+// allowed method in an Allow header.
+func TestMethodContract(t *testing.T) {
+	s := newServer(t, nil)
+	h := s.Handler()
+
+	for _, tc := range []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/v1/classify/batch", http.MethodPost},
+		{http.MethodPost, "/v1/classify", http.MethodGet},
+		{http.MethodPost, "/v1/availability", http.MethodGet},
+		{http.MethodDelete, "/v1/status", http.MethodGet},
+		{http.MethodPost, "/v1/sample", http.MethodGet},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, strings.NewReader("{}"))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, w.Code)
+			continue
+		}
+		if got := w.Header().Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error.Code != "method_not_allowed" {
+			t.Errorf("%s %s envelope = %q (err %v)", tc.method, tc.path, w.Body.String(), err)
+		}
+	}
+}
+
+// TestStatusRecorderForwardsFlush is the unit pin for the satellite
+// bug: the metrics wrapper used to swallow the Flusher upgrade, so
+// streaming handlers silently buffered.
+func TestStatusRecorderForwardsFlush(t *testing.T) {
+	under := &flushCountingRecorder{ResponseRecorder: httptest.NewRecorder()}
+	rec := &statusRecorder{ResponseWriter: under, status: http.StatusOK}
+	var w http.ResponseWriter = rec
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not implement http.Flusher")
+	}
+	f.Flush()
+	f.Flush()
+	if under.flushes != 2 {
+		t.Errorf("underlying writer saw %d flushes, want 2", under.flushes)
+	}
+	// A non-Flusher underlying writer must not panic.
+	plain := &statusRecorder{ResponseWriter: nopWriter{}, status: http.StatusOK}
+	plain.Flush()
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Header() http.Header         { return http.Header{} }
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (nopWriter) WriteHeader(int)             {}
+
+// TestClassifySingleflight: N concurrent identical /v1/classify
+// requests perform exactly one classification. The hook blocks the
+// leader inside its computation until every request has been admitted,
+// so the others must either coalesce onto the in-flight call or (if
+// they arrive after it settles) hit the cache — never recompute. Run
+// under -race this also exercises the flight group's synchronization.
+func TestClassifySingleflight(t *testing.T) {
+	_, r := fixture(t)
+	s := newServer(t, nil)
+	h := s.Handler()
+
+	const n = 8
+	var computes atomic.Int32
+	var enterOnce sync.Once
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookClassify = func() {
+		computes.Add(1)
+		enterOnce.Do(func() { close(entered) })
+		<-release
+	}
+
+	u := queryEscape(r.Records[0].URL)
+	type result struct {
+		code  int
+		cache string
+		body  string
+	}
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, "/v1/classify?url="+u, nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			results <- result{w.Code, w.Header().Get("X-Cache"), w.Body.String()}
+		}()
+	}
+
+	<-entered
+	// Hold the leader until all n requests are admitted (followers park
+	// inside the flight group holding their gate slots), then let the
+	// single computation finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.inFlight() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests admitted", s.gate.inFlight(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var misses int
+	bodies := make(map[string]bool)
+	for res := range results {
+		if res.code != http.StatusOK {
+			t.Errorf("status %d, want 200 (body: %s)", res.code, res.body)
+		}
+		if res.cache == "miss" {
+			misses++
+		}
+		bodies[res.body] = true
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("%d classifications ran for %d identical requests, want 1", got, n)
+	}
+	if misses != 1 {
+		t.Errorf("%d X-Cache:miss responses, want exactly 1 (the leader)", misses)
+	}
+	if len(bodies) != 1 {
+		t.Errorf("%d distinct bodies, want 1", len(bodies))
+	}
+	st := s.flight.stats()
+	if st.Leaders != 1 {
+		t.Errorf("flight leaders = %d, want 1", st.Leaders)
+	}
+	if st.Coalesced+st.Leaders > n {
+		t.Errorf("flight stats overcount: %+v for %d requests", st, n)
+	}
+}
+
+// TestNegativeCacheClassify: never-archived verdicts land in the
+// negative class, archived ones in the positive class, and repeats hit
+// whichever holds them.
+func TestNegativeCacheClassify(t *testing.T) {
+	_, r := fixture(t)
+	if len(r.NoCopies) == 0 || len(r.Pre200) == 0 {
+		t.Skip("fixture lacks never-archived or archived links")
+	}
+	s := newServer(t, nil)
+	h := s.Handler()
+
+	neg := queryEscape(r.Records[r.NoCopies[0]].URL)
+	getJSON(t, h, "/v1/classify?url="+neg, http.StatusOK, nil)
+	if st := s.negCache.Stats(); st.Entries != 1 {
+		t.Fatalf("negative cache holds %d entries after a never-archived classify, want 1", st.Entries)
+	}
+	if st := s.cache.Stats(); st.Entries != 0 {
+		t.Errorf("positive cache holds %d entries, want 0", st.Entries)
+	}
+	w := getJSON(t, h, "/v1/classify?url="+neg, http.StatusOK, nil)
+	if got := w.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat never-archived classify X-Cache = %q, want hit", got)
+	}
+	if st := s.negCache.Stats(); st.Hits != 1 {
+		t.Errorf("negative cache hits = %d, want 1", st.Hits)
+	}
+
+	pos := queryEscape(r.Records[r.Pre200[0]].URL)
+	getJSON(t, h, "/v1/classify?url="+pos, http.StatusOK, nil)
+	if st := s.cache.Stats(); st.Entries != 1 {
+		t.Errorf("positive cache holds %d entries after an archived classify, want 1", st.Entries)
+	}
+	if st := s.negCache.Stats(); st.Entries != 1 {
+		t.Errorf("negative cache grew to %d entries on an archived classify, want 1", st.Entries)
+	}
+}
+
+// TestNegativeCacheAvailability: "no usable snapshot" answers are
+// cached in the negative class, found snapshots in the positive one.
+func TestNegativeCacheAvailability(t *testing.T) {
+	_, r := fixture(t)
+	if len(r.Pre200) == 0 {
+		t.Skip("fixture lacks pre-200 links")
+	}
+	s := newServer(t, nil)
+	h := s.Handler()
+
+	negBefore := s.negCache.Stats().Entries
+	getJSON(t, h, "/v1/availability?url=http%3A%2F%2Fnever.archived.example%2Fpage", http.StatusOK, nil)
+	if got := s.negCache.Stats().Entries; got != negBefore+1 {
+		t.Errorf("negative cache entries = %d after an absent lookup, want %d", got, negBefore+1)
+	}
+
+	posBefore := s.cache.Stats().Entries
+	var resp availabilityResponse
+	getJSON(t, h, "/v1/availability?url="+queryEscape(r.Records[r.Pre200[0]].URL), http.StatusOK, &resp)
+	if !resp.Available {
+		t.Fatalf("pre-200 link unavailable: %+v", resp)
+	}
+	if got := s.cache.Stats().Entries; got != posBefore+1 {
+		t.Errorf("positive cache entries = %d after a found lookup, want %d", got, posBefore+1)
+	}
+}
+
+// TestBatchPrefilterDifferential: the prefilter is an optimization,
+// not a semantics change — a server with it disabled streams
+// byte-identical batch responses. (The servers share the fixture
+// archive, so they run sequentially: construction toggles the filter.)
+func TestBatchPrefilterDifferential(t *testing.T) {
+	_, r := fixture(t)
+	urls := make([]string, 0, r.N())
+	for _, rec := range r.Records {
+		urls = append(urls, rec.URL)
+	}
+
+	off := newServer(t, func(c *Config) { c.DisablePrefilter = true })
+	_, offLines := postBatch(t, off.Handler(), urls, http.StatusOK)
+	offStats := fixtureBundle.Archive.PrefilterStats()
+	if offStats.Enabled {
+		t.Fatal("DisablePrefilter did not disable the archive prefilter")
+	}
+
+	on := newServer(t, nil)
+	_, onLines := postBatch(t, on.Handler(), urls, http.StatusOK)
+	onStats := fixtureBundle.Archive.PrefilterStats()
+	if !onStats.Enabled {
+		t.Fatal("prefilter not enabled by default")
+	}
+	if onStats.Checks == 0 {
+		t.Error("prefilter saw no checks during a batch sweep")
+	}
+
+	if len(offLines) != len(onLines) {
+		t.Fatalf("line counts differ: %d off vs %d on", len(offLines), len(onLines))
+	}
+	for i := range onLines {
+		if fmt.Sprintf("%+v", onLines[i]) != fmt.Sprintf("%+v", offLines[i]) {
+			t.Errorf("line %d differs with prefilter on: %+v vs %+v", i, onLines[i], offLines[i])
+		}
+	}
+}
+
+// TestMetricsBatchSurface checks the new observability keys.
+func TestMetricsBatchSurface(t *testing.T) {
+	_, r := fixture(t)
+	s := newServer(t, nil)
+	h := s.Handler()
+	postBatch(t, h, []string{r.Records[0].URL}, http.StatusOK)
+
+	var m map[string]json.RawMessage
+	getJSON(t, h, "/metrics", http.StatusOK, &m)
+	for _, key := range []string{
+		"requests_batch", "latency_batch", "negcache", "singleflight", "prefilter",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("/metrics missing %q", key)
+		}
+	}
+	var fs FlightStats
+	if err := json.Unmarshal(m["singleflight"], &fs); err != nil {
+		t.Fatalf("singleflight stats: %v", err)
+	}
+	if fs.Leaders == 0 {
+		t.Errorf("singleflight leaders = 0 after a batch: %s", m["singleflight"])
+	}
+}

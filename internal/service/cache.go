@@ -14,6 +14,11 @@ import (
 // must not modify what Get returns.
 type Cache struct {
 	shards []*cacheShard
+	// disabled marks a capacity <= 0 cache: Get answers "no" without
+	// touching the counters (a cache that cannot hold anything has no
+	// hit rate to measure — every probe counting as a miss would drag
+	// aggregate stats toward zero for no reason), Put is a no-op.
+	disabled bool
 
 	hits, misses, evictions atomic.Int64
 }
@@ -31,20 +36,29 @@ type cacheEntry struct {
 }
 
 // NewCache builds a cache holding at most `capacity` entries split
-// across `shards` shards (each shard gets capacity/shards, minimum 1).
-// capacity <= 0 disables caching: Get always misses, Put is a no-op.
+// across `shards` shards. The remainder of capacity/shards is spread
+// one entry each over the first shards, so per-shard capacities sum
+// to exactly `capacity` — never more (rounding every shard up would
+// turn NewCache(4, 64) into a 64-entry cache). Shards past the
+// capacity hold nothing; keys hashing there simply don't cache.
+// capacity <= 0 disables caching: Get always misses (uncounted),
+// Put is a no-op.
 func NewCache(capacity, shards int) *Cache {
 	if shards < 1 {
 		shards = 1
 	}
-	c := &Cache{shards: make([]*cacheShard, shards)}
-	per := capacity / shards
-	if capacity > 0 && per < 1 {
-		per = 1
+	if capacity < 0 {
+		capacity = 0
 	}
+	c := &Cache{shards: make([]*cacheShard, shards), disabled: capacity == 0}
+	per, extra := capacity/shards, capacity%shards
 	for i := range c.shards {
+		n := per
+		if i < extra {
+			n++
+		}
 		c.shards[i] = &cacheShard{
-			cap:   per,
+			cap:   n,
 			ll:    list.New(),
 			items: make(map[string]*list.Element),
 		}
@@ -69,6 +83,9 @@ func (c *Cache) shard(key string) *cacheShard {
 // Get returns the cached value for key, promoting it to most recently
 // used.
 func (c *Cache) Get(key string) ([]byte, bool) {
+	if c.disabled {
+		return nil, false
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	el, ok := s.items[key]
@@ -118,6 +135,7 @@ type CacheStats struct {
 	Misses    int64   `json:"misses"`
 	Evictions int64   `json:"evictions"`
 	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
 	HitRate   float64 `json:"hit_rate"`
 }
 
@@ -131,6 +149,7 @@ func (c *Cache) Stats() CacheStats {
 	for _, s := range c.shards {
 		s.mu.Lock()
 		st.Entries += s.ll.Len()
+		st.Capacity += s.cap
 		s.mu.Unlock()
 	}
 	if total := st.Hits + st.Misses; total > 0 {

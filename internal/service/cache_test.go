@@ -1,0 +1,90 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCacheCapacityNeverExceedsRequested pins the NewCache semantics
+// fix: per-shard capacities must sum to exactly the requested total
+// (NewCache(4, 64) used to round every shard up to 1 and hold 64
+// entries), and overfilling must evict down to that total.
+func TestCacheCapacityNeverExceedsRequested(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{4, 64}, {10, 4}, {64, 16}, {1, 8}, {7, 7}, {100, 3},
+	} {
+		c := NewCache(tc.capacity, tc.shards)
+		if got := c.Stats().Capacity; got != tc.capacity {
+			t.Errorf("NewCache(%d, %d): total capacity %d, want %d",
+				tc.capacity, tc.shards, got, tc.capacity)
+		}
+		for i := 0; i < 10*tc.capacity; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+		}
+		if got := c.Stats().Entries; got > tc.capacity {
+			t.Errorf("NewCache(%d, %d): %d resident entries after overfill, want <= %d",
+				tc.capacity, tc.shards, got, tc.capacity)
+		}
+	}
+}
+
+// TestCacheRemainderDistribution checks the remainder spreads one
+// entry per shard instead of vanishing: 10 entries over 4 shards is
+// 3+3+2+2, so all 10 slots are usable somewhere.
+func TestCacheRemainderDistribution(t *testing.T) {
+	c := NewCache(10, 4)
+	caps := make([]int, 4)
+	for i, s := range c.shards {
+		caps[i] = s.cap
+	}
+	if caps[0] != 3 || caps[1] != 3 || caps[2] != 2 || caps[3] != 2 {
+		t.Errorf("shard capacities = %v, want [3 3 2 2]", caps)
+	}
+}
+
+// TestDisabledCacheCountsNothing: a capacity <= 0 cache must not
+// pollute hit-rate stats with misses it could never have avoided.
+func TestDisabledCacheCountsNothing(t *testing.T) {
+	c := NewCache(0, 8)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache returned a value")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 || st.Capacity != 0 {
+		t.Errorf("disabled cache stats = %+v, want all zero", st)
+	}
+
+	// An enabled cache still counts both sides.
+	c = NewCache(4, 2)
+	if _, ok := c.Get("k"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); !ok {
+		t.Error("enabled cache missed a stored key")
+	}
+	st = c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("enabled cache stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+// TestCacheLRUWithinShard: eviction removes the least recently used
+// entry of the full shard, and Get refreshes recency.
+func TestCacheLRUWithinShard(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // refresh: b is now LRU
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}

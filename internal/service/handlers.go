@@ -53,31 +53,46 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards http.Flusher to the wrapped writer, so streaming
+// handlers (the NDJSON batch endpoint) can push each line to the
+// client as it is produced instead of buffering the whole response.
+// Wrapping a ResponseWriter loses its interface upgrades by default;
+// Flusher is the only one this API needs — nothing here hijacks
+// connections (no websockets) or uses HTTP/2 push, and io.ReaderFrom
+// is merely a copy optimization the envelope writers never exercise.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/v1/availability", s.v1("availability", s.handleAvailability))
-	mux.Handle("/v1/status", s.v1("status", s.handleStatus))
-	mux.Handle("/v1/classify", s.v1("classify", s.handleClassify))
-	mux.Handle("/v1/sample", s.v1("sample", s.handleSample))
+	mux.Handle("/v1/availability", s.v1("availability", http.MethodGet, s.handleAvailability))
+	mux.Handle("/v1/status", s.v1("status", http.MethodGet, s.handleStatus))
+	mux.Handle("/v1/classify", s.v1("classify", http.MethodGet, s.handleClassify))
+	mux.Handle("/v1/classify/batch", s.v1("batch", http.MethodPost, s.handleClassifyBatch))
+	mux.Handle("/v1/sample", s.v1("sample", http.MethodGet, s.handleSample))
 	mux.Handle("/metrics", s.met.handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
 // v1 wraps an endpoint handler with the serving-layer contract, in
-// order: method check, drain check (503 while shutting down), the
-// per-request deadline, the admission-control semaphore (queue, then
-// shed at the deadline), and metrics (status class + latency,
-// measured to include admission wait — that is the latency a client
-// sees).
-func (s *Server) v1(name string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
+// order: per-route method check (405s carry an Allow header), drain
+// check (503 while shutting down), the per-request deadline, the
+// admission-control semaphore (queue, then shed at the deadline), and
+// metrics (status class + latency, measured to include admission
+// wait — that is the latency a client sees).
+func (s *Server) v1(name, method string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() { s.met.observe(name, rec.status, time.Since(start)) }()
 
-		if r.Method != http.MethodGet {
-			writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		if r.Method != method {
+			rec.Header().Set("Allow", method)
+			writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed", "use %s", method)
 			return
 		}
 		if s.draining.Load() {
@@ -101,13 +116,17 @@ func (s *Server) v1(name string, h func(w http.ResponseWriter, r *http.Request))
 	})
 }
 
-// tryServeCached serves the cached body for key if present, returning
+// tryServeCached serves the cached body for key if present — probing
+// the positive cache first, then the negative class — returning
 // whether it did. An empty key never hits.
 func (s *Server) tryServeCached(w http.ResponseWriter, key string) bool {
 	if key == "" {
 		return false
 	}
 	body, ok := s.cache.Get(key)
+	if !ok {
+		body, ok = s.negCache.Get(key)
+	}
 	if !ok {
 		return false
 	}
@@ -117,10 +136,15 @@ func (s *Server) tryServeCached(w http.ResponseWriter, key string) bool {
 	return true
 }
 
-// cachedJSON consults the response cache before computing; on a miss
+// cachedJSON consults the response caches before computing; on a miss
 // it renders v() to JSON, stores it, and serves it. Only successful
-// computations are cached. An empty key bypasses the cache.
-func (s *Server) cachedJSON(w http.ResponseWriter, key string, v func() (any, error)) {
+// computations are cached. An empty key bypasses the cache. negative,
+// when non-nil, routes "nothing there" answers (no snapshot, never
+// archived) to the negative cache's shorter capacity class, so a flood
+// of lookups for unarchived URLs cannot evict the expensive positive
+// results (§5.1: the majority of the paper's dead links were never
+// archived at all — the negative case is the common one).
+func (s *Server) cachedJSON(w http.ResponseWriter, key string, negative func(v any) bool, v func() (any, error)) {
 	if s.tryServeCached(w, key) {
 		return
 	}
@@ -136,7 +160,11 @@ func (s *Server) cachedJSON(w http.ResponseWriter, key string, v func() (any, er
 	}
 	body = append(body, '\n')
 	if key != "" {
-		s.cache.Put(key, body)
+		if negative != nil && negative(val) {
+			s.negCache.Put(key, body)
+		} else {
+			s.cache.Put(key, body)
+		}
 	}
 	w.Header().Set("X-Cache", "miss")
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -148,19 +176,40 @@ func (s *Server) cachedJSON(w http.ResponseWriter, key string, v func() (any, er
 // 4xx class so they don't pollute server-error (5xx) accounting.
 const statusClientClosedRequest = 499
 
-// writeComputeError maps handler-level failures to the envelope:
-// deadline exhaustion becomes 504, a client disconnect becomes 499
-// (a 4xx — the server did nothing wrong), everything else 500.
+// classifyError is a per-link failure that already knows its envelope:
+// the single-link endpoint maps it to an HTTP status, the batch
+// endpoint renders it as an NDJSON error line.
+type classifyError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *classifyError) Error() string { return e.msg }
+
+// errorParts maps any handler-level failure to (status, code, message)
+// for the envelope: deadline exhaustion becomes 504, a client
+// disconnect becomes 499 (a 4xx — the server did nothing wrong),
+// classifyErrors carry their own mapping, everything else 500.
+func errorParts(err error) (int, string, string) {
+	var ce *classifyError
+	switch {
+	case errors.As(err, &ce):
+		return ce.status, ce.code, ce.msg
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline", fmt.Sprintf("request deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "client_closed_request", fmt.Sprintf("client closed request: %v", err)
+	}
+	return http.StatusInternalServerError, "internal", err.Error()
+}
+
 func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded: %v", err)
-		return
+	status, code, msg := errorParts(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
 	}
-	if errors.Is(err, context.Canceled) {
-		writeError(w, statusClientClosedRequest, "client_closed_request", "client closed request: %v", err)
-		return
-	}
-	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	writeError(w, status, code, "%s", msg)
 }
 
 // --- /v1/availability ---
@@ -253,7 +302,10 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		"a", urlutil.SchemeAgnosticKey(rawURL), rawURL, strconv.Itoa(int(want)),
 		strconv.Itoa(int(asOf)), timeout.String(), acceptName,
 	}, "\x00")
-	s.cachedJSON(w, key, func() (any, error) {
+	// "No usable snapshot" (absence or a §4.1 timeout) is the negative
+	// class: cheap to recompute, endless to enumerate.
+	negative := func(v any) bool { return !v.(availabilityResponse).Available }
+	s.cachedJSON(w, key, negative, func() (any, error) {
 		resp := availabilityResponse{
 			URL:       rawURL,
 			Policy:    availabilityPolicy{TimeoutMS: int64(timeout / time.Millisecond), Accept: acceptName},
@@ -353,7 +405,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		key += "\x00r" + strconv.Itoa(retries) + "\x00c" + strconv.Itoa(confirm) +
 			"\x00d" + strconv.Itoa(spacing)
 	}
-	s.cachedJSON(w, key, func() (any, error) {
+	s.cachedJSON(w, key, nil, func() (any, error) {
 		resp := statusResponse{URL: rawURL}
 		var live core.LiveStatus
 		var err error
@@ -406,48 +458,165 @@ func parseKnob(v string, def, lo, hi int) (int, error) {
 
 // --- /v1/classify ---
 
-// handleClassify serves the full study verdict for one sampled link.
-// It runs inside the classify worker pool on top of the global gate:
-// classification fans out into a live fetch, soft-404 probes, and
-// archive scans, so its concurrency is bounded tighter than cheap
-// lookups.
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	rawURL := r.URL.Query().Get("url")
+// classifyBody produces the rendered classification body for one raw
+// URL, shared by the single-link and batch endpoints so the two paths
+// cannot diverge. The layers, cheapest first:
+//
+//  1. response caches — positive for links with archive history,
+//     negative (shorter capacity class) for never-archived verdicts,
+//     which §5.1 says is the common case among the paper's dead links;
+//  2. the singleflight group — concurrent identical requests, across
+//     both endpoints, coalesce onto one computation;
+//  3. the classify worker pool + the full ClassifyLink pipeline.
+//
+// src reports which layer answered: "hit", "miss" (this call led the
+// computation), or "coalesced" (another call's computation answered).
+func (s *Server) classifyBody(ctx context.Context, rawURL string) (body []byte, src string, err error) {
 	if rawURL == "" {
-		writeError(w, http.StatusBadRequest, "missing_url", "missing url parameter")
-		return
+		return nil, "", &classifyError{http.StatusBadRequest, "missing_url", "missing url parameter"}
 	}
 	rec, ok := s.records[urlutil.SchemeAgnosticKey(rawURL)]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_link",
-			"%s is not in the served sample of %d permanently dead links", rawURL, len(s.order))
-		return
+		return nil, "", &classifyError{http.StatusNotFound, "unknown_link",
+			fmt.Sprintf("%s is not in the served sample of %d permanently dead links", rawURL, len(s.order))}
 	}
 
-	// Probe the cache before taking a classify-pool slot: a hit costs
+	// Probe the caches before the flight group and pool: a hit costs
 	// nothing, so it must not queue behind (or be shed from) the small
 	// heavy-work pool. The body is rendered from rec, so the canonical
 	// key is safe to share across raw spellings.
 	key := "c\x00" + urlutil.SchemeAgnosticKey(rec.URL)
-	if s.tryServeCached(w, key) {
-		return
+	if body, ok := s.cache.Get(key); ok {
+		return body, "hit", nil
+	}
+	if body, ok := s.negCache.Get(key); ok {
+		return body, "hit", nil
 	}
 
-	if err := s.classifyPool.acquire(r.Context()); err != nil {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "overloaded",
-			"classification pool full within the request deadline: %v", err)
-		return
-	}
-	defer s.classifyPool.release()
-
-	if s.testHookClassify != nil {
-		s.testHookClassify()
-	}
-
-	s.cachedJSON(w, key, func() (any, error) {
-		return s.study.ClassifyLink(r.Context(), rec)
+	body, shared, err := s.flight.do(ctx, key, func() ([]byte, error) {
+		// The leader computes under the server's own budget, detached
+		// from its request context: followers share this result, so it
+		// must not die with the leader's client.
+		cctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		if err := s.classifyPool.acquire(cctx); err != nil {
+			return nil, &classifyError{http.StatusServiceUnavailable, "overloaded",
+				fmt.Sprintf("classification pool full within the request deadline: %v", err)}
+		}
+		defer s.classifyPool.release()
+		if s.testHookClassify != nil {
+			s.testHookClassify()
+		}
+		c, err := s.study.ClassifyLink(cctx, rec)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(c)
+		if err != nil {
+			return nil, &classifyError{http.StatusInternalServerError, "encode", err.Error()}
+		}
+		b = append(b, '\n')
+		if c.Archive.NeverArchived {
+			s.negCache.Put(key, b)
+		} else {
+			s.cache.Put(key, b)
+		}
+		return b, nil
 	})
+	if err != nil {
+		return nil, "", err
+	}
+	if shared {
+		return body, "coalesced", nil
+	}
+	return body, "miss", nil
+}
+
+// handleClassify serves the full study verdict for one sampled link.
+// The heavy work runs inside the classify worker pool on top of the
+// global gate: classification fans out into a live fetch, soft-404
+// probes, and archive scans, so its concurrency is bounded tighter
+// than cheap lookups.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	body, src, err := s.classifyBody(r.Context(), r.URL.Query().Get("url"))
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", src)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body) //nolint:errcheck
+}
+
+// --- /v1/classify/batch ---
+
+// maxBatchBodyBytes bounds the request body a batch may post; at the
+// 10k-link default cap and generous URL lengths this is far above any
+// legitimate request.
+const maxBatchBodyBytes = 32 << 20
+
+// batchErrorLine is the NDJSON shape of a per-link failure: the same
+// error envelope as every endpoint, plus the URL so an out-of-band
+// reader can still pair lines with inputs.
+type batchErrorLine struct {
+	URL   string    `json:"url"`
+	Error errorBody `json:"error"`
+}
+
+// handleClassifyBatch classifies up to MaxBatchLinks URLs in one POST,
+// streaming verdicts back as NDJSON — one JSON object per line, in
+// input order, flushed as produced — so a client reads verdict i while
+// verdict i+k is still computing. Per-link failures become error lines
+// ({"url":...,"error":{...}}) instead of aborting the stream; each
+// line goes through the same cache → singleflight → pool path as
+// /v1/classify, so a batch and concurrent single-link requests for the
+// same URL do the classify work once.
+//
+// Body: {"urls": ["http://...", ...]}. The whole stream runs under the
+// request deadline; size batches so they fit, or raise -request-timeout.
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URLs []string `json:"urls"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "decoding request body: %v", err)
+		return
+	}
+	if len(req.URLs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", `body must carry a non-empty "urls" array`)
+		return
+	}
+	if len(req.URLs) > s.cfg.MaxBatchLinks {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"%d urls exceeds the %d-link batch bound; split the request", len(req.URLs), s.cfg.MaxBatchLinks)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("X-Batch-Links", strconv.Itoa(len(req.URLs)))
+	flusher, _ := w.(http.Flusher) // statusRecorder forwards the upgrade
+
+	//nolint:errcheck // a mid-stream failure (client gone, write error)
+	// cannot change the already-sent status; the stream just ends.
+	core.StreamOrdered(r.Context(), len(req.URLs), s.cfg.BatchWorkers,
+		func(i int) []byte {
+			body, _, err := s.classifyBody(r.Context(), req.URLs[i])
+			if err != nil {
+				_, code, msg := errorParts(err)
+				line, _ := json.Marshal(batchErrorLine{URL: req.URLs[i], Error: errorBody{Code: code, Message: msg}})
+				return append(line, '\n')
+			}
+			return body
+		},
+		func(i int, line []byte) error {
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
 }
 
 // --- /v1/sample ---

@@ -11,6 +11,10 @@
 //	GET /v1/classify?url=           the full per-link study verdict
 //	                                (alive / usable-copy-missed /
 //	                                typo / coverage-gap / dead)
+//	POST /v1/classify/batch         bulk classify: verdicts for up to
+//	                                thousands of links per call,
+//	                                streamed back as NDJSON in input
+//	                                order as each completes
 //
 // plus /v1/sample (the sampled link population, for load generators),
 // /metrics (expvar-based counters, latency histograms, cache and memo
@@ -20,10 +24,16 @@
 // semaphore bounding total in-flight work (waiters queue until their
 // per-request deadline, then are shed with 503); classification
 // additionally runs inside a smaller bounded worker pool, since it
-// fans out into archive scans and live fetches. Successful responses
-// are cached in a sharded LRU keyed by canonical URL + policy knobs.
-// Errors use one JSON envelope. Shutdown drains: in-flight requests
-// complete while new ones get 503.
+// fans out into archive scans and live fetches. Classification work
+// dedupes through three layers, cheapest first: a sharded LRU response
+// cache keyed by canonical URL + policy knobs (never-archived and
+// no-snapshot answers live in a separate negative class so they cannot
+// evict positive results), a singleflight group coalescing concurrent
+// identical computations across the single-link and batch endpoints,
+// and — underneath everything — the frozen archive's Bloom prefilter
+// answering "no captures" without touching CDX indexes. Errors use one
+// JSON envelope. Shutdown drains: in-flight requests complete while
+// new ones get 503.
 package service
 
 import (
@@ -63,6 +73,23 @@ type Config struct {
 	// CacheShards is its shard count.
 	CacheEntries int
 	CacheShards  int
+	// NegCacheEntries bounds the negative-result cache — "never
+	// archived" classify verdicts and "no usable snapshot" availability
+	// answers. It is a separate capacity class so the unbounded
+	// population of negative lookups cannot evict positive results
+	// (0 disables it). Entries are cheap, so the default runs larger
+	// than CacheEntries.
+	NegCacheEntries int
+	// MaxBatchLinks caps how many URLs one /v1/classify/batch request
+	// may carry; larger batches are rejected with 413.
+	MaxBatchLinks int
+	// BatchWorkers bounds per-batch classify fan-out. It is clamped to
+	// ClassifyWorkers: the pool is the real limit, and a wider fan-out
+	// would only queue.
+	BatchWorkers int
+	// DisablePrefilter turns off the frozen archive's capture
+	// prefilter (for benchmarking the filter's effect).
+	DisablePrefilter bool
 	// MemoCap bounds the study memo's per-map entries
 	// (archive.NewMemoCapped); 0 means unbounded.
 	MemoCap int
@@ -78,6 +105,9 @@ func DefaultConfig() Config {
 		RequestTimeout:  10 * time.Second,
 		CacheEntries:    4096,
 		CacheShards:     16,
+		NegCacheEntries: 16384,
+		MaxBatchLinks:   10000,
+		BatchWorkers:    16,
 		MemoCap:         1 << 16,
 	}
 }
@@ -93,8 +123,10 @@ type Server struct {
 	order   []core.LinkRecord
 
 	cache        *Cache
-	gate         *admission // global in-flight bound
-	classifyPool *admission // nested classify worker pool
+	negCache     *Cache       // negative results: own, shorter capacity class
+	flight       *flightGroup // coalesces identical classify computations
+	gate         *admission   // global in-flight bound
+	classifyPool *admission   // nested classify worker pool
 	met          *metrics
 	// retryStats aggregates fetch.Retrier activity across all
 	// /v1/status requests that opt into a retry policy.
@@ -123,7 +155,14 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 	if cfg.ClassifyWorkers <= 0 || cfg.ClassifyWorkers > cfg.MaxInFlight {
 		cfg.ClassifyWorkers = cfg.MaxInFlight
 	}
+	if cfg.MaxBatchLinks <= 0 {
+		cfg.MaxBatchLinks = DefaultConfig().MaxBatchLinks
+	}
+	if cfg.BatchWorkers <= 0 || cfg.BatchWorkers > cfg.ClassifyWorkers {
+		cfg.BatchWorkers = cfg.ClassifyWorkers
+	}
 	b.Archive.Freeze()
+	b.Archive.SetPrefilterEnabled(!cfg.DisablePrefilter)
 
 	study := &core.Study{
 		Config:  cfg.Study,
@@ -144,9 +183,11 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		records:      make(map[string]core.LinkRecord, len(records)),
 		order:        records,
 		cache:        NewCache(cfg.CacheEntries, cfg.CacheShards),
+		negCache:     NewCache(cfg.NegCacheEntries, cfg.CacheShards),
+		flight:       newFlightGroup(),
 		gate:         newAdmission(cfg.MaxInFlight),
 		classifyPool: newAdmission(cfg.ClassifyWorkers),
-		met:          newMetrics([]string{"availability", "status", "classify", "sample"}),
+		met:          newMetrics([]string{"availability", "status", "classify", "batch", "sample"}),
 		retryStats:   new(fetch.RetryStats),
 		started:      time.Now(),
 	}
@@ -158,6 +199,9 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 	}
 
 	s.met.publishFunc("cache", func() any { return s.cache.Stats() })
+	s.met.publishFunc("negcache", func() any { return s.negCache.Stats() })
+	s.met.publishFunc("singleflight", func() any { return s.flight.stats() })
+	s.met.publishFunc("prefilter", func() any { return b.Archive.PrefilterStats() })
 	s.met.publishFunc("retry", func() any { return s.retryStats.Snapshot() })
 	s.met.publishFunc("memo", func() any { return s.study.Memo().Stats() })
 	s.met.publishFunc("admission", func() any {

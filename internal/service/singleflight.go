@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent identical computations: the first
+// request for a key (the leader) runs the compute function; requests
+// arriving for the same key while it runs (followers) wait and share
+// the leader's rendered body instead of redoing the work. Under a
+// thundering herd — a popular link hitting the batch and single-link
+// endpoints at once — N concurrent identical requests cost one
+// classification, not N.
+//
+// Contexts: the leader runs fn to completion regardless of its own
+// request's fate (fn is expected to bound itself, e.g. with the
+// server's request timeout) so that followers who are still waiting
+// aren't killed by the leader's client hanging up. Each follower
+// waits under its *own* ctx and leaves alone if it expires; the
+// computation keeps running for everyone else.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	// leaders counts computations performed; coalesced counts
+	// requests served by another request's computation; abandoned
+	// counts followers whose own deadline expired while waiting.
+	leaders, coalesced, abandoned atomic.Int64
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the leader finishes
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key across concurrent callers. It reports the
+// shared body, whether this caller coalesced onto another's
+// computation, and the computation's error (or ctx's, for a follower
+// that gave up waiting).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			g.coalesced.Add(1)
+			return c.body, true, c.err
+		case <-ctx.Done():
+			g.abandoned.Add(1)
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	g.leaders.Add(1)
+	c.body, c.err = fn()
+
+	// Unregister before broadcasting: a request arriving after the
+	// result is settled should hit the response cache (or lead a
+	// fresh computation), not latch onto a finished call forever.
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, false, c.err
+}
+
+// waiting reports how many keys currently have a computation in
+// flight (tests use it to know followers have joined).
+func (g *flightGroup) waiting(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.calls[key]
+	return ok
+}
+
+// FlightStats is a point-in-time view of the singleflight counters.
+type FlightStats struct {
+	// Leaders is how many computations actually ran; Coalesced is how
+	// many requests shared one instead of computing; Abandoned is how
+	// many followers timed out waiting.
+	Leaders   int64 `json:"leaders"`
+	Coalesced int64 `json:"coalesced"`
+	Abandoned int64 `json:"abandoned"`
+}
+
+func (g *flightGroup) stats() FlightStats {
+	return FlightStats{
+		Leaders:   g.leaders.Load(),
+		Coalesced: g.coalesced.Load(),
+		Abandoned: g.abandoned.Load(),
+	}
+}

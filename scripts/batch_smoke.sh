@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Smoke-test the bulk classify path end to end: boot permadeadd over a
+# small generated universe, sanity-check one NDJSON batch with curl,
+# then drive zipf-skewed batch load with loadgen — zero 5xx, zero
+# server-fault lines, and a p99 bound required. The run happens twice,
+# with the archive's capture prefilter on and off, and both results
+# land in BENCH_PR6.json via cmd/benchjson so the filter's effect is a
+# diffable artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+P99_MAX=${P99_MAX:-8s}
+
+workdir=$(mktemp -d)
+server_pid=""
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/permadeadd" ./cmd/permadeadd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+boot() { # boot <extra server flags...>; sets $addr and $server_pid
+  rm -f "$workdir/addr"
+  "$workdir/permadeadd" -addr 127.0.0.1:0 -scale 0.05 -addr-file "$workdir/addr" "$@" \
+    >"$workdir/server.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "permadeadd died during startup:"; cat "$workdir/server.log"; exit 1; }
+    sleep 0.2
+  done
+  [ -s "$workdir/addr" ] || { echo "permadeadd never wrote its address"; cat "$workdir/server.log"; exit 1; }
+  addr=$(cat "$workdir/addr")
+}
+
+stop() {
+  kill -TERM "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+}
+
+fail() { echo "FAIL: $1"; cat "$workdir/server.log"; exit 1; }
+
+check_server_counters() { # zero 5xx by the server's own count, and the new surfaces exist
+  metrics=$(curl -sf "http://$addr/metrics")
+  echo "$metrics" | grep -q '"5xx": *[1-9]' && fail "server counted 5xx responses"
+  echo "$metrics" | grep -q '"requests_batch"' || fail "/metrics lacks requests_batch"
+  echo "$metrics" | grep -q '"singleflight"' || fail "/metrics lacks singleflight"
+  echo "$metrics" | grep -q '"prefilter"' || fail "/metrics lacks prefilter"
+}
+
+# --- Round 1: prefilter on (the default) ---
+boot
+echo "permadeadd up on $addr (prefilter on)"
+
+# curl sanity check: one small batch, NDJSON back, one line per URL.
+urls=$(curl -sf "http://$addr/v1/sample?n=3" \
+  | sed -n 's/.*"urls":\[\([^]]*\)\].*/\1/p')
+[ -n "$urls" ] || fail "/v1/sample returned no URLs"
+lines=$(curl -sf -X POST -d "{\"urls\":[$urls]}" "http://$addr/v1/classify/batch" | wc -l)
+[ "$lines" -eq 3 ] || fail "batch of 3 streamed $lines NDJSON lines"
+curl -sf -X POST -d "{\"urls\":[$urls]}" "http://$addr/v1/classify/batch" \
+  | grep -q '"verdict"' || fail "batch lines carry no verdicts"
+# Wrong method on the batch route must 405 and name the right one.
+allow=$(curl -s -o /dev/null -D - "http://$addr/v1/classify/batch" | tr -d '\r' | sed -n 's/^Allow: //p')
+[ "$allow" = "POST" ] || fail "GET on batch route: Allow=$allow, want POST"
+echo "batch endpoint answers"
+
+"$workdir/loadgen" -addr "$addr" -workload batch -n 40 -c 8 -batch-size 50 \
+  -zipf 1.2 -sample 64 -p99-max "$P99_MAX" -bench BatchZipfPrefilterOn \
+  >"$workdir/bench_on.txt" || { cat "$workdir/bench_on.txt"; fail "batch loadgen (prefilter on)"; }
+cat "$workdir/bench_on.txt"
+check_server_counters
+stop
+
+# --- Round 2: prefilter off, same workload ---
+boot -no-prefilter
+echo "permadeadd up on $addr (prefilter off)"
+"$workdir/loadgen" -addr "$addr" -workload batch -n 40 -c 8 -batch-size 50 \
+  -zipf 1.2 -sample 64 -p99-max "$P99_MAX" -bench BatchZipfPrefilterOff \
+  >"$workdir/bench_off.txt" || { cat "$workdir/bench_off.txt"; fail "batch loadgen (prefilter off)"; }
+cat "$workdir/bench_off.txt"
+check_server_counters
+stop
+
+cat "$workdir/bench_on.txt" "$workdir/bench_off.txt" \
+  | go run ./cmd/benchjson -o BENCH_PR6.json >/dev/null
+echo "batch smoke OK (BENCH_PR6.json updated)"
