@@ -3,9 +3,9 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke
+.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke persistsmoke
 
-check: vet build test race retrysmoke batchsmoke
+check: vet build test race retrysmoke batchsmoke persistsmoke
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,11 @@ retrysmoke:
 # bound required — and records both runs in BENCH_PR6.json.
 batchsmoke:
 	./scripts/batch_smoke.sh
+
+# persistsmoke exercises the paged (format v4) universe store:
+# generate gob, convert with universeconv, cold-start permadeadd from
+# the paged file — startup budget, >= 50x cold-start speedup,
+# byte-identical /v1/classify verdicts vs the gob path, and batch
+# throughput parity all required. Records BENCH_PR7.json.
+persistsmoke:
+	./scripts/persist_smoke.sh

@@ -39,6 +39,7 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "print only the paper-vs-measured comparison")
 		figs    = flag.String("figs", "", "also write SVG figures into this directory")
 		load    = flag.String("load", "", "measure a universe saved by 'worldgen -save' instead of generating one")
+		paged   = flag.Bool("universe.paged", true, "mmap a paged (format v4) universe file and read it page-on-demand; =false reads the file fully into memory")
 		md      = flag.String("md", "", "write a Markdown experiment report to this file")
 		compare = flag.Bool("compare", false, "with -figs: also run the random sample and write both-sample overlays (the paper's Figure 3/4 style)")
 		timeout = flag.Duration("timeout", 15*time.Minute, "overall run timeout")
@@ -57,19 +58,14 @@ func main() {
 
 	var bundle *persist.Bundle
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
-			os.Exit(1)
-		}
 		start := time.Now()
-		bundle, err = persist.Load(f)
-		f.Close()
+		b, err := openUniverse(*load, *paged)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deadlinkstudy: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "loaded universe from %s in %.1fs\n", *load, time.Since(start).Seconds())
+		bundle = b
+		fmt.Fprintf(os.Stderr, "loaded universe from %s in %.3fs\n", *load, time.Since(start).Seconds())
 	} else {
 		params := worldgen.DefaultParams().Scale(*scale)
 		params.Seed = *seed
@@ -88,6 +84,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "generated in %.1fs\n%s", time.Since(start).Seconds(), u.Summary())
 		bundle = persist.FromUniverse(u)
 	}
+	defer bundle.Close()
 
 	// World generation is done; freeze the archive so the parallel
 	// analysis stages read the freeze-time CDX indexes lock-free
@@ -183,4 +180,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d SVG figures to %s\n", len(paths), *figs)
 	}
+}
+
+// openUniverse loads a saved universe. Paged (format v4) files are
+// mmap'd and read page-on-demand unless -universe.paged=false, which
+// forces a full read into memory; gob (v3) files always load fully.
+func openUniverse(path string, paged bool) (*persist.Bundle, error) {
+	if paged {
+		return persist.Open(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return persist.Load(f)
 }

@@ -28,6 +28,7 @@ import (
 func main() {
 	var (
 		load     = flag.String("load", "", "universe file saved by 'worldgen -save' (required)")
+		paged    = flag.Bool("universe.paged", true, "mmap a paged (format v4) universe file and read it page-on-demand; =false reads the file fully into memory")
 		category = flag.Bool("category", false, "list articles in the permanently-dead tracking category")
 		article  = flag.String("article", "", "print an article's wikitext and link histories")
 		url      = flag.String("url", "", "trace one URL across the web, wiki, and archive")
@@ -39,15 +40,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*load)
+	b, err := openUniverse(*load, *paged)
 	if err != nil {
 		fail(err)
 	}
-	b, err := persist.Load(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
+	defer b.Close()
 
 	switch {
 	case *category:
@@ -141,6 +138,22 @@ func traceURL(b *persist.Bundle, url string) {
 	if !found {
 		fmt.Println("  not cited in any article")
 	}
+}
+
+// openUniverse loads a saved universe. Paged (format v4) files are
+// mmap'd and read page-on-demand — inspecting one article or URL
+// touches only its pages — unless -universe.paged=false forces a full
+// read; gob (v3) files always load fully.
+func openUniverse(path string, paged bool) (*persist.Bundle, error) {
+	if paged {
+		return persist.Open(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return persist.Load(f)
 }
 
 func fail(err error) {

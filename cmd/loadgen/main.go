@@ -7,6 +7,12 @@
 //	                  /v1/status, and /v1/availability (the default)
 //	-workload batch   POST NDJSON batches of -batch-size links to
 //	                  /v1/classify/batch, counting streamed lines
+//	-workload soak    drive the mixed request shape for -duration
+//	                  (ignoring -n), printing a line every -report
+//	                  interval with window p50/p99, cumulative
+//	                  throughput, and the server's RSS from /metrics —
+//	                  the steady-state memory check for the paged
+//	                  universe store
 //
 // URL selection is uniform round-robin by default; -zipf s (s > 1)
 // draws from a zipf distribution instead, so a few hot links dominate
@@ -53,7 +59,9 @@ func main() {
 		c         = flag.Int("c", 16, "concurrent clients")
 		sample    = flag.Int("sample", 64, "URL pool size (smaller pools repeat URLs and hit the cache)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
-		workload  = flag.String("workload", "mixed", "workload shape: mixed (single-link GETs) or batch (NDJSON POSTs)")
+		workload  = flag.String("workload", "mixed", "workload shape: mixed (single-link GETs), batch (NDJSON POSTs), or soak (duration-based mixed load)")
+		duration  = flag.Duration("duration", 30*time.Second, "how long the soak workload runs")
+		report    = flag.Duration("report", 5*time.Second, "soak progress-line interval")
 		batchSize = flag.Int("batch-size", 100, "links per /v1/classify/batch POST (batch workload)")
 		zipfS     = flag.Float64("zipf", 0, "zipf skew s for URL selection (> 1; 0 = uniform round-robin)")
 		seed      = flag.Int64("seed", 1, "zipf draw seed")
@@ -64,8 +72,8 @@ func main() {
 	if *n < 1 || *c < 1 || *sample < 1 || *batchSize < 1 {
 		fatal(fmt.Errorf("-n, -c, -sample, and -batch-size must all be >= 1"))
 	}
-	if *workload != "mixed" && *workload != "batch" {
-		fatal(fmt.Errorf("-workload must be 'mixed' or 'batch', got %q", *workload))
+	if *workload != "mixed" && *workload != "batch" && *workload != "soak" {
+		fatal(fmt.Errorf("-workload must be 'mixed', 'batch', or 'soak', got %q", *workload))
 	}
 	if *zipfS != 0 && *zipfS <= 1 {
 		fatal(fmt.Errorf("-zipf needs s > 1 (got %v)", *zipfS))
@@ -80,6 +88,14 @@ func main() {
 	pool, err := fetchSample(client, base, *sample)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *workload == "soak" {
+		runSoak(client, base, pool, soakConfig{
+			Clients: *c, Duration: *duration, Report: *report,
+			ZipfS: *zipfS, Seed: *seed, P99Max: *p99Max, BenchName: *benchName,
+		})
+		return
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d URLs in pool, firing %d %s requests from %d clients\n",
 		len(pool), *n, *workload, *c)
@@ -172,6 +188,149 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: p99 %s exceeds bound %s\n", p99, *p99Max)
 		os.Exit(1)
 	}
+}
+
+type soakConfig struct {
+	Clients   int
+	Duration  time.Duration
+	Report    time.Duration
+	ZipfS     float64
+	Seed      int64
+	P99Max    time.Duration
+	BenchName string
+}
+
+// runSoak drives the mixed single-link request shape for a fixed
+// duration instead of a fixed count, reporting a progress line every
+// cfg.Report interval: p50/p99 over that window, cumulative
+// throughput, and the server's resident set size scraped from
+// /metrics. A flat RSS trend across a long soak is the observable form
+// of the paged store's O(working set) memory claim.
+func runSoak(client *http.Client, base string, pool []string, cfg soakConfig) {
+	fmt.Fprintf(os.Stderr, "loadgen: %d URLs in pool, soaking %s from %d clients (report every %s)\n",
+		len(pool), cfg.Duration, cfg.Clients, cfg.Report)
+
+	var (
+		errors  atomic.Int64
+		fiveXX  atomic.Int64
+		okCount atomic.Int64
+
+		mu     sync.Mutex
+		all    []time.Duration // cumulative, for the final summary
+		window []time.Duration // since the last report line
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			pick := uniformPicker(len(pool))
+			if cfg.ZipfS != 0 {
+				pick = zipfPicker(cfg.ZipfS, len(pool), cfg.Seed+int64(worker))
+			}
+			for i := worker; time.Now().Before(deadline); i++ {
+				target := base + endpoints[i%len(endpoints)] + "?url=" + url.QueryEscape(pool[pick(i)])
+				d, status, err := get(client, target)
+				switch {
+				case err != nil:
+					errors.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+					continue
+				case status >= 500:
+					fiveXX.Add(1)
+				case status < 400:
+					okCount.Add(1)
+				}
+				mu.Lock()
+				all = append(all, d)
+				window = append(window, d)
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	ticker := time.NewTicker(cfg.Report)
+	defer ticker.Stop()
+	for running := true; running; {
+		select {
+		case <-ticker.C:
+		case <-done:
+			running = false
+		}
+		mu.Lock()
+		win := window
+		window = nil
+		total := len(all)
+		mu.Unlock()
+		if len(win) == 0 && running {
+			continue
+		}
+		sort.Slice(win, func(i, j int) bool { return win[i] < win[j] })
+		elapsed := time.Since(start).Seconds()
+		line := fmt.Sprintf("soak t=%4.0fs  reqs=%d (%.1f req/s)", elapsed, total, float64(total)/elapsed)
+		if len(win) > 0 {
+			line += fmt.Sprintf("  window p50=%s p99=%s", quantile(win, 0.50), quantile(win, 0.99))
+		}
+		if rss := serverRSS(client, base); rss > 0 {
+			line += fmt.Sprintf("  server-rss=%.1fMB", float64(rss)/(1<<20))
+		}
+		fmt.Println(line)
+	}
+	elapsed := time.Since(start)
+
+	mu.Lock()
+	latencies := all
+	mu.Unlock()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("requests:   %d ok, %d 5xx, %d transport errors\n",
+		okCount.Load(), fiveXX.Load(), errors.Load())
+	fmt.Printf("throughput: %.1f req/s (%d requests in %.2fs)\n",
+		float64(len(latencies))/elapsed.Seconds(), len(latencies), elapsed.Seconds())
+	var p99 time.Duration
+	if len(latencies) > 0 {
+		p99 = quantile(latencies, 0.99)
+		fmt.Printf("latency:    p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(latencies, 0.50), quantile(latencies, 0.90),
+			p99, latencies[len(latencies)-1])
+	}
+	if cfg.BenchName != "" && len(latencies) > 0 {
+		mean := elapsed.Nanoseconds() / int64(len(latencies))
+		rssMB := float64(serverRSS(client, base)) / (1 << 20)
+		fmt.Printf("Benchmark%s %d %d ns/op %.3f p99ms %.1f req/s %.1f rss-mb\n",
+			cfg.BenchName, len(latencies), mean,
+			float64(p99.Microseconds())/1000, float64(len(latencies))/elapsed.Seconds(), rssMB)
+	}
+	switch {
+	case fiveXX.Load() > 0 || errors.Load() > 0 || okCount.Load() == 0:
+		os.Exit(1)
+	case cfg.P99Max > 0 && p99 > cfg.P99Max:
+		fmt.Fprintf(os.Stderr, "loadgen: p99 %s exceeds bound %s\n", p99, cfg.P99Max)
+		os.Exit(1)
+	}
+}
+
+// serverRSS scrapes the target's resident set size from /metrics
+// ("mem".rss_bytes), returning 0 if unavailable.
+func serverRSS(client *http.Client, base string) uint64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Mem struct {
+			RSSBytes uint64 `json:"rss_bytes"`
+		} `json:"mem"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&doc) != nil {
+		return 0
+	}
+	return doc.Mem.RSSBytes
 }
 
 // uniformPicker spreads request i across the pool round-robin.

@@ -6,11 +6,15 @@
 // Usage:
 //
 //	permadeadd [-addr host:port] [-scale f] [-seed n] [-load file]
+//	           [-universe.paged=bool]
 //
 // The universe is generated at startup (or loaded from a 'worldgen
 // -save' file); the server then answers queries until SIGINT/SIGTERM,
 // at which point it drains gracefully: in-flight requests complete,
-// new ones get 503.
+// new ones get 503. Paged (format v4) universe files are mmap'd and
+// served page-on-demand, so cold start is milliseconds and resident
+// memory tracks the touched working set; -universe.paged=false forces
+// the whole file into memory instead.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generation and sampling seed")
 		sample   = flag.Int("sample", 0, "sample size override (0 = scaled default)")
 		load     = flag.String("load", "", "serve a universe saved by 'worldgen -save' instead of generating one")
+		paged    = flag.Bool("universe.paged", true, "mmap a paged (format v4) universe file and serve it page-on-demand; =false reads the file fully into memory")
 
 		maxInFlight     = flag.Int("max-inflight", defaults.MaxInFlight, "bound on concurrently admitted requests")
 		classifyWorkers = flag.Int("classify-workers", defaults.ClassifyWorkers, "bound on concurrent classifications")
@@ -52,27 +57,26 @@ func main() {
 	flag.Parse()
 
 	var bundle *persist.Bundle
+	var loadDur time.Duration
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fatal(err)
-		}
 		start := time.Now()
-		bundle, err = persist.Load(f)
-		f.Close()
+		b, err := openUniverse(*load, *paged)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded universe from %s in %.1fs\n", *load, time.Since(start).Seconds())
+		bundle = b
+		loadDur = time.Since(start)
 	} else {
 		params := worldgen.DefaultParams().Scale(*scale)
 		params.Seed = *seed
 		fmt.Fprintf(os.Stderr, "generating universe (scale %.2f, seed %d)...\n", *scale, *seed)
 		start := time.Now()
 		u := worldgen.Generate(params)
-		fmt.Fprintf(os.Stderr, "generated in %.1fs\n", time.Since(start).Seconds())
+		loadDur = time.Since(start)
+		fmt.Fprintf(os.Stderr, "generated in %.1fs\n", loadDur.Seconds())
 		bundle = persist.FromUniverse(u)
 	}
+	defer bundle.Close()
 
 	cfg := defaults
 	cfg.Study.Seed = *seed
@@ -92,13 +96,26 @@ func main() {
 	cfg.DisablePrefilter = *noPrefilter
 	cfg.MemoCap = *memoCap
 
+	// Startup-phase timing: load (or generate), freeze (service.New
+	// freezes the archive and collects the sample), listen. One log
+	// line here, and the same numbers under /metrics "startup_ms".
+	freezeStart := time.Now()
 	srv, err := service.New(bundle, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	freezeDur := time.Since(freezeStart)
+	listenStart := time.Now()
 	if err := srv.Start(*addr); err != nil {
 		fatal(err)
 	}
+	listenDur := time.Since(listenStart)
+	srv.RecordStartupPhase("load", loadDur)
+	srv.RecordStartupPhase("freeze", freezeDur)
+	srv.RecordStartupPhase("listen", listenDur)
+	fmt.Fprintf(os.Stderr, "permadeadd: startup load=%dms freeze=%dms listen=%dms total=%dms\n",
+		loadDur.Milliseconds(), freezeDur.Milliseconds(), listenDur.Milliseconds(),
+		(loadDur + freezeDur + listenDur).Milliseconds())
 	fmt.Fprintf(os.Stderr, "permadeadd: serving %d sampled links on http://%s\n", srv.SampleSize(), srv.Addr())
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
@@ -117,6 +134,21 @@ func main() {
 		fatal(fmt.Errorf("drain incomplete: %w", err))
 	}
 	fmt.Fprintln(os.Stderr, "permadeadd: drained cleanly")
+}
+
+// openUniverse loads a saved universe. Paged (format v4) files are
+// mmap'd and served page-on-demand unless -universe.paged=false, which
+// forces a full read into memory; gob (v3) files always load fully.
+func openUniverse(path string, paged bool) (*persist.Bundle, error) {
+	if paged {
+		return persist.Open(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return persist.Load(f)
 }
 
 func fatal(err error) {

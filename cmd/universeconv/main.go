@@ -1,0 +1,196 @@
+// Command universeconv migrates saved universes from the legacy gob
+// stream (persist format v3) to the paged on-disk format (v4), whose
+// section layout permadeadd can mmap and serve page-on-demand. It also
+// verifies paged files end to end and measures the cold-start
+// difference between the two formats.
+//
+// Usage:
+//
+//	universeconv -in u.gob -out u.pduniv          convert v3 -> v4
+//	universeconv -check u.pduniv                  verify checksums + structure
+//	universeconv -in u.gob -out u.pduniv -bench   convert, then emit
+//	                                              benchjson-compatible
+//	                                              cold-start lines
+//
+// Conversion goes through the v3 decoder, so revision IDs, CDX
+// insertion order, and snapshot ordering are preserved exactly; the
+// output is deterministic (converting the same input twice yields
+// byte-identical files) and is verified before the command reports
+// success.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"permadead/internal/persist"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input universe (gob v3, from 'worldgen -save-format gob')")
+		out   = flag.String("out", "", "output paged universe (format v4)")
+		check = flag.String("check", "", "verify a saved universe file and exit (paged files: full checksum + structure pass)")
+		bench = flag.Bool("bench", false, "after converting, print cold-start benchmark lines for gob vs paged (pipe through cmd/benchjson)")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := verify(*check); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: OK\n", *check)
+		return
+	}
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "universeconv: need -in and -out (or -check)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	b, err := loadGob(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if b.Archive.StoreBacked() {
+		fatal(fmt.Errorf("%s is already a paged (v4) file", *in))
+	}
+	loadDur := time.Since(start)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	start = time.Now()
+	if err := persist.SavePaged(f, b); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	saveDur := time.Since(start)
+	if err := persist.VerifyPaged(*out); err != nil {
+		fatal(fmt.Errorf("converted file failed verification: %w", err))
+	}
+	inSize, outSize := fileSize(*in), fileSize(*out)
+	fmt.Fprintf(os.Stderr, "universeconv: %s (%.1f MB gob) -> %s (%.1f MB paged) in %.1fs decode + %.1fs encode; verified\n",
+		*in, mb(inSize), *out, mb(outSize), loadDur.Seconds(), saveDur.Seconds())
+
+	if *bench {
+		benchColdStart(*in, *out)
+	}
+}
+
+// benchColdStart measures cold-start time for both formats and prints
+// go-bench-style lines (cmd/benchjson turns them into BENCH_PR7.json).
+// Each "load" is open + one query, i.e. time to first useful answer:
+// the gob path decodes and re-indexes the whole universe, the paged
+// path maps the file and binary-searches one host.
+func benchColdStart(gobPath, pagedPath string) {
+	gobDur, err := timeGobLoad(gobPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The paged open is microseconds-to-milliseconds; run it a few
+	// times and report the median-ish middle run for stability.
+	const runs = 5
+	durs := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		d, err := timePagedOpen(pagedPath)
+		if err != nil {
+			fatal(err)
+		}
+		durs = append(durs, d)
+	}
+	pagedDur := median(durs)
+
+	speedup := float64(gobDur) / float64(pagedDur)
+	fmt.Printf("BenchmarkUniverseLoadGob \t%8d\t%12d ns/op\t%12.3f load-ms\n",
+		1, gobDur.Nanoseconds(), ms(gobDur))
+	fmt.Printf("BenchmarkUniverseOpenPaged \t%8d\t%12d ns/op\t%12.3f load-ms\t%8.1f speedup\n",
+		runs, pagedDur.Nanoseconds(), ms(pagedDur), speedup)
+	fmt.Fprintf(os.Stderr, "universeconv: cold start %.3fms paged vs %.0fms gob (%.0fx)\n",
+		ms(pagedDur), ms(gobDur), speedup)
+}
+
+func timeGobLoad(path string) (time.Duration, error) {
+	start := time.Now()
+	b, err := loadGob(path)
+	if err != nil {
+		return 0, err
+	}
+	if b.Archive.TotalSnapshots() == 0 {
+		return 0, fmt.Errorf("%s: empty archive", path)
+	}
+	return time.Since(start), nil
+}
+
+func timePagedOpen(path string) (time.Duration, error) {
+	start := time.Now()
+	b, err := persist.OpenPaged(path)
+	if err != nil {
+		return 0, err
+	}
+	defer b.Close()
+	if b.Archive.TotalSnapshots() == 0 {
+		return 0, fmt.Errorf("%s: empty archive", path)
+	}
+	return time.Since(start), nil
+}
+
+// verify checks a saved universe: paged files get the full checksum +
+// structure pass, gob files a complete decode.
+func verify(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var magic [4]byte
+	n, _ := f.Read(magic[:])
+	f.Close()
+	if n == 4 && string(magic[:]) == "PDU4" {
+		return persist.VerifyPaged(path)
+	}
+	_, err = loadGob(path)
+	return err
+}
+
+func loadGob(path string) (*persist.Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return persist.Load(f)
+}
+
+func median(durs []time.Duration) time.Duration {
+	for i := 1; i < len(durs); i++ {
+		for j := i; j > 0 && durs[j] < durs[j-1]; j-- {
+			durs[j], durs[j-1] = durs[j-1], durs[j]
+		}
+	}
+	return durs[len(durs)/2]
+}
+
+func fileSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "universeconv: %v\n", err)
+	os.Exit(1)
+}

@@ -127,6 +127,11 @@ type Archive struct {
 	// (see prefilter.go); prefilterOn gates its use.
 	prefilter   *capturePrefilter
 	prefilterOn atomic.Bool
+
+	// store, when non-nil, backs every read with an external Store
+	// (a paged on-disk universe, see store.go). A store-backed archive
+	// is frozen from construction; byKey/byHost/index stay empty.
+	store Store
 }
 
 type hostIndex struct {
@@ -243,9 +248,12 @@ func (a *Archive) rlock() func() {
 func (a *Archive) Snapshots(url string) []Snapshot {
 	key := urlutil.SchemeAgnosticKey(url)
 	// Once frozen, the compact prefilter settles the dominant
-	// "no captures at all" case without touching the byKey map.
+	// "no captures at all" case without touching the backing store.
 	if a.frozen.Load() && !a.mightHaveCapturesKey(key) {
 		return nil
+	}
+	if a.store != nil {
+		return a.store.Snapshots(key)
 	}
 	defer a.rlock()()
 	return a.byKey[key]
@@ -305,6 +313,9 @@ func (a *Archive) Closest(url string, want simclock.Day, accept func(Snapshot) b
 
 // TotalSnapshots returns the number of explicit snapshots stored.
 func (a *Archive) TotalSnapshots() int {
+	if a.store != nil {
+		return a.store.TotalSnapshots()
+	}
 	defer a.rlock()()
 	n := 0
 	for _, s := range a.byKey {
@@ -315,6 +326,9 @@ func (a *Archive) TotalSnapshots() int {
 
 // Hosts returns every hostname with explicit or bulk coverage, sorted.
 func (a *Archive) Hosts() []string {
+	if a.store != nil {
+		return a.store.Hosts()
+	}
 	defer a.rlock()()
 	hs := make([]string, 0, len(a.byHost))
 	for h := range a.byHost {
@@ -341,6 +355,10 @@ func pathQueryOf(rawURL string) string {
 // EachSnapshot calls fn for every explicit snapshot, grouped by URL
 // key in unspecified order, oldest-first within a key.
 func (a *Archive) EachSnapshot(fn func(Snapshot)) {
+	if a.store != nil {
+		a.store.EachSnapshot(fn)
+		return
+	}
 	defer a.rlock()()
 	for _, snaps := range a.byKey {
 		for _, s := range snaps {
@@ -351,6 +369,10 @@ func (a *Archive) EachSnapshot(fn func(Snapshot)) {
 
 // EachBulkRegion calls fn for every bulk-coverage region.
 func (a *Archive) EachBulkRegion(fn func(BulkRegion)) {
+	if a.store != nil {
+		a.store.EachBulkRegion(fn)
+		return
+	}
 	defer a.rlock()()
 	for _, hi := range a.byHost {
 		for _, r := range hi.bulk {
@@ -363,6 +385,10 @@ func (a *Archive) EachBulkRegion(fn func(BulkRegion)) {
 // override (key is the scheme-agnostic URL key, latency in
 // milliseconds).
 func (a *Archive) EachLookupLatency(fn func(key string, ms int)) {
+	if a.store != nil {
+		a.store.EachLookupLatency(fn)
+		return
+	}
 	defer a.rlock()()
 	for k, ms := range a.latency {
 		fn(k, ms)

@@ -35,8 +35,12 @@ func (a *Archive) SetLookupLatency(url string, d time.Duration) {
 // LookupLatency returns the simulated latency of an availability
 // lookup for url.
 func (a *Archive) LookupLatency(url string) time.Duration {
+	key := urlutil.SchemeAgnosticKey(url)
+	if a.store != nil {
+		return a.storeLookupLatency(key)
+	}
 	defer a.rlock()()
-	if ms, ok := a.latency[urlutil.SchemeAgnosticKey(url)]; ok {
+	if ms, ok := a.latency[key]; ok {
 		return time.Duration(ms) * time.Millisecond
 	}
 	return DefaultLookupLatency

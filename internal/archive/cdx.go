@@ -45,6 +45,9 @@ const DefaultCDXLimit = 10000
 // is a linear scan under the read lock.
 func (a *Archive) CDXCount(q CDXQuery) int {
 	host := strings.ToLower(q.Host)
+	if a.store != nil {
+		return a.store.CDXCount(host, q)
+	}
 	if a.frozen.Load() {
 		return a.cdxCountFrozen(host, q)
 	}
@@ -83,6 +86,9 @@ func (a *Archive) CDXList(q CDXQuery) []CDXEntry {
 	limit := q.Limit
 	if limit <= 0 {
 		limit = DefaultCDXLimit
+	}
+	if a.store != nil {
+		return a.store.CDXList(host, q, limit)
 	}
 	if a.frozen.Load() {
 		return a.cdxListFrozen(host, q, limit)
@@ -196,6 +202,9 @@ func (a *Archive) CountOnHostname(url string) int {
 }
 
 func (a *Archive) countSelf(host, pathQuery string) int {
+	if a.store != nil {
+		return a.store.CountSelf(host, pathQuery)
+	}
 	if a.frozen.Load() {
 		return a.countSelfFrozen(host, pathQuery)
 	}
@@ -238,7 +247,9 @@ func (a *Archive) DomainURLs(domain string, limit int) (urls []string, truncated
 	}
 	domain = strings.ToLower(domain)
 	var hosts []string
-	if a.frozen.Load() {
+	if a.store != nil {
+		hosts = a.store.DomainHosts(domain)
+	} else if a.frozen.Load() {
 		// Freeze-time map: only the queried domain's hosts, already
 		// sorted, no per-host registrable-domain derivation.
 		hosts = a.domainHostsFrozen(domain)
@@ -299,6 +310,9 @@ func (a *Archive) FindQueryPermutation(rawURL string) (string, bool) {
 	want := urlutil.CanonicalQueryKey(rawURL)
 	self := urlutil.Normalize(rawURL)
 	host := urlutil.Hostname(rawURL)
+	if a.store != nil {
+		return a.store.FindQueryPermutation(host, want, self)
+	}
 	if a.frozen.Load() {
 		return a.findQueryPermutationFrozen(host, want, self)
 	}

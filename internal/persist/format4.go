@@ -1,0 +1,77 @@
+package persist
+
+// Persist format v4: the paged universe file (DESIGN.md §3.6).
+//
+// Format v3 is one gob stream: loading it decodes, allocates, and
+// re-indexes the whole universe before the first query can run. v4
+// instead lays the universe out so the serving process can answer
+// queries directly against the file bytes:
+//
+//	superblock (24 B)
+//	section directory (sectionCount × 32 B)
+//	sections, 8-byte aligned, in kind order
+//
+// Every string lives once in a shared arena section and is referenced
+// elsewhere as a (offset, length) pair of uint32s; fixed-width record
+// sections are sorted by their lookup key (hostname, URL key, title)
+// so point queries are binary searches over the mapping, and the CDX
+// rows are columnar and (pathQuery, day, insertion)-sorted per host so
+// prefix queries are binary-search ranges. Sections carry CRC-64
+// checksums in the directory; openers verify bounds eagerly (errors
+// name the failing section) and checksums on demand (VerifyPaged).
+//
+// All integers are little-endian. Days are int32 (simclock.Never is
+// -1); string references with length 0 mean "".
+
+const (
+	// magic4 begins every v4 file. Gob streams cannot start with these
+	// bytes (gob's first byte is a small length), so format detection
+	// is a 4-byte sniff.
+	magic4 = "PDU4"
+	// version4 is the format version stored in the superblock.
+	version4 = 4
+
+	superblockSize = 24
+	dirEntrySize   = 32
+)
+
+// Section kinds, in file order. The directory stores one entry per
+// kind; every kind is required.
+const (
+	secParams    = iota // gob-encoded worldgen.Params
+	secArena            // shared string arena
+	secCDXHosts         // per-host CDX directory, sorted by hostname
+	secCDXData          // columnar CDX rows, per-host blocks
+	secCDXAux           // per-host status partitions + query-key tables
+	secBulk             // bulk-coverage regions, grouped by host
+	secDomains          // registrable domain → host table
+	secSnapKeys         // snapshot key directory, sorted by key
+	secSnapRows         // snapshot records, grouped by key
+	secLatency          // availability-latency overrides, sorted by key
+	secPrefilter        // capture-prefilter bloom words
+	secSiteDir          // site directory, sorted by hostname
+	secSiteBlobs        // encoded sites
+	secWikiDir          // article directory, sorted by title
+	secWikiBlobs        // encoded articles
+	secWikiMeta         // max revision ID + category index
+	numSections
+)
+
+// sectionNames are the human-readable names error messages use.
+var sectionNames = [numSections]string{
+	"params", "arena", "cdxhosts", "cdxdata", "cdxaux", "bulk",
+	"domains", "snapkeys", "snaprows", "latency", "prefilter",
+	"sitedir", "siteblobs", "wikidir", "wikiblobs", "wikimeta",
+}
+
+// Fixed record sizes (bytes). Changing any layout is a format-version
+// bump, not a silent re-interpretation.
+const (
+	cdxHostRecSize = 48
+	bulkRecSize    = 32
+	snapKeyRecSize = 16
+	snapRowRecSize = 40
+	latencyRecSize = 16
+	siteDirRecSize = 24
+	wikiDirRecSize = 24
+)

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap support reads the whole file into
+// memory. Correctness is identical to the mapped path; the lazy-paging
+// startup and residency benefits are not.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,270 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"permadead/internal/archive"
+	"permadead/internal/simweb"
+	"permadead/internal/wikimedia"
+	"permadead/internal/worldgen"
+)
+
+// Open loads a universe from path, auto-detecting the format: a
+// format-v4 file is mapped and served page-on-demand (OpenPaged); a
+// gob stream is decoded and materialized in memory (Load). Call
+// Close on the returned bundle when done with it.
+func Open(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: read %s: %w", path, err)
+	}
+	if string(magic[:]) == magic4 {
+		f.Close()
+		return OpenPaged(path)
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return Load(f)
+}
+
+// OpenPaged maps a format-v4 file and returns a bundle whose world,
+// wiki, and archive serve lazily from the mapping: startup cost is
+// bounds validation plus a handful of tiny header sections, not the
+// universe size, and resident memory grows with the touched working
+// set. Strings handed out by the bundle alias the mapping — keep the
+// bundle open while using them, and Close it when done.
+func OpenPaged(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	data, unmap, err := mapFile(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: map %s: %w", path, err)
+	}
+	closer := closerFunc(func() error {
+		err := unmap()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	})
+	b, err := openPagedBytes(data, closer)
+	if err != nil {
+		closer.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// VerifyPaged checks a format-v4 file end to end: superblock and
+// directory sanity, section bounds, per-section CRC-64 checksums, and
+// record-level structure. The returned error names the first failing
+// section. It reads the whole file — use it in converters and smoke
+// checks, not on the serving startup path.
+func VerifyPaged(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	data, unmap, err := mapFile(f, st.Size())
+	if err != nil {
+		return fmt.Errorf("persist: map %s: %w", path, err)
+	}
+	defer unmap()
+
+	sec, err := parseSections(data)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < numSections; i++ {
+		off := superblockSize + i*dirEntrySize
+		kind := int(rdU32(data, off))
+		want := rdU64(data, off+24)
+		if got := crc64.Checksum(sec[kind], crcTable); got != want {
+			return fmt.Errorf("persist: section %q: checksum mismatch (file corrupt)", sectionNames[kind])
+		}
+	}
+	_, err = newPagedStore(sec)
+	return err
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// openPagedBytes builds a lazily-served bundle over raw v4 bytes.
+func openPagedBytes(data []byte, closer io.Closer) (*Bundle, error) {
+	sec, err := parseSections(data)
+	if err != nil {
+		return nil, err
+	}
+	store, err := newPagedStore(sec)
+	if err != nil {
+		return nil, err
+	}
+
+	var params worldgen.Params
+	if err := gob.NewDecoder(bytes.NewReader(sec[secParams])).Decode(&params); err != nil {
+		return nil, fmt.Errorf("persist: section %q: decode: %w", sectionNames[secParams], err)
+	}
+
+	world := simweb.NewWorld()
+	world.SetSource(store)
+	wiki := wikimedia.NewWiki()
+	wiki.SetSource(store)
+	return &Bundle{
+		Params:  params,
+		World:   world,
+		Wiki:    wiki,
+		Archive: archive.NewFromStore(store),
+		closer:  closer,
+	}, nil
+}
+
+// parseSections validates the superblock and directory and slices the
+// file into its sections. Bounds failures name the offending section.
+func parseSections(data []byte) ([numSections][]byte, error) {
+	var sec [numSections][]byte
+	if len(data) < superblockSize {
+		return sec, fmt.Errorf("persist: paged file too short (%d bytes) for a superblock", len(data))
+	}
+	if string(data[:4]) != magic4 {
+		return sec, fmt.Errorf("persist: not a paged universe file (bad magic)")
+	}
+	if v := rdU32(data, 4); v != version4 {
+		return sec, fmt.Errorf("persist: incompatible paged file: format version %d found, this build reads version %d", v, version4)
+	}
+	count := int(rdU32(data, 8))
+	if count != numSections {
+		return sec, fmt.Errorf("persist: paged file declares %d sections, this build expects %d", count, numSections)
+	}
+	declared := rdU64(data, 16)
+	if len(data) < superblockSize+count*dirEntrySize {
+		return sec, fmt.Errorf("persist: truncated paged file: %d of %d bytes, section directory cut off", len(data), declared)
+	}
+
+	seen := [numSections]bool{}
+	for i := 0; i < count; i++ {
+		base := superblockSize + i*dirEntrySize
+		kind := int(rdU32(data, base))
+		off := rdU64(data, base+8)
+		length := rdU64(data, base+16)
+		if kind < 0 || kind >= numSections {
+			return sec, fmt.Errorf("persist: section directory entry %d has unknown kind %d", i, kind)
+		}
+		if seen[kind] {
+			return sec, fmt.Errorf("persist: duplicate section %q in directory", sectionNames[kind])
+		}
+		seen[kind] = true
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			if declared > uint64(len(data)) {
+				return sec, fmt.Errorf("persist: truncated paged file: %d of %d bytes; section %q extends past end of file", len(data), declared, sectionNames[kind])
+			}
+			return sec, fmt.Errorf("persist: section %q out of bounds (offset %d, length %d, file %d bytes)", sectionNames[kind], off, length, len(data))
+		}
+		sec[kind] = data[off : off+length]
+	}
+	for kind, ok := range seen {
+		if !ok {
+			return sec, fmt.Errorf("persist: section %q missing from directory", sectionNames[kind])
+		}
+	}
+	return sec, nil
+}
+
+// newPagedStore validates record-level structure (counts and fixed
+// record sizes — cheap arithmetic, no row reads) and builds the store.
+func newPagedStore(sec [numSections][]byte) (*pagedStore, error) {
+	p := &pagedStore{sec: sec}
+
+	recs := func(kind, recSize int) (int, error) {
+		if len(sec[kind])%recSize != 0 {
+			return 0, fmt.Errorf("persist: section %q: length %d is not a multiple of its %d-byte record size", sectionNames[kind], len(sec[kind]), recSize)
+		}
+		return len(sec[kind]) / recSize, nil
+	}
+	var err error
+	if p.numHosts, err = recs(secCDXHosts, cdxHostRecSize); err != nil {
+		return nil, err
+	}
+	if p.numBulk, err = recs(secBulk, bulkRecSize); err != nil {
+		return nil, err
+	}
+	if p.numSnapKeys, err = recs(secSnapKeys, snapKeyRecSize); err != nil {
+		return nil, err
+	}
+	if p.numSnaps, err = recs(secSnapRows, snapRowRecSize); err != nil {
+		return nil, err
+	}
+	if p.numLat, err = recs(secLatency, latencyRecSize); err != nil {
+		return nil, err
+	}
+	if p.numSites, err = recs(secSiteDir, siteDirRecSize); err != nil {
+		return nil, err
+	}
+	if p.numArticles, err = recs(secWikiDir, wikiDirRecSize); err != nil {
+		return nil, err
+	}
+
+	pf := sec[secPrefilter]
+	if len(pf) < 16 {
+		return nil, fmt.Errorf("persist: section %q: too short (%d bytes)", sectionNames[secPrefilter], len(pf))
+	}
+	p.pfKeys = int(rdU64(pf, 0))
+	words := int(rdU64(pf, 8))
+	if 16+8*words != len(pf) {
+		return nil, fmt.Errorf("persist: section %q: declares %d words but holds %d bytes", sectionNames[secPrefilter], words, len(pf))
+	}
+	p.pfWords = make([]uint64, words)
+	for i := range p.pfWords {
+		p.pfWords[i] = rdU64(pf, 16+8*i)
+	}
+
+	dom := sec[secDomains]
+	if len(dom) < 4 {
+		return nil, fmt.Errorf("persist: section %q: too short (%d bytes)", sectionNames[secDomains], len(dom))
+	}
+	p.numDomains = int(rdU32(dom, 0))
+	p.domTable = 4
+	p.domIdx = 4 + 16*p.numDomains
+	if p.domIdx > len(dom) {
+		return nil, fmt.Errorf("persist: section %q: domain table (%d entries) exceeds section length %d", sectionNames[secDomains], p.numDomains, len(dom))
+	}
+
+	meta := sec[secWikiMeta]
+	if len(meta) < 16 {
+		return nil, fmt.Errorf("persist: section %q: too short (%d bytes)", sectionNames[secWikiMeta], len(meta))
+	}
+	p.maxRevID = int(rdU64(meta, 0))
+	p.numCats = int(rdU32(meta, 8))
+	p.catTable = 16
+	p.catIdx = 16 + 16*p.numCats
+	if p.catIdx > len(meta) {
+		return nil, fmt.Errorf("persist: section %q: category table (%d entries) exceeds section length %d", sectionNames[secWikiMeta], p.numCats, len(meta))
+	}
+	return p, nil
+}

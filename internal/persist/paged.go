@@ -1,0 +1,563 @@
+package persist
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unsafe"
+
+	"permadead/internal/archive"
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+	"permadead/internal/urlutil"
+	"permadead/internal/wikimedia"
+	"permadead/internal/wikitext"
+)
+
+// pagedStore serves a format-v4 file. It implements archive.Store,
+// simweb.SiteSource, and wikimedia.ArticleSource directly against the
+// mapped bytes: point lookups are binary searches over fixed-width,
+// key-sorted record sections, strings are zero-copy views into the
+// arena, and nothing is materialized until a query touches it.
+//
+// All methods are safe for concurrent use — the mapping is read-only
+// and the store holds no mutable state.
+type pagedStore struct {
+	sec [numSections][]byte
+
+	// Decoded once at open: tiny, and needed before first query.
+	pfWords  []uint64
+	pfKeys   int
+	maxRevID int
+
+	numHosts, numBulk     int
+	numSnapKeys, numSnaps int
+	numLat                int
+	numSites, numArticles int
+
+	// domains section internal offsets (byte offsets into secDomains).
+	numDomains, domTable, domIdx int
+	// wikimeta internal offsets (byte offsets into secWikiMeta).
+	numCats, catTable, catIdx int
+}
+
+// str returns the arena string for a reference, as a zero-copy view
+// into the mapping. Views stay valid until the bundle is closed.
+func (p *pagedStore) str(off, ln uint32) string {
+	if ln == 0 {
+		return ""
+	}
+	b := p.sec[secArena][off : uint64(off)+uint64(ln)]
+	return unsafe.String(&b[0], len(b))
+}
+
+// refAt reads a (offset, length) string reference at a byte offset.
+func (p *pagedStore) refAt(sec int, off int) string {
+	b := p.sec[sec]
+	return p.str(rdU32(b, off), rdU32(b, off+4))
+}
+
+// searchRecs binary-searches n key-sorted fixed-width records.
+func searchRecs(n int, key string, at func(i int) string) (int, bool) {
+	i := sort.Search(n, func(i int) bool { return at(i) >= key })
+	return i, i < n && at(i) == key
+}
+
+// --- CDX -------------------------------------------------------------
+
+// hostAt returns the hostname of cdxhosts record i.
+func (p *pagedStore) hostAt(i int) string {
+	return p.refAt(secCDXHosts, i*cdxHostRecSize)
+}
+
+func (p *pagedStore) findHost(host string) (int, bool) {
+	return searchRecs(p.numHosts, host, p.hostAt)
+}
+
+// cdxCols is the columnar view of one host's rows: byte offsets of
+// each column within the cdxdata section. Rows are addressed by
+// sorted position; insRank/insPerm translate to and from
+// capture-insertion rank.
+type cdxCols struct {
+	p                *pagedStore
+	n                int
+	pathOff, pathLen int
+	day, status      int
+	insRank, insPerm int
+}
+
+func (p *pagedStore) cols(rec int) cdxCols {
+	b := p.sec[secCDXHosts]
+	base := int(rdU64(b, rec*cdxHostRecSize+8))
+	n := int(rdU32(b, rec*cdxHostRecSize+16))
+	pad := 0
+	if n%2 == 1 {
+		pad = 2
+	}
+	c := cdxCols{p: p, n: n}
+	c.pathOff = base
+	c.pathLen = base + 4*n
+	c.day = base + 8*n
+	c.status = base + 12*n
+	c.insRank = base + 14*n + pad
+	c.insPerm = c.insRank + 4*n
+	return c
+}
+
+func (c cdxCols) path(pos int) string {
+	b := c.p.sec[secCDXData]
+	return c.p.str(rdU32(b, c.pathOff+4*pos), rdU32(b, c.pathLen+4*pos))
+}
+func (c cdxCols) dayAt(pos int) simclock.Day {
+	return simclock.Day(rdI32(c.p.sec[secCDXData], c.day+4*pos))
+}
+func (c cdxCols) statusAt(pos int) int {
+	return int(rdU16(c.p.sec[secCDXData], c.status+2*pos))
+}
+func (c cdxCols) rankOf(pos int) int {
+	return int(rdU32(c.p.sec[secCDXData], c.insRank+4*pos))
+}
+func (c cdxCols) posOfRank(rank int) int {
+	return int(rdU32(c.p.sec[secCDXData], c.insPerm+4*rank))
+}
+
+// auxOf returns the host's aux blob and its row count.
+func (p *pagedStore) auxOf(rec int) (blob []byte, n int) {
+	b := p.sec[secCDXHosts]
+	base := int(rdU64(b, rec*cdxHostRecSize+32))
+	ln := int(rdU32(b, rec*cdxHostRecSize+40))
+	n = int(rdU32(b, rec*cdxHostRecSize+16))
+	return p.sec[secCDXAux][base : base+ln], n
+}
+
+// cdxView is a (pathQuery, day, insertion)-ordered sequence of sorted
+// positions: the identity over all rows (idx nil), or one status
+// partition (idx = the partition's u32 position array).
+type cdxView struct {
+	c   cdxCols
+	idx []byte
+	n   int
+}
+
+func (v cdxView) pos(i int) int {
+	if v.idx == nil {
+		return i
+	}
+	return int(rdU32(v.idx, 4*i))
+}
+func (v cdxView) path(i int) string { return v.c.path(v.pos(i)) }
+
+// view returns the ordered position view for a status filter.
+func (p *pagedStore) view(rec, status int) cdxView {
+	c := p.cols(rec)
+	if status == 0 {
+		return cdxView{c: c, n: c.n}
+	}
+	aux, n := p.auxOf(rec)
+	numStatuses := int(rdU32(aux, 0))
+	posArea := 4 + 12*numStatuses
+	for i := 0; i < numStatuses; i++ {
+		if int(rdU32(aux, 4+12*i)) != status {
+			continue
+		}
+		start := int(rdU32(aux, 4+12*i+4))
+		count := int(rdU32(aux, 4+12*i+8))
+		return cdxView{c: c, idx: aux[posArea+4*start : posArea+4*(start+count)], n: count}
+	}
+	_ = n
+	return cdxView{c: c, n: 0, idx: aux[posArea:posArea]}
+}
+
+// prefixRange returns the half-open range of v whose pathQuery starts
+// with prefix (the whole view for "").
+func prefixRangePaged(v cdxView, prefix string) (lo, hi int) {
+	if prefix == "" {
+		return 0, v.n
+	}
+	lo = sort.Search(v.n, func(i int) bool { return v.path(i) >= prefix })
+	hi = lo + sort.Search(v.n-lo, func(j int) bool { return !strings.HasPrefix(v.path(lo+j), prefix) })
+	return lo, hi
+}
+
+// bulkAt materializes bulk record i for the given host.
+func (p *pagedStore) bulkAt(i int, host string) archive.BulkRegion {
+	b := p.sec[secBulk]
+	off := i * bulkRecSize
+	return archive.BulkRegion{
+		Host:      host,
+		DirPrefix: p.refAt(secBulk, off),
+		Count:     int(rdU32(b, off+8)),
+		FirstDay:  simclock.Day(rdI32(b, off+12)),
+		LastDay:   simclock.Day(rdI32(b, off+16)),
+		Seed:      rdU64(b, off+24),
+	}
+}
+
+// bulkRange returns the host's [start, start+count) bulk record range.
+func (p *pagedStore) bulkRange(rec int) (start, count int) {
+	b := p.sec[secCDXHosts]
+	return int(rdU32(b, rec*cdxHostRecSize+20)), int(rdU32(b, rec*cdxHostRecSize+24))
+}
+
+func (p *pagedStore) CDXCount(host string, q archive.CDXQuery) int {
+	rec, ok := p.findHost(host)
+	if !ok {
+		return 0
+	}
+	v := p.view(rec, q.Status)
+	lo, hi := prefixRangePaged(v, q.PathPrefix)
+	n := hi - lo
+	if q.Status == 0 || q.Status == 200 {
+		start, count := p.bulkRange(rec)
+		for i := start; i < start+count; i++ {
+			n += archive.BulkMatchCount(p.bulkAt(i, host), q)
+		}
+	}
+	return n
+}
+
+func (p *pagedStore) CDXList(host string, q archive.CDXQuery, limit int) []archive.CDXEntry {
+	rec, ok := p.findHost(host)
+	if !ok {
+		return nil
+	}
+	c := p.cols(rec)
+
+	// ranks holds matched rows as insertion ranks, the order CDXList
+	// emits; the whole-host unfiltered case walks ranks implicitly.
+	wholeHost := q.PathPrefix == "" && q.Status == 0
+	var ranks []int
+	nExplicit := c.n
+	if !wholeHost {
+		v := p.view(rec, q.Status)
+		lo, hi := prefixRangePaged(v, q.PathPrefix)
+		ranks = make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			ranks = append(ranks, c.rankOf(v.pos(i)))
+		}
+		sort.Ints(ranks)
+		nExplicit = len(ranks)
+	}
+
+	bStart, bCount := p.bulkRange(rec)
+	total := nExplicit
+	if q.Status == 0 || q.Status == 200 {
+		for i := bStart; i < bStart+bCount; i++ {
+			total += archive.BulkMatchCount(p.bulkAt(i, host), q)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+
+	out := make([]archive.CDXEntry, 0, min(limit, total))
+	emit := func(pos int) {
+		out = append(out, archive.CDXEntry{
+			URL:           "http://" + host + c.path(pos),
+			Day:           c.dayAt(pos),
+			InitialStatus: c.statusAt(pos),
+		})
+	}
+	if wholeHost {
+		for rank := 0; rank < c.n && len(out) < limit; rank++ {
+			emit(c.posOfRank(rank))
+		}
+	} else {
+		for _, rank := range ranks {
+			if len(out) >= limit {
+				break
+			}
+			emit(c.posOfRank(rank))
+		}
+	}
+	if q.Status == 0 || q.Status == 200 {
+		for i := bStart; i < bStart+bCount; i++ {
+			if len(out) >= limit {
+				break
+			}
+			out = archive.AppendBulkEntries(out, p.bulkAt(i, host), q, limit)
+		}
+	}
+	return out
+}
+
+func (p *pagedStore) CountSelf(host, pathQuery string) int {
+	rec, ok := p.findHost(host)
+	if !ok {
+		return 0
+	}
+	v := p.view(rec, 200)
+	lo := sort.Search(v.n, func(i int) bool { return v.path(i) >= pathQuery })
+	hi := lo + sort.Search(v.n-lo, func(j int) bool { return v.path(lo+j) > pathQuery })
+	return hi - lo
+}
+
+func (p *pagedStore) FindQueryPermutation(host, want, self string) (string, bool) {
+	rec, ok := p.findHost(host)
+	if !ok {
+		return "", false
+	}
+	aux, n := p.auxOf(rec)
+	numStatuses := int(rdU32(aux, 0))
+	qkBase := 4 + 12*numStatuses + 4*n
+	numKeys := int(rdU32(aux, qkBase))
+	table := qkBase + 4
+	ranksArea := table + 16*numKeys
+	keyAt := func(i int) string {
+		return p.str(rdU32(aux, table+16*i), rdU32(aux, table+16*i+4))
+	}
+	i, found := searchRecs(numKeys, want, keyAt)
+	if !found {
+		return "", false
+	}
+	c := p.cols(rec)
+	start := int(rdU32(aux, table+16*i+8))
+	count := int(rdU32(aux, table+16*i+12))
+	for j := start; j < start+count; j++ {
+		rank := int(rdU32(aux, ranksArea+4*j))
+		cand := "http://" + host + c.path(c.posOfRank(rank))
+		if urlutil.Normalize(cand) == self {
+			continue
+		}
+		return cand, true
+	}
+	return "", false
+}
+
+func (p *pagedStore) DomainHosts(domain string) []string {
+	b := p.sec[secDomains]
+	at := func(i int) string {
+		return p.str(rdU32(b, p.domTable+16*i), rdU32(b, p.domTable+16*i+4))
+	}
+	i, found := searchRecs(p.numDomains, domain, at)
+	if !found {
+		return nil
+	}
+	start := int(rdU32(b, p.domTable+16*i+8))
+	count := int(rdU32(b, p.domTable+16*i+12))
+	hosts := make([]string, count)
+	for j := 0; j < count; j++ {
+		hosts[j] = p.hostAt(int(rdU32(b, p.domIdx+4*(start+j))))
+	}
+	return hosts
+}
+
+func (p *pagedStore) Hosts() []string {
+	hs := make([]string, p.numHosts)
+	for i := range hs {
+		hs[i] = p.hostAt(i)
+	}
+	return hs
+}
+
+// --- snapshots -------------------------------------------------------
+
+func (p *pagedStore) snapKeyAt(i int) string {
+	return p.refAt(secSnapKeys, i*snapKeyRecSize)
+}
+
+func (p *pagedStore) snapAt(i int) archive.Snapshot {
+	b := p.sec[secSnapRows]
+	off := i * snapRowRecSize
+	return archive.Snapshot{
+		URL:           p.refAt(secSnapRows, off),
+		Day:           simclock.Day(rdI32(b, off+8)),
+		InitialStatus: int(rdU16(b, off+12)),
+		FinalStatus:   int(rdU16(b, off+14)),
+		RedirectTo:    p.refAt(secSnapRows, off+16),
+		Body:          p.refAt(secSnapRows, off+24),
+		Digest:        rdU64(b, off+32),
+	}
+}
+
+func (p *pagedStore) Snapshots(key string) []archive.Snapshot {
+	i, found := searchRecs(p.numSnapKeys, key, p.snapKeyAt)
+	if !found {
+		return nil
+	}
+	b := p.sec[secSnapKeys]
+	start := int(rdU32(b, i*snapKeyRecSize+8))
+	count := int(rdU32(b, i*snapKeyRecSize+12))
+	snaps := make([]archive.Snapshot, count)
+	for j := 0; j < count; j++ {
+		snaps[j] = p.snapAt(start + j)
+	}
+	return snaps
+}
+
+func (p *pagedStore) TotalSnapshots() int { return p.numSnaps }
+
+func (p *pagedStore) EachSnapshot(fn func(archive.Snapshot)) {
+	for i := 0; i < p.numSnaps; i++ {
+		fn(p.snapAt(i))
+	}
+}
+
+func (p *pagedStore) EachBulkRegion(fn func(archive.BulkRegion)) {
+	for rec := 0; rec < p.numHosts; rec++ {
+		host := p.hostAt(rec)
+		start, count := p.bulkRange(rec)
+		for i := start; i < start+count; i++ {
+			fn(p.bulkAt(i, host))
+		}
+	}
+}
+
+// --- latency / prefilter --------------------------------------------
+
+func (p *pagedStore) LookupLatencyMS(key string) (int, bool) {
+	at := func(i int) string { return p.refAt(secLatency, i*latencyRecSize) }
+	i, found := searchRecs(p.numLat, key, at)
+	if !found {
+		return 0, false
+	}
+	return rdI32(p.sec[secLatency], i*latencyRecSize+8), true
+}
+
+func (p *pagedStore) EachLookupLatency(fn func(key string, ms int)) {
+	for i := 0; i < p.numLat; i++ {
+		fn(p.refAt(secLatency, i*latencyRecSize), rdI32(p.sec[secLatency], i*latencyRecSize+8))
+	}
+}
+
+func (p *pagedStore) PrefilterBits() ([]uint64, int) { return p.pfWords, p.pfKeys }
+
+// --- simweb.SiteSource ----------------------------------------------
+
+func (p *pagedStore) siteHostAt(i int) string {
+	return p.refAt(secSiteDir, i*siteDirRecSize)
+}
+
+func (p *pagedStore) NumSites() int { return p.numSites }
+
+func (p *pagedStore) Hostnames() []string {
+	hs := make([]string, p.numSites)
+	for i := range hs {
+		hs[i] = p.siteHostAt(i)
+	}
+	return hs
+}
+
+func (p *pagedStore) LoadSite(hostname string) *simweb.Site {
+	i, found := searchRecs(p.numSites, hostname, p.siteHostAt)
+	if !found {
+		return nil
+	}
+	d := p.sec[secSiteDir]
+	base := int(rdU64(d, i*siteDirRecSize+8))
+	ln := int(rdU32(d, i*siteDirRecSize+16))
+	b := p.sec[secSiteBlobs][base : base+ln]
+
+	day := func(off int) simclock.Day { return simclock.Day(rdI32(b, off)) }
+	s := simweb.NewSite(hostname, day(4))
+	s.Rank = rdI32(b, 0)
+	s.DNSDiesAt = day(8)
+	s.TimeoutFrom = day(12)
+	s.ParkedAt = day(16)
+	s.GeoBlockedFrom = day(20)
+	s.OutageFrom = day(24)
+	s.OutageTo = day(28)
+	s.ErrorStyle = simweb.ErrorStyle(rdU16(b, 32))
+	s.ErrorStyleAfter = simweb.ErrorStyle(rdU16(b, 34))
+	s.ErrorStyleSwitchAt = day(36)
+	s.LoginPath = p.str(rdU32(b, 40), rdU32(b, 44))
+	s.Seed = rdU64(b, 48)
+
+	off := 56
+	nFaults := int(rdU32(b, off))
+	off += 4
+	for j := 0; j < nFaults; j++ {
+		s.Faults = append(s.Faults, simweb.FaultWindow{
+			From:          day(off),
+			To:            day(off + 4),
+			Mode:          simweb.FaultMode(rdU32(b, off+8)),
+			Rate:          rdF64(b, off+12),
+			RetryAfterSec: rdI32(b, off+20),
+			Seed:          rdU64(b, off+24),
+		})
+		off += 32
+	}
+
+	nPages := int(rdU32(b, off))
+	off += 4
+	for j := 0; j < nPages; j++ {
+		path := p.str(rdU32(b, off), rdU32(b, off+4))
+		pg := s.AddPage(path, day(off+8))
+		pg.DeletedAt = day(off + 12)
+		pg.RestoredAt = day(off + 16)
+		pg.MovedAt = day(off + 20)
+		pg.NewPath = p.str(rdU32(b, off+24), rdU32(b, off+28))
+		pg.RedirectFrom = day(off + 32)
+		pg.RedirectUntil = day(off + 36)
+		pg.Content = p.str(rdU32(b, off+40), rdU32(b, off+44))
+		pg.Title = p.str(rdU32(b, off+48), rdU32(b, off+52))
+		off += 56
+	}
+	return s
+}
+
+// --- wikimedia.ArticleSource ----------------------------------------
+
+func (p *pagedStore) titleAt(i int) string {
+	return p.refAt(secWikiDir, i*wikiDirRecSize)
+}
+
+func (p *pagedStore) NumArticles() int { return p.numArticles }
+func (p *pagedStore) MaxRevID() int    { return p.maxRevID }
+
+func (p *pagedStore) Titles() []string {
+	ts := make([]string, p.numArticles)
+	for i := range ts {
+		ts[i] = p.titleAt(i)
+	}
+	return ts
+}
+
+func (p *pagedStore) LoadArticle(title string) *wikimedia.Article {
+	i, found := searchRecs(p.numArticles, title, p.titleAt)
+	if !found {
+		return nil
+	}
+	d := p.sec[secWikiDir]
+	base := int(rdU64(d, i*wikiDirRecSize+8))
+	ln := int(rdU32(d, i*wikiDirRecSize+16))
+	b := p.sec[secWikiBlobs][base : base+ln]
+
+	nRevs := int(rdU32(b, 0))
+	a := &wikimedia.Article{Title: title, Revisions: make([]wikimedia.Revision, nRevs)}
+	off := 4
+	for j := 0; j < nRevs; j++ {
+		a.Revisions[j] = wikimedia.Revision{
+			ID:      int(rdU32(b, off)),
+			Day:     simclock.Day(rdI32(b, off+4)),
+			User:    p.str(rdU32(b, off+8), rdU32(b, off+12)),
+			Comment: p.str(rdU32(b, off+16), rdU32(b, off+20)),
+			Text:    p.str(rdU32(b, off+24), rdU32(b, off+28)),
+		}
+		off += 32
+	}
+	return a
+}
+
+func (p *pagedStore) CategoryTitles(category string) []string {
+	want := wikitext.CanonicalCategory(category)
+	b := p.sec[secWikiMeta]
+	at := func(i int) string {
+		return p.str(rdU32(b, p.catTable+16*i), rdU32(b, p.catTable+16*i+4))
+	}
+	i, found := searchRecs(p.numCats, want, at)
+	if !found {
+		return nil
+	}
+	start := int(rdU32(b, p.catTable+16*i+8))
+	count := int(rdU32(b, p.catTable+16*i+12))
+	titles := make([]string, count)
+	for j := 0; j < count; j++ {
+		titles[j] = p.titleAt(int(rdU32(b, p.catIdx+4*(start+j))))
+	}
+	return titles
+}
+
+func rdF64(b []byte, off int) float64 {
+	return math.Float64frombits(rdU64(b, off))
+}

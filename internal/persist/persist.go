@@ -39,6 +39,22 @@ type Bundle struct {
 	World   *simweb.World
 	Wiki    *wikimedia.Wiki
 	Archive *archive.Archive
+
+	// closer releases the backing resources of a paged bundle (the
+	// mapping and file handle). nil for in-memory bundles.
+	closer io.Closer
+}
+
+// Close releases a paged bundle's file mapping. After Close, strings
+// previously returned by the bundle's world/wiki/archive must not be
+// used. Close on an in-memory bundle is a no-op.
+func (b *Bundle) Close() error {
+	if b.closer == nil {
+		return nil
+	}
+	c := b.closer
+	b.closer = nil
+	return c.Close()
 }
 
 // FromUniverse extracts the persistable parts of a generated universe.
@@ -202,10 +218,28 @@ func Save(w io.Writer, b *Bundle) error {
 	return bw.Flush()
 }
 
-// Load reads a bundle from r. Reads are buffered. A stream written by
+// Load reads a bundle from r. Reads are buffered. The stream format
+// is auto-detected: a gob stream (format v3) is decoded and replayed
+// into fresh in-memory state; a paged (format v4) stream is read
+// fully into memory and served from the buffer — use Open/OpenPaged
+// with a file path to get demand paging instead. A stream written by
 // an incompatible build fails with an error naming the version found.
+//
+// The restore is staged: the world, wiki, and archive are each built
+// completely — with errors naming the failing site, article, or
+// revision index — before the bundle is assembled, so a corrupt
+// stream can never hand back a half-built universe.
 func Load(r io.Reader) (*Bundle, error) {
-	dec := gob.NewDecoder(bufio.NewReaderSize(r, saveBufferSize))
+	br := bufio.NewReaderSize(r, saveBufferSize)
+	if magic, err := br.Peek(len(magic4)); err == nil && string(magic) == magic4 {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("persist: read paged stream: %w", err)
+		}
+		return openPagedBytes(data, nil)
+	}
+
+	dec := gob.NewDecoder(br)
 	var hdr fileHeader
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("persist: decode header: %w", err)
@@ -218,8 +252,26 @@ func Load(r io.Reader) (*Bundle, error) {
 		return nil, fmt.Errorf("persist: decode: %w", err)
 	}
 
+	world, err := restoreWorld(f.Sites)
+	if err != nil {
+		return nil, err
+	}
+	wiki, err := restoreWiki(f.Articles)
+	if err != nil {
+		return nil, err
+	}
+	arch := restoreArchive(&f)
+	return &Bundle{Params: f.Params, World: world, Wiki: wiki, Archive: arch}, nil
+}
+
+// restoreWorld rebuilds the synthetic web. Errors name the failing
+// site by hostname and index.
+func restoreWorld(sites []siteRec) (*simweb.World, error) {
 	world := simweb.NewWorld()
-	for _, rec := range f.Sites {
+	for i, rec := range sites {
+		if world.Site(rec.Hostname) != nil {
+			return nil, fmt.Errorf("persist: restore site %q (index %d): duplicate hostname", rec.Hostname, i)
+		}
 		s := world.AddSite(rec.Hostname, rec.Created)
 		s.Rank = rec.Rank
 		s.Seed = rec.Seed
@@ -251,21 +303,34 @@ func Load(r io.Reader) (*Bundle, error) {
 			p.Title = pr.Title
 		}
 	}
+	return world, nil
+}
 
+// restoreWiki replays every article's history through Create/Edit so
+// revision IDs and link events are assigned exactly as live edits
+// would. Errors name the failing article and revision index.
+func restoreWiki(articles []articleRec) (*wikimedia.Wiki, error) {
 	wiki := wikimedia.NewWiki()
-	for _, rec := range f.Articles {
+	for _, rec := range articles {
 		if len(rec.Revisions) == 0 {
 			continue
 		}
+		if wiki.Article(rec.Title) != nil {
+			return nil, fmt.Errorf("persist: restore article %q: duplicate title", rec.Title)
+		}
 		r0 := rec.Revisions[0]
 		wiki.Create(rec.Title, r0.Day, r0.User, r0.Text)
-		for _, rev := range rec.Revisions[1:] {
+		for i, rev := range rec.Revisions[1:] {
 			if _, err := wiki.Edit(rec.Title, rev.Day, rev.User, rev.Comment, rev.Text); err != nil {
-				return nil, fmt.Errorf("persist: restore %q: %w", rec.Title, err)
+				return nil, fmt.Errorf("persist: restore article %q: revision %d of %d: %w", rec.Title, i+1, len(rec.Revisions), err)
 			}
 		}
 	}
+	return wiki, nil
+}
 
+// restoreArchive rebuilds the snapshot store and freezes it.
+func restoreArchive(f *file) *archive.Archive {
 	arch := archive.New()
 	for _, s := range f.Snapshots {
 		arch.Add(s)
@@ -280,6 +345,5 @@ func Load(r io.Reader) (*Bundle, error) {
 	// analysis reads run lock-free against the freeze-time CDX indexes
 	// (DESIGN.md §3.2) and stray writes fail loudly.
 	arch.Freeze()
-
-	return &Bundle{Params: f.Params, World: world, Wiki: wiki, Archive: arch}, nil
+	return arch
 }

@@ -1,0 +1,492 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"sort"
+	"strings"
+
+	"permadead/internal/archive"
+	"permadead/internal/simweb"
+	"permadead/internal/urlutil"
+	"permadead/internal/wikimedia"
+	"permadead/internal/wikitext"
+)
+
+// crcTable is the CRC-64 polynomial every section checksum uses.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// SavePaged writes the bundle to w in persist format v4 — the paged
+// layout OpenPaged serves queries from without materializing the
+// universe. Ordering is deterministic: directories are sorted by
+// their lookup key, CDX rows keep each host's capture-insertion order
+// recoverable through the stored permutations, and snapshots are
+// grouped by sorted key, oldest first. The archive is frozen as a
+// side effect (saving implies generation is complete) so the capture
+// prefilter exists to be persisted.
+//
+// A store-backed bundle (one that is itself serving from a paged
+// file) cannot be re-saved; copy the file instead.
+func SavePaged(w io.Writer, b *Bundle) error {
+	if b.Archive.StoreBacked() {
+		return fmt.Errorf("persist: SavePaged: bundle already serves from a paged file; copy that file instead")
+	}
+	b.Archive.Freeze()
+
+	ar := newArena()
+	// Reserve arena offset 0 so a (0, 0) reference unambiguously means
+	// the empty string even for a string that would land at offset 0.
+	ar.buf = append(ar.buf, 0)
+
+	secs := make([][]byte, numSections)
+
+	// params: small, structured, and already gob-friendly.
+	var pbuf bytes.Buffer
+	params := b.Params
+	params.Progress = nil
+	if err := gob.NewEncoder(&pbuf).Encode(&params); err != nil {
+		return fmt.Errorf("persist: encode params: %w", err)
+	}
+	secs[secParams] = pbuf.Bytes()
+
+	hostNames := encodeCDX(secs, ar, b.Archive)
+	encodeDomains(secs, ar, hostNames)
+	encodeSnapshots(secs, ar, b.Archive)
+	encodeLatencies(secs, ar, b.Archive)
+	encodePrefilter(secs, b.Archive)
+	encodeSites(secs, ar, b.World)
+	encodeWiki(secs, ar, b.Wiki)
+
+	if err := ar.check(); err != nil {
+		return err
+	}
+	secs[secArena] = ar.buf
+
+	// Assemble: superblock, directory, 8-aligned sections in kind order.
+	hdrSize := superblockSize + numSections*dirEntrySize
+	off := align8(hdrSize)
+	type dirEntry struct {
+		off, length, crc uint64
+	}
+	dir := make([]dirEntry, numSections)
+	for k := range secs {
+		dir[k] = dirEntry{
+			off:    uint64(off),
+			length: uint64(len(secs[k])),
+			crc:    crc64.Checksum(secs[k], crcTable),
+		}
+		off = align8(off + len(secs[k]))
+	}
+	fileSize := uint64(off)
+
+	bw := bufio.NewWriterSize(w, saveBufferSize)
+	hdr := &secWriter{}
+	hdr.buf = append(hdr.buf, magic4...)
+	hdr.u32(version4)
+	hdr.u32(numSections)
+	hdr.u32(0)
+	hdr.u64(fileSize)
+	for k, e := range dir {
+		hdr.u32(uint32(k))
+		hdr.u32(0)
+		hdr.u64(e.off)
+		hdr.u64(e.length)
+		hdr.u64(e.crc)
+	}
+	hdr.pad8()
+	if _, err := bw.Write(hdr.buf); err != nil {
+		return fmt.Errorf("persist: write header: %w", err)
+	}
+	var pad [8]byte
+	for k, s := range secs {
+		if _, err := bw.Write(s); err != nil {
+			return fmt.Errorf("persist: write section %s: %w", sectionNames[k], err)
+		}
+		if p := align8(len(s)) - len(s); p > 0 {
+			if _, err := bw.Write(pad[:p]); err != nil {
+				return fmt.Errorf("persist: write section %s: %w", sectionNames[k], err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// encodeCDX writes the cdxhosts/cdxdata/cdxaux/bulk sections and
+// returns the sorted host list (the domains section indexes into it).
+func encodeCDX(secs [][]byte, ar *arena, a *archive.Archive) []string {
+	hostsW := &secWriter{}
+	dataW := &secWriter{}
+	auxW := &secWriter{}
+	bulkW := &secWriter{}
+	var hostNames []string
+	bulkCount := 0
+
+	a.ExportCDX(func(host string, rows []archive.CDXRow, bulk []archive.BulkRegion) {
+		hostNames = append(hostNames, host)
+		n := len(rows)
+
+		// perm: sorted position → insertion rank, ordered by
+		// (pathQuery, day, insertion) — the frozen in-memory index's
+		// sort key, so on-disk binary searches see the same ranges.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(x, y int) bool {
+			ri, rj := &rows[perm[x]], &rows[perm[y]]
+			if ri.PathQuery != rj.PathQuery {
+				return ri.PathQuery < rj.PathQuery
+			}
+			if ri.Day != rj.Day {
+				return ri.Day < rj.Day
+			}
+			return perm[x] < perm[y]
+		})
+		inv := make([]int, n) // insertion rank → sorted position
+		for pos, rank := range perm {
+			inv[rank] = pos
+		}
+
+		dataW.pad8()
+		rowBase := dataW.len()
+		for _, rank := range perm {
+			off, _ := ar.ref(rows[rank].PathQuery)
+			dataW.u32(off)
+		}
+		for _, rank := range perm {
+			dataW.u32(uint32(len(rows[rank].PathQuery)))
+		}
+		for _, rank := range perm {
+			dataW.i32(int(rows[rank].Day))
+		}
+		for _, rank := range perm {
+			dataW.u16(uint16(rows[rank].InitialStatus))
+		}
+		if n%2 == 1 {
+			dataW.u16(0)
+		}
+		for _, rank := range perm {
+			dataW.u32(uint32(rank))
+		}
+		for _, pos := range inv {
+			dataW.u32(uint32(pos))
+		}
+
+		// Status partitions: each is the subsequence of sorted
+		// positions carrying one status, so a partition is itself
+		// (pathQuery, day)-ordered and binary-searchable.
+		type part struct {
+			status int
+			pos    []uint32
+		}
+		var parts []part
+		partIdx := make(map[int]int)
+		for pos, rank := range perm {
+			st := rows[rank].InitialStatus
+			pi, ok := partIdx[st]
+			if !ok {
+				pi = len(parts)
+				partIdx[st] = pi
+				parts = append(parts, part{status: st})
+			}
+			parts[pi].pos = append(parts[pi].pos, uint32(pos))
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i].status < parts[j].status })
+
+		// Query-key table: canonical query key → insertion ranks, the
+		// candidate order FindQueryPermutation scans.
+		type qk struct {
+			key   string
+			ranks []uint32
+		}
+		var qks []qk
+		qkIdx := make(map[string]int)
+		for rank := 0; rank < n; rank++ {
+			if !strings.ContainsRune(rows[rank].PathQuery, '?') {
+				continue
+			}
+			key := urlutil.CanonicalQueryKey("http://" + host + rows[rank].PathQuery)
+			qi, ok := qkIdx[key]
+			if !ok {
+				qi = len(qks)
+				qkIdx[key] = qi
+				qks = append(qks, qk{key: key})
+			}
+			qks[qi].ranks = append(qks[qi].ranks, uint32(rank))
+		}
+		sort.Slice(qks, func(i, j int) bool { return qks[i].key < qks[j].key })
+
+		auxW.pad8()
+		auxBase := auxW.len()
+		auxW.u32(uint32(len(parts)))
+		start := 0
+		for _, p := range parts {
+			auxW.u32(uint32(p.status))
+			auxW.u32(uint32(start))
+			auxW.u32(uint32(len(p.pos)))
+			start += len(p.pos)
+		}
+		for _, p := range parts {
+			for _, v := range p.pos {
+				auxW.u32(v)
+			}
+		}
+		auxW.u32(uint32(len(qks)))
+		start = 0
+		for _, k := range qks {
+			auxW.writeRef(ar, k.key)
+			auxW.u32(uint32(start))
+			auxW.u32(uint32(len(k.ranks)))
+			start += len(k.ranks)
+		}
+		for _, k := range qks {
+			for _, v := range k.ranks {
+				auxW.u32(v)
+			}
+		}
+		auxLen := auxW.len() - auxBase
+
+		bulkStart := bulkCount
+		for _, r := range bulk {
+			bulkW.writeRef(ar, r.DirPrefix)
+			bulkW.u32(uint32(r.Count))
+			bulkW.i32(int(r.FirstDay))
+			bulkW.i32(int(r.LastDay))
+			bulkW.u32(0)
+			bulkW.u64(r.Seed)
+			bulkCount++
+		}
+
+		hostsW.writeRef(ar, host)
+		hostsW.u64(uint64(rowBase))
+		hostsW.u32(uint32(n))
+		hostsW.u32(uint32(bulkStart))
+		hostsW.u32(uint32(len(bulk)))
+		hostsW.u32(0)
+		hostsW.u64(uint64(auxBase))
+		hostsW.u32(uint32(auxLen))
+		hostsW.u32(0)
+	})
+
+	secs[secCDXHosts] = hostsW.buf
+	secs[secCDXData] = dataW.buf
+	secs[secCDXAux] = auxW.buf
+	secs[secBulk] = bulkW.buf
+	return hostNames
+}
+
+// encodeDomains writes the registrable-domain → host table. hostNames
+// is sorted, so each domain's host-index list is ascending and the
+// referenced hostnames enumerate in sorted order.
+func encodeDomains(secs [][]byte, ar *arena, hostNames []string) {
+	byDomain := make(map[string][]uint32)
+	for i, h := range hostNames {
+		d := urlutil.DomainOfHost(h)
+		byDomain[d] = append(byDomain[d], uint32(i))
+	}
+	doms := make([]string, 0, len(byDomain))
+	for d := range byDomain {
+		doms = append(doms, d)
+	}
+	sort.Strings(doms)
+
+	w := &secWriter{}
+	w.u32(uint32(len(doms)))
+	start := 0
+	for _, d := range doms {
+		w.writeRef(ar, d)
+		w.u32(uint32(start))
+		w.u32(uint32(len(byDomain[d])))
+		start += len(byDomain[d])
+	}
+	for _, d := range doms {
+		for _, idx := range byDomain[d] {
+			w.u32(idx)
+		}
+	}
+	secs[secDomains] = w.buf
+}
+
+func encodeSnapshots(secs [][]byte, ar *arena, a *archive.Archive) {
+	keysW := &secWriter{}
+	rowsW := &secWriter{}
+	total := 0
+	a.EachSnapshotsByKey(func(key string, snaps []archive.Snapshot) {
+		keysW.writeRef(ar, key)
+		keysW.u32(uint32(total))
+		keysW.u32(uint32(len(snaps)))
+		for _, s := range snaps {
+			rowsW.writeRef(ar, s.URL)
+			rowsW.i32(int(s.Day))
+			rowsW.u16(uint16(s.InitialStatus))
+			rowsW.u16(uint16(s.FinalStatus))
+			rowsW.writeRef(ar, s.RedirectTo)
+			rowsW.writeRef(ar, s.Body)
+			rowsW.u64(s.Digest)
+		}
+		total += len(snaps)
+	})
+	secs[secSnapKeys] = keysW.buf
+	secs[secSnapRows] = rowsW.buf
+}
+
+func encodeLatencies(secs [][]byte, ar *arena, a *archive.Archive) {
+	type lat struct {
+		key string
+		ms  int
+	}
+	var lats []lat
+	a.EachLookupLatency(func(key string, ms int) {
+		lats = append(lats, lat{key, ms})
+	})
+	sort.Slice(lats, func(i, j int) bool { return lats[i].key < lats[j].key })
+	w := &secWriter{}
+	for _, l := range lats {
+		w.writeRef(ar, l.key)
+		w.i32(l.ms)
+		w.u32(0)
+	}
+	secs[secLatency] = w.buf
+}
+
+func encodePrefilter(secs [][]byte, a *archive.Archive) {
+	words, keys := a.PrefilterBits()
+	w := &secWriter{}
+	w.u64(uint64(keys))
+	w.u64(uint64(len(words)))
+	for _, v := range words {
+		w.u64(v)
+	}
+	secs[secPrefilter] = w.buf
+}
+
+func encodeSites(secs [][]byte, ar *arena, world *simweb.World) {
+	dirW := &secWriter{}
+	blobW := &secWriter{}
+	for _, h := range world.Hostnames() {
+		s := world.Site(h)
+		blobW.pad8()
+		base := blobW.len()
+		encodeSite(blobW, ar, s)
+		dirW.writeRef(ar, h)
+		dirW.u64(uint64(base))
+		dirW.u32(uint32(blobW.len() - base))
+		dirW.u32(0)
+	}
+	secs[secSiteDir] = dirW.buf
+	secs[secSiteBlobs] = blobW.buf
+}
+
+func encodeSite(w *secWriter, ar *arena, s *simweb.Site) {
+	w.i32(s.Rank)
+	w.i32(int(s.Created))
+	w.i32(int(s.DNSDiesAt))
+	w.i32(int(s.TimeoutFrom))
+	w.i32(int(s.ParkedAt))
+	w.i32(int(s.GeoBlockedFrom))
+	w.i32(int(s.OutageFrom))
+	w.i32(int(s.OutageTo))
+	w.u16(uint16(s.ErrorStyle))
+	w.u16(uint16(s.ErrorStyleAfter))
+	w.i32(int(s.ErrorStyleSwitchAt))
+	w.writeRef(ar, s.LoginPath)
+	w.u64(s.Seed)
+
+	w.u32(uint32(len(s.Faults)))
+	for _, f := range s.Faults {
+		w.i32(int(f.From))
+		w.i32(int(f.To))
+		w.u32(uint32(f.Mode))
+		w.f64(f.Rate)
+		w.i32(f.RetryAfterSec)
+		w.u32(0)
+		w.u64(f.Seed)
+	}
+
+	var pages []*simweb.Page
+	s.EachPage(func(p *simweb.Page) { pages = append(pages, p) })
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Path < pages[j].Path })
+	w.u32(uint32(len(pages)))
+	for _, p := range pages {
+		w.writeRef(ar, p.Path)
+		w.i32(int(p.Created))
+		w.i32(int(p.DeletedAt))
+		w.i32(int(p.RestoredAt))
+		w.i32(int(p.MovedAt))
+		w.writeRef(ar, p.NewPath)
+		w.i32(int(p.RedirectFrom))
+		w.i32(int(p.RedirectUntil))
+		w.writeRef(ar, p.Content)
+		w.writeRef(ar, p.Title)
+	}
+}
+
+func encodeWiki(secs [][]byte, ar *arena, wiki *wikimedia.Wiki) {
+	dirW := &secWriter{}
+	blobW := &secWriter{}
+	metaW := &secWriter{}
+	maxRev := 0
+	catIdx := make(map[string][]uint32)
+
+	titles := wiki.Titles()
+	for i, t := range titles {
+		a := wiki.Article(t)
+		blobW.pad8()
+		base := blobW.len()
+		blobW.u32(uint32(len(a.Revisions)))
+		for _, rev := range a.Revisions {
+			blobW.u32(uint32(rev.ID))
+			blobW.i32(int(rev.Day))
+			blobW.writeRef(ar, rev.User)
+			blobW.writeRef(ar, rev.Comment)
+			blobW.writeRef(ar, rev.Text)
+			if rev.ID > maxRev {
+				maxRev = rev.ID
+			}
+		}
+		dirW.writeRef(ar, t)
+		dirW.u64(uint64(base))
+		dirW.u32(uint32(blobW.len() - base))
+		dirW.u32(0)
+
+		seen := make(map[string]bool)
+		for _, c := range a.Current().Doc().Categories() {
+			cc := wikitext.CanonicalCategory(c)
+			if !seen[cc] {
+				seen[cc] = true
+				catIdx[cc] = append(catIdx[cc], uint32(i))
+			}
+		}
+	}
+
+	cats := make([]string, 0, len(catIdx))
+	for c := range catIdx {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	metaW.u64(uint64(maxRev))
+	metaW.u32(uint32(len(cats)))
+	metaW.u32(0)
+	start := 0
+	for _, c := range cats {
+		metaW.writeRef(ar, c)
+		metaW.u32(uint32(start))
+		metaW.u32(uint32(len(catIdx[c])))
+		start += len(catIdx[c])
+	}
+	for _, c := range cats {
+		for _, idx := range catIdx[c] {
+			metaW.u32(idx)
+		}
+	}
+
+	secs[secWikiDir] = dirW.buf
+	secs[secWikiBlobs] = blobW.buf
+	secs[secWikiMeta] = metaW.buf
+}

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -137,6 +138,12 @@ type Server struct {
 	ln       net.Listener
 	started  time.Time
 
+	// startupMS holds named startup-phase durations (load, freeze,
+	// listen) recorded by the serving binary and exported under the
+	// /metrics key "startup_ms".
+	startupMu sync.Mutex
+	startupMS map[string]int64
+
 	// testHookClassify, when set, runs inside every /v1/classify
 	// handler after admission — tests use it to hold requests in
 	// flight across a shutdown.
@@ -190,6 +197,7 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		met:          newMetrics([]string{"availability", "status", "classify", "batch", "sample"}),
 		retryStats:   new(fetch.RetryStats),
 		started:      time.Now(),
+		startupMS:    make(map[string]int64),
 	}
 	for _, rec := range records {
 		key := urlutil.SchemeAgnosticKey(rec.URL)
@@ -204,6 +212,19 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 	s.met.publishFunc("prefilter", func() any { return b.Archive.PrefilterStats() })
 	s.met.publishFunc("retry", func() any { return s.retryStats.Snapshot() })
 	s.met.publishFunc("memo", func() any { return s.study.Memo().Stats() })
+	s.met.publishFunc("startup_ms", func() any {
+		s.startupMu.Lock()
+		defer s.startupMu.Unlock()
+		out := make(map[string]int64, len(s.startupMS)+1)
+		var total int64
+		for k, v := range s.startupMS {
+			out[k] = v
+			total += v
+		}
+		out["total_ms"] = total
+		return out
+	})
+	s.met.publishFunc("mem", func() any { return memSnapshot() })
 	s.met.publishFunc("admission", func() any {
 		return map[string]any{
 			"in_flight":         s.gate.inFlight(),
@@ -215,6 +236,17 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		}
 	})
 	return s, nil
+}
+
+// RecordStartupPhase publishes a named startup-phase duration
+// (rounded to milliseconds) under the /metrics "startup_ms" map. The
+// serving binary records its load/freeze/listen phases here so the
+// cold-start profile is observable on a running server, not only in
+// its boot log.
+func (s *Server) RecordStartupPhase(name string, d time.Duration) {
+	s.startupMu.Lock()
+	s.startupMS[name+"_ms"] = d.Milliseconds()
+	s.startupMu.Unlock()
 }
 
 // SampleSize reports how many links the server can classify.

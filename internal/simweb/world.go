@@ -13,14 +13,42 @@ import (
 // World is the collection of simulated sites, indexed by hostname. A
 // World is safe for concurrent readers once construction is complete;
 // mutating methods (AddSite, AddPage) must not race with lookups.
+//
+// A world may be backed by a SiteSource (SetSource), in which case
+// sites materialize lazily on first lookup and the in-memory map only
+// ever holds the touched working set — the serving shape the paged
+// on-disk universe format uses.
 type World struct {
 	mu    sync.RWMutex
 	sites map[string]*Site
+	src   SiteSource
+}
+
+// SiteSource lazily supplies sites from external storage (a paged
+// universe file). Implementations must be safe for concurrent use;
+// LoadSite returns a freshly built Site (nil for unknown hostnames)
+// that the World caches and owns from then on.
+type SiteSource interface {
+	// LoadSite materializes one site, or nil when the hostname is not
+	// in the source.
+	LoadSite(hostname string) *Site
+	// Hostnames returns every hostname in the source, sorted.
+	Hostnames() []string
+	// NumSites returns the number of sites in the source.
+	NumSites() int
 }
 
 // NewWorld returns an empty world.
 func NewWorld() *World {
 	return &World{sites: make(map[string]*Site)}
+}
+
+// SetSource backs the world with a lazy site source. Call it once,
+// before concurrent use; sites already in the map shadow the source.
+func (w *World) SetSource(src SiteSource) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.src = src
 }
 
 // AddSite creates and registers a site. It panics if the hostname is
@@ -38,22 +66,53 @@ func (w *World) AddSite(hostname string, created simclock.Day) *Site {
 	return s
 }
 
-// Site returns the site for hostname, or nil when unknown.
+// Site returns the site for hostname, or nil when unknown. On a
+// source-backed world a miss faults the site in from the source; the
+// loaded instance is cached, so concurrent callers converge on one
+// *Site per hostname.
 func (w *World) Site(hostname string) *Site {
+	hostname = strings.ToLower(hostname)
 	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.sites[strings.ToLower(hostname)]
+	s, cached := w.sites[hostname]
+	src := w.src
+	w.mu.RUnlock()
+	if cached || src == nil {
+		return s
+	}
+	// Load outside the lock: source reads are concurrent-safe and may
+	// touch disk. The write lock only arbitrates which copy wins.
+	loaded := src.LoadSite(hostname)
+	if loaded == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, cached := w.sites[hostname]; cached {
+		return s
+	}
+	w.sites[hostname] = loaded
+	return loaded
 }
 
-// Sites returns the number of registered sites.
+// Sites returns the number of registered sites (the source's count on
+// a source-backed world).
 func (w *World) Sites() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.src != nil {
+		return w.src.NumSites()
+	}
 	return len(w.sites)
 }
 
 // Hostnames returns all registered hostnames in sorted order.
 func (w *World) Hostnames() []string {
+	w.mu.RLock()
+	src := w.src
+	w.mu.RUnlock()
+	if src != nil {
+		return src.Hostnames()
+	}
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	hs := make([]string, 0, len(w.sites))
@@ -64,8 +123,22 @@ func (w *World) Hostnames() []string {
 	return hs
 }
 
-// EachSite calls fn for every site in unspecified order.
+// EachSite calls fn for every site in unspecified order. On a
+// source-backed world this materializes every site — it is the
+// whole-universe escape hatch (re-saves, spot audits), not a serving
+// path.
 func (w *World) EachSite(fn func(*Site)) {
+	w.mu.RLock()
+	src := w.src
+	w.mu.RUnlock()
+	if src != nil {
+		for _, h := range src.Hostnames() {
+			if s := w.Site(h); s != nil {
+				fn(s)
+			}
+		}
+		return
+	}
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	for _, s := range w.sites {

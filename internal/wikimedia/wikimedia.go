@@ -79,16 +79,71 @@ type LinkAddedEvent struct {
 }
 
 // Wiki is the article store. Safe for concurrent use.
+//
+// A wiki may be backed by an ArticleSource (SetSource), in which case
+// articles materialize lazily on first lookup and the in-memory map
+// only ever holds the touched working set — the serving shape the
+// paged on-disk universe format uses.
 type Wiki struct {
 	mu        sync.RWMutex
 	articles  map[string]*Article
 	nextRevID int
 	listeners []func(LinkAddedEvent)
+	src       ArticleSource
+}
+
+// ArticleSource lazily supplies articles from external storage (a
+// paged universe file). Implementations must be safe for concurrent
+// use; LoadArticle returns a freshly built Article (nil for unknown
+// titles) that the Wiki caches and owns from then on.
+type ArticleSource interface {
+	// LoadArticle materializes one article with its full revision
+	// history, or nil when the title is not in the source.
+	LoadArticle(title string) *Article
+	// Titles returns every title in the source, sorted.
+	Titles() []string
+	// NumArticles returns the number of articles in the source.
+	NumArticles() int
+	// CategoryTitles returns the sorted titles whose current revision
+	// (as of save time) belongs to the named category.
+	CategoryTitles(category string) []string
+	// MaxRevID is the highest revision ID in the source, so new edits
+	// continue the ID sequence.
+	MaxRevID() int
 }
 
 // NewWiki returns an empty wiki.
 func NewWiki() *Wiki {
 	return &Wiki{articles: make(map[string]*Article), nextRevID: 1}
+}
+
+// SetSource backs the wiki with a lazy article source. Call it once,
+// before concurrent use; articles already in the map shadow the
+// source, and the revision-ID sequence continues from the source's
+// maximum.
+func (w *Wiki) SetSource(src ArticleSource) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.src = src
+	if id := src.MaxRevID() + 1; id > w.nextRevID {
+		w.nextRevID = id
+	}
+}
+
+// lookupLocked returns the article for title, faulting it in from the
+// source if needed. Caller holds the write lock.
+func (w *Wiki) lookupLocked(title string) *Article {
+	if a, ok := w.articles[title]; ok {
+		return a
+	}
+	if w.src == nil {
+		return nil
+	}
+	if a := w.src.LoadArticle(title); a != nil {
+		w.articles[title] = a
+		return a
+	}
+	return nil
 }
 
 // Subscribe registers a listener for link-addition events. Listeners
@@ -104,7 +159,7 @@ func (w *Wiki) Subscribe(fn func(LinkAddedEvent)) {
 // duplicate title (generator bugs should be loud).
 func (w *Wiki) Create(title string, day simclock.Day, user, text string) *Article {
 	w.mu.Lock()
-	if _, ok := w.articles[title]; ok {
+	if w.lookupLocked(title) != nil {
 		w.mu.Unlock()
 		panic(fmt.Sprintf("wikimedia: duplicate article %q", title))
 	}
@@ -126,8 +181,8 @@ func (w *Wiki) Create(title string, day simclock.Day, user, text string) *Articl
 // returns the new revision, or an error for unknown titles.
 func (w *Wiki) Edit(title string, day simclock.Day, user, comment, text string) (*Revision, error) {
 	w.mu.Lock()
-	a, ok := w.articles[title]
-	if !ok {
+	a := w.lookupLocked(title)
+	if a == nil {
 		w.mu.Unlock()
 		return nil, fmt.Errorf("wikimedia: no article %q", title)
 	}
@@ -170,17 +225,41 @@ func emitNewLinks(listeners []func(LinkAddedEvent), title string, prevText *stri
 	}
 }
 
-// Article returns the article with the given title, or nil.
+// Article returns the article with the given title, or nil. On a
+// source-backed wiki a miss faults the article in from the source; the
+// loaded instance is cached, so concurrent callers converge on one
+// *Article per title.
 func (w *Wiki) Article(title string) *Article {
 	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.articles[title]
+	a, cached := w.articles[title]
+	src := w.src
+	w.mu.RUnlock()
+	if cached || src == nil {
+		return a
+	}
+	// Load outside the lock: source reads are concurrent-safe and may
+	// touch disk. The write lock only arbitrates which copy wins.
+	loaded := src.LoadArticle(title)
+	if loaded == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if a, cached := w.articles[title]; cached {
+		return a
+	}
+	w.articles[title] = loaded
+	return loaded
 }
 
-// Len returns the number of articles.
+// Len returns the number of articles (the source's count on a
+// source-backed wiki).
 func (w *Wiki) Len() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.src != nil {
+		return w.src.NumArticles()
+	}
 	return len(w.articles)
 }
 
@@ -188,6 +267,12 @@ func (w *Wiki) Len() int {
 // the category listing presents them and the order the paper's crawl
 // consumed them.
 func (w *Wiki) Titles() []string {
+	w.mu.RLock()
+	src := w.src
+	w.mu.RUnlock()
+	if src != nil {
+		return src.Titles()
+	}
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	ts := make([]string, 0, len(w.articles))
@@ -198,8 +283,22 @@ func (w *Wiki) Titles() []string {
 	return ts
 }
 
-// EachArticle calls fn for every article in unspecified order.
+// EachArticle calls fn for every article in unspecified order. On a
+// source-backed wiki this materializes every article — it is the
+// whole-universe escape hatch (re-saves, spot audits), not a serving
+// path.
 func (w *Wiki) EachArticle(fn func(*Article)) {
+	w.mu.RLock()
+	src := w.src
+	w.mu.RUnlock()
+	if src != nil {
+		for _, t := range src.Titles() {
+			if a := w.Article(t); a != nil {
+				fn(a)
+			}
+		}
+		return
+	}
 	w.mu.RLock()
 	arts := make([]*Article, 0, len(w.articles))
 	for _, a := range w.articles {
@@ -214,7 +313,41 @@ func (w *Wiki) EachArticle(fn func(*Article)) {
 // InCategory returns the titles of articles whose *current* revision
 // belongs to the named category, sorted lexicographically — mirroring
 // https://en.wikipedia.org/wiki/Category:... listings.
+//
+// On a source-backed wiki the stored category index answers for
+// articles still on disk, while articles already faulted in (and
+// possibly edited since) are re-checked live — so membership stays
+// correct without materializing the whole wiki.
 func (w *Wiki) InCategory(category string) []string {
+	w.mu.RLock()
+	src := w.src
+	var loaded []*Article
+	if src != nil {
+		loaded = make([]*Article, 0, len(w.articles))
+		for _, a := range w.articles {
+			loaded = append(loaded, a)
+		}
+	}
+	w.mu.RUnlock()
+
+	if src != nil {
+		inMem := make(map[string]bool, len(loaded))
+		var titles []string
+		for _, a := range loaded {
+			inMem[a.Title] = true
+			if a.Current().Doc().HasCategory(category) {
+				titles = append(titles, a.Title)
+			}
+		}
+		for _, t := range src.CategoryTitles(category) {
+			if !inMem[t] {
+				titles = append(titles, t)
+			}
+		}
+		sort.Strings(titles)
+		return titles
+	}
+
 	var titles []string
 	w.EachArticle(func(a *Article) {
 		if a.Current().Doc().HasCategory(category) {
@@ -228,8 +361,15 @@ func (w *Wiki) InCategory(category string) []string {
 // Clone deep-copies the wiki: articles, revisions, and the revision
 // counter. Listeners are not copied. Use it to run destructive
 // experiments (e.g. a WaybackMedic pass) without disturbing the
-// original.
+// original. On a source-backed wiki every article is materialized
+// first — the clone is fully in-memory.
 func (w *Wiki) Clone() *Wiki {
+	w.mu.RLock()
+	src := w.src
+	w.mu.RUnlock()
+	if src != nil {
+		w.EachArticle(func(*Article) {}) // fault everything in
+	}
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	out := &Wiki{

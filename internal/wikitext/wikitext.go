@@ -206,6 +206,13 @@ func (d *Document) Categories() []string {
 	return cats
 }
 
+// CanonicalCategory returns the canonical form of a category name —
+// the form HasCategory matches under (lowercased, trimmed,
+// underscores as spaces). Exported so persisted category indexes
+// (internal/persist format v4) key categories exactly the way live
+// membership checks do.
+func CanonicalCategory(name string) string { return canonicalName(name) }
+
 // HasCategory reports whether the document is in the named category
 // (case-insensitive).
 func (d *Document) HasCategory(name string) bool {

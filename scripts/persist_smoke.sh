@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Smoke-test the paged universe format end to end: generate a gob (v3)
+# universe, convert it to the paged (v4) format with universeconv,
+# cold-start permadeadd from the paged file, and require
+#
+#   - conversion verifies (checksums + structure),
+#   - paged cold start >= SPEEDUP_MIN x faster than the gob load and
+#     under STARTUP_MAX_MS,
+#   - byte-identical /v1/classify verdicts serving the same universe
+#     from the gob file and from the paged file,
+#   - /v1/classify/batch throughput from the paged store within
+#     THROUGHPUT_TOLERANCE of the in-memory (gob-loaded) indexes,
+#     measured back-to-back in this run,
+#   - a short soak with zero 5xx and a live RSS readout.
+#
+# Cold-start and throughput numbers land in BENCH_PR7.json via
+# cmd/benchjson so the paged format's perf is a diffable artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE=${SCALE:-0.05}
+SPEEDUP_MIN=${SPEEDUP_MIN:-50}
+STARTUP_MAX_MS=${STARTUP_MAX_MS:-500}
+# The tolerance is deliberately loose: run-to-run variance of the short
+# batch measurement exceeds 10% in either direction on a shared machine
+# (paged measures *faster* than gob in roughly half the runs). The gate
+# catches real regressions (a 2x slowdown); BENCH_PR7.json records the
+# actual numbers for closer comparison.
+THROUGHPUT_TOLERANCE=${THROUGHPUT_TOLERANCE:-0.75}
+VERDICT_SAMPLE=${VERDICT_SAMPLE:-60}
+P99_MAX=${P99_MAX:-8s}
+
+workdir=$(mktemp -d)
+server_pid=""
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/worldgen" ./cmd/worldgen
+go build -o "$workdir/universeconv" ./cmd/universeconv
+go build -o "$workdir/permadeadd" ./cmd/permadeadd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+fail() { echo "FAIL: $1"; [ -f "$workdir/server.log" ] && cat "$workdir/server.log"; exit 1; }
+
+boot() { # boot <extra server flags...>; sets $addr and $server_pid
+  rm -f "$workdir/addr"
+  "$workdir/permadeadd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" "$@" \
+    >"$workdir/server.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "permadeadd died during startup:"; cat "$workdir/server.log"; exit 1; }
+    sleep 0.2
+  done
+  [ -s "$workdir/addr" ] || fail "permadeadd never wrote its address"
+  addr=$(cat "$workdir/addr")
+}
+
+stop() {
+  kill -TERM "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+}
+
+# --- Generate (gob) and convert (paged) ---
+"$workdir/worldgen" -scale "$SCALE" -seed 1 -save "$workdir/u.gob" -save-format gob >/dev/null
+"$workdir/universeconv" -in "$workdir/u.gob" -out "$workdir/u.pduniv" -bench \
+  >"$workdir/bench_conv.txt" || fail "universeconv"
+cat "$workdir/bench_conv.txt"
+"$workdir/universeconv" -check "$workdir/u.pduniv" >/dev/null || fail "converted file failed -check"
+
+# Cold-start gates: speedup factor and absolute paged budget.
+speedup=$(awk '/BenchmarkUniverseOpenPaged/ {print $(NF-1)}' "$workdir/bench_conv.txt")
+paged_ms=$(awk '/BenchmarkUniverseOpenPaged/ {for (i=1;i<NF;i++) if ($(i+1)=="load-ms") print $i}' "$workdir/bench_conv.txt")
+[ -n "$speedup" ] || fail "no speedup figure in universeconv -bench output"
+awk -v s="$speedup" -v min="$SPEEDUP_MIN" 'BEGIN { exit !(s >= min) }' \
+  || fail "paged cold start only ${speedup}x faster than gob (need >= ${SPEEDUP_MIN}x)"
+awk -v ms="$paged_ms" -v max="$STARTUP_MAX_MS" 'BEGIN { exit !(ms <= max) }' \
+  || fail "paged cold start ${paged_ms}ms exceeds budget ${STARTUP_MAX_MS}ms"
+echo "cold start: paged ${paged_ms}ms, ${speedup}x faster than gob"
+
+# --- Round 1: serve from the gob file (in-memory indexes) ---
+boot -load "$workdir/u.gob"
+echo "permadeadd up on $addr (gob, in-memory)"
+grep -q 'startup load=' "$workdir/server.log" || fail "no startup-phase timing line in boot log"
+curl -sf "http://$addr/metrics" | grep -q '"startup_ms"' || fail "/metrics lacks startup_ms"
+
+# python3 for JSON decoding: sampled URLs carry query strings whose
+# '&' arrives JSON-escaped as &.
+curl -sf "http://$addr/v1/sample?n=$VERDICT_SAMPLE" \
+  | python3 -c 'import json,sys; print("\n".join(json.load(sys.stdin)["urls"]))' >"$workdir/urls.txt"
+[ -s "$workdir/urls.txt" ] || fail "/v1/sample returned no URLs"
+: >"$workdir/verdicts_gob.txt"
+while read -r u; do
+  curl -sf "http://$addr/v1/classify" --get --data-urlencode "url=$u" >>"$workdir/verdicts_gob.txt" \
+    || fail "classify $u (gob)"
+  echo >>"$workdir/verdicts_gob.txt"
+done <"$workdir/urls.txt"
+
+# measure_batch <BenchName> <outfile>: warm up (uncounted), then take
+# the best of three measured passes. Single short passes swing tens of
+# percent with ambient machine load; peak throughput is the stable
+# parity signal, and zero-5xx/p99 still gate every pass.
+measure_batch() {
+  "$workdir/loadgen" -addr "$addr" -workload batch -n 20 -c 8 -batch-size 50 \
+    -zipf 1.2 -sample 64 >/dev/null || fail "batch warmup ($1)"
+  local best_rps=0
+  for pass in 1 2 3; do
+    "$workdir/loadgen" -addr "$addr" -workload batch -n 60 -c 8 -batch-size 50 \
+      -zipf 1.2 -sample 64 -p99-max "$P99_MAX" -bench "$1" \
+      >"$workdir/pass.txt" || { cat "$workdir/pass.txt"; fail "batch loadgen ($1, pass $pass)"; }
+    local rps
+    rps=$(awk -v b="Benchmark$1" '$1==b {for (i=1;i<NF;i++) if ($(i+1)=="req/s") print $i}' "$workdir/pass.txt")
+    if awk -v r="$rps" -v b="$best_rps" 'BEGIN { exit !(r > b) }'; then
+      best_rps=$rps
+      cp "$workdir/pass.txt" "$2"
+    fi
+  done
+}
+
+measure_batch BatchZipfGobServe "$workdir/bench_gob.txt"
+stop
+
+# --- Round 2: cold-start from the paged file, same universe ---
+boot -load "$workdir/u.pduniv"
+echo "permadeadd up on $addr (paged, mmap)"
+load_ms=$(sed -n 's/.*startup load=\([0-9]*\)ms.*/\1/p' "$workdir/server.log" | head -n 1)
+[ -n "$load_ms" ] || fail "no startup timing line in paged boot log"
+[ "$load_ms" -le "$STARTUP_MAX_MS" ] || fail "paged server load phase ${load_ms}ms exceeds ${STARTUP_MAX_MS}ms"
+echo "paged server load phase: ${load_ms}ms"
+
+: >"$workdir/verdicts_paged.txt"
+while read -r u; do
+  curl -sf "http://$addr/v1/classify" --get --data-urlencode "url=$u" >>"$workdir/verdicts_paged.txt" \
+    || fail "classify $u (paged)"
+  echo >>"$workdir/verdicts_paged.txt"
+done <"$workdir/urls.txt"
+diff "$workdir/verdicts_gob.txt" "$workdir/verdicts_paged.txt" >/dev/null \
+  || { diff "$workdir/verdicts_gob.txt" "$workdir/verdicts_paged.txt" | head -n 10; fail "classify verdicts differ between gob and paged"; }
+echo "verdicts byte-identical across $(wc -l <"$workdir/urls.txt") sampled links"
+
+measure_batch BatchZipfPagedServe "$workdir/bench_paged.txt"
+
+# Throughput parity: paged batch req/s within tolerance of the
+# in-memory run measured seconds ago on the same machine.
+gob_rps=$(awk '/^BenchmarkBatchZipfGobServe/ {for (i=1;i<NF;i++) if ($(i+1)=="req/s") print $i}' "$workdir/bench_gob.txt")
+paged_rps=$(awk '/^BenchmarkBatchZipfPagedServe/ {for (i=1;i<NF;i++) if ($(i+1)=="req/s") print $i}' "$workdir/bench_paged.txt")
+[ -n "$gob_rps" ] && [ -n "$paged_rps" ] || fail "missing batch throughput figures"
+awk -v p="$paged_rps" -v g="$gob_rps" -v tol="$THROUGHPUT_TOLERANCE" 'BEGIN { exit !(p >= g * tol) }' \
+  || fail "paged batch throughput $paged_rps req/s below ${THROUGHPUT_TOLERANCE}x of in-memory $gob_rps req/s"
+echo "batch throughput: paged $paged_rps req/s vs in-memory $gob_rps req/s"
+
+# Short soak against the paged server: steady-state memory readout,
+# zero 5xx required (loadgen exit code).
+"$workdir/loadgen" -addr "$addr" -workload soak -duration 6s -report 2s -c 4 \
+  -sample 64 -bench SoakPaged >"$workdir/bench_soak.txt" \
+  || { cat "$workdir/bench_soak.txt"; fail "soak loadgen (paged)"; }
+cat "$workdir/bench_soak.txt"
+stop
+
+cat "$workdir/bench_conv.txt" "$workdir/bench_gob.txt" "$workdir/bench_paged.txt" "$workdir/bench_soak.txt" \
+  | go run ./cmd/benchjson -o BENCH_PR7.json >/dev/null
+echo "persist smoke OK (BENCH_PR7.json updated)"
