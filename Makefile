@@ -3,9 +3,9 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke persistsmoke
+.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke persistsmoke streamsmoke
 
-check: vet build test race retrysmoke batchsmoke persistsmoke
+check: vet build test race retrysmoke batchsmoke persistsmoke streamsmoke
 
 build:
 	$(GO) build ./...
@@ -56,3 +56,11 @@ batchsmoke:
 # throughput parity all required. Records BENCH_PR7.json.
 persistsmoke:
 	./scripts/persist_smoke.sh
+
+# streamsmoke exercises the continuous verdict monitor against a live
+# permadeadd over a fully flaky universe: exactly-once SSE delivery,
+# Last-Event-ID resume, suspect flagging, IABot repairs landing in
+# wikitext, and a non-empty on-disk journal — then benches SSE fan-out
+# with loadgen's stream workload into BENCH_PR8.json.
+streamsmoke:
+	./scripts/stream_smoke.sh

@@ -13,6 +13,12 @@
 //	                  throughput, and the server's RSS from /metrics —
 //	                  the steady-state memory check for the paged
 //	                  universe store
+//	-workload stream  open -c SSE subscribers on /v1/stream/verdicts,
+//	                  watch -sample articles, then drive the sim clock
+//	                  forward -tick-days in -tick-step increments so
+//	                  the monitor's re-checks produce verdict flips;
+//	                  report events/s, delivery p99 (now minus the
+//	                  event's emission stamp), and dropped subscribers
 //
 // URL selection is uniform round-robin by default; -zipf s (s > 1)
 // draws from a zipf distribution instead, so a few hot links dominate
@@ -36,9 +42,11 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -59,10 +67,12 @@ func main() {
 		c         = flag.Int("c", 16, "concurrent clients")
 		sample    = flag.Int("sample", 64, "URL pool size (smaller pools repeat URLs and hit the cache)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
-		workload  = flag.String("workload", "mixed", "workload shape: mixed (single-link GETs), batch (NDJSON POSTs), or soak (duration-based mixed load)")
+		workload  = flag.String("workload", "mixed", "workload shape: mixed (single-link GETs), batch (NDJSON POSTs), soak (duration-based mixed load), or stream (SSE verdict subscribers)")
 		duration  = flag.Duration("duration", 30*time.Second, "how long the soak workload runs")
 		report    = flag.Duration("report", 5*time.Second, "soak progress-line interval")
 		batchSize = flag.Int("batch-size", 100, "links per /v1/classify/batch POST (batch workload)")
+		tickDays  = flag.Int("tick-days", 120, "total sim days the stream workload advances")
+		tickStep  = flag.Int("tick-step", 15, "sim days per /v1/sim/tick POST (stream workload)")
 		zipfS     = flag.Float64("zipf", 0, "zipf skew s for URL selection (> 1; 0 = uniform round-robin)")
 		seed      = flag.Int64("seed", 1, "zipf draw seed")
 		p99Max    = flag.Duration("p99-max", 0, "fail (exit 1) if p99 latency exceeds this (0 = no bound)")
@@ -72,8 +82,10 @@ func main() {
 	if *n < 1 || *c < 1 || *sample < 1 || *batchSize < 1 {
 		fatal(fmt.Errorf("-n, -c, -sample, and -batch-size must all be >= 1"))
 	}
-	if *workload != "mixed" && *workload != "batch" && *workload != "soak" {
-		fatal(fmt.Errorf("-workload must be 'mixed', 'batch', or 'soak', got %q", *workload))
+	switch *workload {
+	case "mixed", "batch", "soak", "stream":
+	default:
+		fatal(fmt.Errorf("-workload must be 'mixed', 'batch', 'soak', or 'stream', got %q", *workload))
 	}
 	if *zipfS != 0 && *zipfS <= 1 {
 		fatal(fmt.Errorf("-zipf needs s > 1 (got %v)", *zipfS))
@@ -84,6 +96,15 @@ func main() {
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: *timeout}
+
+	if *workload == "stream" {
+		runStream(client, base, streamConfig{
+			Subscribers: *c, Articles: *sample,
+			TickDays: *tickDays, TickStep: *tickStep,
+			P99Max: *p99Max, BenchName: *benchName,
+		})
+		return
+	}
 
 	pool, err := fetchSample(client, base, *sample)
 	if err != nil {
@@ -312,6 +333,243 @@ func runSoak(client *http.Client, base string, pool []string, cfg soakConfig) {
 		fmt.Fprintf(os.Stderr, "loadgen: p99 %s exceeds bound %s\n", p99, cfg.P99Max)
 		os.Exit(1)
 	}
+}
+
+type streamConfig struct {
+	Subscribers int
+	Articles    int
+	TickDays    int
+	TickStep    int
+	P99Max      time.Duration
+	BenchName   string
+}
+
+// runStream measures verdict-feed fan-out: it subscribes cfg.Subscribers
+// SSE clients to /v1/stream/verdicts, watches the articles citing the
+// first cfg.Articles sampled links, then drives the sim clock forward so
+// fault windows open and close and the monitor's re-checks journal
+// verdict flips. Every subscriber should see every flip; delivery
+// latency is receipt time minus the event's emission stamp (live events
+// only — replayed events carry no stamp and are excluded). The run
+// fails (exit 1) on any transport error, if any subscriber missed
+// events, or if no live events arrived at all.
+func runStream(client *http.Client, base string, cfg streamConfig) {
+	// Watch the sampled articles. Article titles ride along with the
+	// sample when asked for.
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sample?n=%d&articles=1", base, cfg.Articles))
+	if err != nil {
+		fatal(fmt.Errorf("fetching /v1/sample: %w", err))
+	}
+	var sr struct {
+		Articles []string `json:"articles"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("decoding /v1/sample: %w", err))
+	}
+	titles := dedup(sr.Articles)
+	if len(titles) == 0 {
+		fatal(fmt.Errorf("/v1/sample returned no article titles (monitor disabled?)"))
+	}
+	var wr struct {
+		WatchedLinks int `json:"watched_links"`
+	}
+	if err := postJSON(client, base+"/v1/watch", map[string]any{"articles": titles}, &wr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: watching %d links across %d articles, %d subscribers, ticking %d days by %d\n",
+		wr.WatchedLinks, len(titles), cfg.Subscribers, cfg.TickDays, cfg.TickStep)
+
+	// SSE connections outlive any per-request timeout: dedicated client.
+	streamClient := &http.Client{}
+	// The driver polls subscriber progress while the subscriber
+	// goroutines advance it, hence the atomics; err is written once
+	// before failed flips and only read after wg.Wait.
+	type subResult struct {
+		events  atomic.Int64 // live verdict frames received
+		dropped atomic.Bool  // terminal "dropped" frame seen
+		lastSeq atomic.Int64
+		failed  atomic.Bool
+		err     error
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		results   = make([]subResult, cfg.Subscribers)
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Subscribers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fail := func(err error) {
+				results[id].err = err
+				results[id].failed.Store(true)
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stream/verdicts", nil)
+			if err != nil {
+				fail(err)
+				return
+			}
+			resp, err := streamClient.Do(req)
+			if err != nil {
+				fail(fmt.Errorf("subscriber %d: %w", id, err))
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail(fmt.Errorf("subscriber %d: stream returned %d", id, resp.StatusCode))
+				return
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+			var event string
+			for sc.Scan() {
+				line := sc.Text()
+				switch {
+				case strings.HasPrefix(line, "event: "):
+					event = line[7:]
+				case strings.HasPrefix(line, "data: "):
+					if event == "dropped" {
+						results[id].dropped.Store(true)
+						continue
+					}
+					var ev struct {
+						Seq           int64 `json:"seq"`
+						EmittedUnixNs int64 `json:"emitted_unix_ns"`
+					}
+					if json.Unmarshal([]byte(line[6:]), &ev) != nil {
+						continue
+					}
+					results[id].lastSeq.Store(ev.Seq)
+					if ev.EmittedUnixNs > 0 {
+						results[id].events.Add(1)
+						d := time.Duration(time.Now().UnixNano() - ev.EmittedUnixNs)
+						mu.Lock()
+						latencies = append(latencies, d)
+						mu.Unlock()
+					}
+				case line == "":
+					event = ""
+				}
+			}
+			// Stream end is expected: the driver cancels ctx when done.
+		}(i)
+	}
+
+	// Drive the clock. Each tick runs due re-checks synchronously, so
+	// once the last tick returns, every flip has been journaled and
+	// pushed into subscriber buffers.
+	var finalSeq int64
+	for spent := 0; spent < cfg.TickDays; spent += cfg.TickStep {
+		var tr struct {
+			Stats struct {
+				JournalEntries int64 `json:"journal_entries"`
+			} `json:"stats"`
+		}
+		if err := postJSON(client, base+"/v1/sim/tick", map[string]int{"days": cfg.TickStep}, &tr); err != nil {
+			fatal(err)
+		}
+		finalSeq = tr.Stats.JournalEntries
+	}
+
+	// Give subscribers a bounded grace period to drain their buffers,
+	// then cut the connections.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		caughtUp := true
+		for i := range results {
+			if !results[i].failed.Load() && !results[i].dropped.Load() && results[i].lastSeq.Load() < finalSeq {
+				caughtUp = false
+				break
+			}
+		}
+		if caughtUp {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var events, incomplete, droppedSubs int64
+	for i := range results {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", results[i].err)
+			incomplete++
+			continue
+		}
+		events += results[i].events.Load()
+		if results[i].dropped.Load() {
+			droppedSubs++
+		} else if last := results[i].lastSeq.Load(); last < finalSeq {
+			fmt.Fprintf(os.Stderr, "loadgen: subscriber %d stopped at seq %d of %d\n", i, last, finalSeq)
+			incomplete++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("stream:     %d flips journaled, %d live events across %d subscribers (%d dropped, %d incomplete)\n",
+		finalSeq, events, cfg.Subscribers, droppedSubs, incomplete)
+	fmt.Printf("throughput: %.1f events/s (%.2fs wall)\n", float64(events)/elapsed.Seconds(), elapsed.Seconds())
+	var p99 time.Duration
+	if len(latencies) > 0 {
+		p99 = quantile(latencies, 0.99)
+		fmt.Printf("delivery:   p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(latencies, 0.50), quantile(latencies, 0.90),
+			p99, latencies[len(latencies)-1])
+	}
+	if cfg.BenchName != "" && events > 0 {
+		mean := elapsed.Nanoseconds() / events
+		fmt.Printf("Benchmark%s %d %d ns/op %.3f p99ms %.1f ev/s %d dropped\n",
+			cfg.BenchName, events, mean,
+			float64(p99.Microseconds())/1000, float64(events)/elapsed.Seconds(), droppedSubs)
+	}
+	switch {
+	case incomplete > 0 || events == 0 || finalSeq == 0:
+		os.Exit(1)
+	case cfg.P99Max > 0 && p99 > cfg.P99Max:
+		fmt.Fprintf(os.Stderr, "loadgen: delivery p99 %s exceeds bound %s\n", p99, cfg.P99Max)
+		os.Exit(1)
+	}
+}
+
+// dedup preserves first-seen order.
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// postJSON fires one JSON POST and decodes the response into out.
+func postJSON(client *http.Client, target string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(target, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("POST %s: %w", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST %s returned %d: %s", target, resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // serverRSS scrapes the target's resident set size from /metrics

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	permadeadd [-addr host:port] [-scale f] [-seed n] [-load file]
-//	           [-universe.paged=bool]
+//	           [-universe.paged=bool] [-flaky f] [-flaky-stream-days n]
+//	           [-monitor-ttl days] [-journal file] [-repair]
 //
 // The universe is generated at startup (or loaded from a 'worldgen
 // -save' file); the server then answers queries until SIGINT/SIGTERM,
@@ -53,6 +54,18 @@ func main() {
 		noPrefilter     = flag.Bool("no-prefilter", false, "disable the frozen archive's capture prefilter (for benchmarking)")
 		memoCap         = flag.Int("memo-cap", defaults.MemoCap, "per-map entry bound on the archive memo (0 = unbounded)")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		flaky           = flag.Float64("flaky", -1, "fraction of sites with recurring fault windows (generated universes only; <0 keeps the scaled default)")
+		flakyRate       = flag.Float64("flaky-rate", -1, "per-window error rate on flaky sites (<0 keeps the default)")
+		flakyStreamDays = flag.Int("flaky-stream-days", 0, "extend flaky fault windows this many days past the study day (continuous flip supply for the monitor)")
+
+		noMonitor      = flag.Bool("no-monitor", false, "disable the continuous verdict monitor and its endpoints")
+		monitorTTL     = flag.Int("monitor-ttl", defaults.MonitorTTLDays, "days before a warm verdict goes stale and is re-checked")
+		monitorWorkers = flag.Int("monitor-checkers", defaults.MonitorCheckers, "concurrent re-check workers in the monitor")
+		sseBuffer      = flag.Int("sse-buffer", defaults.SSESubscriberBuffer, "per-subscriber event buffer; slow consumers past it are dropped")
+		maxSubs        = flag.Int("max-subscribers", defaults.MaxSSESubscribers, "bound on concurrent /v1/stream/verdicts subscribers")
+		journalPath    = flag.String("journal", "", "append verdict flips to this NDJSON file (empty = in-memory only)")
+		repair         = flag.Bool("repair", false, "run the IABot repair loop: rescue links that flip to dead with archive URLs")
 	)
 	flag.Parse()
 
@@ -69,6 +82,15 @@ func main() {
 	} else {
 		params := worldgen.DefaultParams().Scale(*scale)
 		params.Seed = *seed
+		if *flaky >= 0 {
+			params.FlakySiteFrac = *flaky
+		}
+		if *flakyRate >= 0 {
+			params.FlakyRate = *flakyRate
+		}
+		if *flakyStreamDays > 0 {
+			params.FlakyStreamDays = *flakyStreamDays
+		}
 		fmt.Fprintf(os.Stderr, "generating universe (scale %.2f, seed %d)...\n", *scale, *seed)
 		start := time.Now()
 		u := worldgen.Generate(params)
@@ -95,6 +117,13 @@ func main() {
 	cfg.BatchWorkers = *batchWorkers
 	cfg.DisablePrefilter = *noPrefilter
 	cfg.MemoCap = *memoCap
+	cfg.DisableMonitor = *noMonitor
+	cfg.MonitorTTLDays = *monitorTTL
+	cfg.MonitorCheckers = *monitorWorkers
+	cfg.SSESubscriberBuffer = *sseBuffer
+	cfg.MaxSSESubscribers = *maxSubs
+	cfg.JournalPath = *journalPath
+	cfg.EnableRepair = *repair
 
 	// Startup-phase timing: load (or generate), freeze (service.New
 	// freezes the archive and collects the sample), listen. One log

@@ -1,0 +1,335 @@
+// Command streamsmoke asserts the continuous-monitor contract against
+// a running permadeadd: it watches the articles citing the sampled
+// links, subscribes to /v1/stream/verdicts, drives the sim clock
+// across fault-window boundaries, and then checks every promise the
+// stream makes:
+//
+//   - flips happen in both directions (alive->dead and dead->alive)
+//     and at least one dead verdict is flagged suspect (measured
+//     inside a fault window);
+//   - the live stream delivered journal seqs 1..N exactly once, in
+//     order, and each frame's id matches its payload seq;
+//   - reconnecting with Last-Event-ID = N/2 replays exactly seqs
+//     N/2+1..N — no gap, no duplicate at the replay/live seam;
+//   - with -expect-repair, the IABot loop actually edited wikitext:
+//     /metrics reports repairs_edited > 0 and a flipped article's
+//     current text carries an archive-url or {{Dead link}} mark.
+//
+// Any violated assertion prints FAIL and exits 1; CI asserts on the
+// exit code alone.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	addr         = flag.String("addr", "127.0.0.1:8080", "permadeadd address (host:port)")
+	articles     = flag.Int("articles", 120, "sampled links whose articles get watched")
+	tickDays     = flag.Int("tick-days", 150, "total sim days to advance")
+	tickStep     = flag.Int("tick-step", 15, "sim days per tick")
+	expectRepair = flag.Bool("expect-repair", false, "require the IABot repair loop to have edited a flipped article")
+	timeout      = flag.Duration("timeout", 60*time.Second, "overall budget for stream reads")
+)
+
+type entry struct {
+	Seq           int64    `json:"seq"`
+	URL           string   `json:"url"`
+	Old           string   `json:"old"`
+	New           string   `json:"new"`
+	Suspect       bool     `json:"suspect"`
+	Articles      []string `json:"articles"`
+	EmittedUnixNs int64    `json:"emitted_unix_ns"`
+}
+
+type frame struct {
+	id    int64
+	event string
+	data  string
+}
+
+func main() {
+	flag.Parse()
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Watch the sampled articles.
+	titles := sampleTitles(client, base, *articles)
+	var wr struct {
+		Added        int `json:"added"`
+		WatchedLinks int `json:"watched_links"`
+	}
+	postJSON(client, base+"/v1/watch", map[string]any{"articles": titles}, &wr)
+	if wr.WatchedLinks == 0 {
+		fail("watched %d articles but the monitor tracks 0 links", len(titles))
+	}
+	fmt.Printf("watching %d links across %d articles\n", wr.WatchedLinks, len(titles))
+
+	// Subscribe before any flips exist, then advance the clock across
+	// fault-window boundaries. Ticks run re-checks synchronously, so
+	// after the last tick the journal is complete. The ready signal
+	// matters: ticking before the subscription registers would turn
+	// early flips into replay instead of live delivery.
+	frames := make(chan frame, 4096)
+	ready := make(chan struct{})
+	go streamFrom(base, 0, frames, ready)
+	<-ready
+	var n int64
+	for spent := 0; spent < *tickDays; spent += *tickStep {
+		var tr struct {
+			Stats struct {
+				JournalEntries int64 `json:"journal_entries"`
+				FlipsToDead    int64 `json:"flips_to_dead"`
+				FlipsToAlive   int64 `json:"flips_to_alive"`
+			} `json:"stats"`
+		}
+		postJSON(client, base+"/v1/sim/tick", map[string]int{"days": *tickStep}, &tr)
+		n = tr.Stats.JournalEntries
+	}
+	if n == 0 {
+		fail("no verdict flips after %d sim days (is the universe flaky?)", *tickDays)
+	}
+	fmt.Printf("%d flips journaled over %d sim days\n", n, *tickDays)
+
+	// The live subscriber must have received exactly seqs 1..N in order.
+	live := collect(frames, n)
+	verifyEntries(live, 1, n, "live stream")
+	var toDead, toAlive, suspect int
+	for _, e := range live {
+		switch e.New {
+		case "dead":
+			toDead++
+			if e.Suspect {
+				suspect++
+			}
+		case "alive":
+			toAlive++
+		}
+		if e.EmittedUnixNs == 0 {
+			fail("live event seq %d carries no emission stamp", e.Seq)
+		}
+		if len(e.Articles) == 0 {
+			fail("flip seq %d names no citing articles", e.Seq)
+		}
+	}
+	if toDead == 0 || toAlive == 0 {
+		fail("flips are one-directional: %d to dead, %d to alive (fault windows should open and close)", toDead, toAlive)
+	}
+	if suspect == 0 {
+		fail("no dead verdict was flagged suspect despite fault windows")
+	}
+	fmt.Printf("live stream OK: seqs 1..%d exactly once (%d to dead, %d to alive, %d suspect)\n",
+		n, toDead, toAlive, suspect)
+
+	// Resume from the midpoint: exactly N/2+1..N, replayed (no stamp).
+	k := n / 2
+	resumed := make(chan frame, 4096)
+	resumedReady := make(chan struct{})
+	go streamFrom(base, k, resumed, resumedReady)
+	replay := collect(resumed, n-k)
+	verifyEntries(replay, k+1, n, "resumed stream")
+	for _, e := range replay {
+		if e.EmittedUnixNs != 0 {
+			fail("replayed event seq %d carries a live emission stamp", e.Seq)
+		}
+	}
+	fmt.Printf("resume OK: Last-Event-ID %d replayed exactly %d..%d\n", k, k+1, n)
+
+	if *expectRepair {
+		checkRepair(client, base, live)
+	}
+	fmt.Println("stream smoke OK")
+}
+
+// streamFrom opens /v1/stream/verdicts resuming after lastSeq and
+// parses SSE frames onto ch until the connection ends. ready is closed
+// once the server has accepted the subscription (response headers in).
+func streamFrom(base string, lastSeq int64, ch chan<- frame, ready chan<- struct{}) {
+	defer close(ch)
+	target := base + "/v1/stream/verdicts"
+	req, err := http.NewRequest(http.MethodGet, target, nil)
+	if err != nil {
+		fail("%v", err)
+	}
+	if lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeq, 10))
+	}
+	resp, err := http.DefaultClient.Do(req) // no timeout: the stream is long-lived
+	if err != nil {
+		fail("opening stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fail("stream returned %d: %s", resp.StatusCode, body)
+	}
+	close(ready)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var f frame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if f.event != "" || f.data != "" {
+				ch <- f
+			}
+			f = frame{}
+		case strings.HasPrefix(line, "id: "):
+			f.id, _ = strconv.ParseInt(line[4:], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[6:]
+		}
+	}
+}
+
+// collect reads exactly want verdict frames, decoding each payload and
+// checking the frame id against it.
+func collect(ch <-chan frame, want int64) []entry {
+	var out []entry
+	deadline := time.After(*timeout)
+	for int64(len(out)) < want {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				fail("stream closed after %d of %d events", len(out), want)
+			}
+			if f.event != "verdict" {
+				fail("unexpected frame type %q (data: %s)", f.event, f.data)
+			}
+			var e entry
+			if err := json.Unmarshal([]byte(f.data), &e); err != nil {
+				fail("bad event payload: %v (%s)", err, f.data)
+			}
+			if e.Seq != f.id {
+				fail("frame id %d disagrees with payload seq %d", f.id, e.Seq)
+			}
+			out = append(out, e)
+		case <-deadline:
+			fail("timed out with %d of %d events", len(out), want)
+		}
+	}
+	return out
+}
+
+// verifyEntries asserts entries carry seqs from..to exactly once, in
+// order — the exactly-once delivery contract.
+func verifyEntries(entries []entry, from, to int64, what string) {
+	if int64(len(entries)) != to-from+1 {
+		fail("%s delivered %d events, want %d (seqs %d..%d)", what, len(entries), to-from+1, from, to)
+	}
+	for i, e := range entries {
+		if want := from + int64(i); e.Seq != want {
+			fail("%s event %d has seq %d, want %d (exactly-once, in order)", what, i, e.Seq, want)
+		}
+		if e.Old == e.New || e.URL == "" {
+			fail("%s seq %d is not a flip: old=%q new=%q url=%q", what, e.Seq, e.Old, e.New, e.URL)
+		}
+	}
+}
+
+// checkRepair asserts the IABot loop edited at least one article that
+// flipped to dead: counted in /metrics, visible in the wikitext.
+func checkRepair(client *http.Client, base string, live []entry) {
+	var met struct {
+		Monitor struct {
+			RepairsEdited int64 `json:"repairs_edited"`
+		} `json:"monitor"`
+	}
+	getJSON(client, base+"/metrics", &met)
+	if met.Monitor.RepairsEdited == 0 {
+		fail("-expect-repair: /metrics reports repairs_edited = 0")
+	}
+	// Find a repaired article: any article cited by a flip-to-dead
+	// whose current text carries the rescue mark.
+	for _, e := range live {
+		if e.New != "dead" {
+			continue
+		}
+		for _, title := range e.Articles {
+			var ar struct {
+				Text string `json:"text"`
+			}
+			getJSON(client, base+"/v1/sim/article?title="+url.QueryEscape(title), &ar)
+			if strings.Contains(ar.Text, "archive-url=") || strings.Contains(ar.Text, "{{Dead link") {
+				fmt.Printf("repair OK: %d edits, %q carries a rescue mark\n", met.Monitor.RepairsEdited, title)
+				return
+			}
+		}
+	}
+	fail("-expect-repair: %d repairs counted but no flipped article carries archive-url or {{Dead link}}", met.Monitor.RepairsEdited)
+}
+
+// sampleTitles pulls the articles citing the first n sampled links.
+func sampleTitles(client *http.Client, base string, n int) []string {
+	var sr struct {
+		Articles []string `json:"articles"`
+	}
+	getJSON(client, fmt.Sprintf("%s/v1/sample?n=%d&articles=1", base, n), &sr)
+	seen := make(map[string]bool)
+	var titles []string
+	for _, a := range sr.Articles {
+		if !seen[a] {
+			seen[a] = true
+			titles = append(titles, a)
+		}
+	}
+	if len(titles) == 0 {
+		fail("/v1/sample returned no article titles")
+	}
+	return titles
+}
+
+func getJSON(client *http.Client, target string, out any) {
+	resp, err := client.Get(target)
+	if err != nil {
+		fail("GET %s: %v", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fail("GET %s returned %d: %s", target, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fail("GET %s: bad JSON: %v", target, err)
+	}
+}
+
+func postJSON(client *http.Client, target string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		fail("%v", err)
+	}
+	resp, err := client.Post(target, "application/json", bytes.NewReader(data))
+	if err != nil {
+		fail("POST %s: %v", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		fail("POST %s returned %d: %s", target, resp.StatusCode, raw)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			fail("POST %s: bad JSON: %v", target, err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -65,7 +65,8 @@ func New(c *archive.Crawler) *Service {
 }
 
 // Attach subscribes the service to the wiki's link-addition events.
-// Call before populating the wiki.
+// Call before populating the wiki so every posted link is observed
+// (registration is safe at any time, but only covers later edits).
 func (s *Service) Attach(w *wikimedia.Wiki) {
 	w.Subscribe(s.OnLinkAdded)
 }

@@ -30,6 +30,7 @@ import (
 	"permadead/internal/fetch"
 	"permadead/internal/simclock"
 	"permadead/internal/wikimedia"
+	"permadead/internal/wikitext"
 )
 
 // DefaultName is the bot's Wikipedia username.
@@ -108,9 +109,69 @@ func (b *Bot) Stats() Stats {
 	return b.stats
 }
 
-// ScanArticle runs one maintenance pass over the titled article as of
-// day. It reports whether the article was edited.
-func (b *Bot) ScanArticle(ctx context.Context, title string, day simclock.Day) (bool, error) {
+// linkOutcome is what one maintainLink pass did to a citation.
+type linkOutcome struct {
+	changed, marked, patched bool
+}
+
+// maintainLink applies the bot's per-link policy to one citation: an
+// already-dead link is skipped (or re-tested under RecheckDead), an
+// already-archived one is skipped, and an unarchived one is tested
+// with a single GET — broken links get a usable archived copy patched
+// in, or failing that the {{dead link}} mark (§2.1, §4). Both
+// ScanArticle and ScanLink route through here, so a targeted re-scan
+// cannot diverge from the full-article policy.
+func (b *Bot) maintainLink(ctx context.Context, client *fetch.Client, title string, cl *wikitext.CitedLink, day simclock.Day) linkOutcome {
+	var out linkOutcome
+	if cl.IsDead() {
+		if !b.RecheckDead {
+			b.count(func(s *Stats) { s.SkippedDead++ })
+			return out
+		}
+		res := client.Fetch(ctx, cl.URL)
+		b.count(func(s *Stats) { s.LinksChecked++ })
+		if res.FinalStatus == 200 {
+			cl.RemoveDeadTag()
+			b.count(func(s *Stats) { s.Recovered++; s.LinksAlive++ })
+			out.changed = true
+		} else {
+			b.count(func(s *Stats) { s.LinksBroken++ })
+		}
+		return out
+	}
+	if cl.ArchiveURL() != "" {
+		b.count(func(s *Stats) { s.SkippedArchived++ })
+		return out
+	}
+
+	res := client.Fetch(ctx, cl.URL)
+	b.count(func(s *Stats) { s.LinksChecked++ })
+	if res.FinalStatus == 200 {
+		// One attempt; 200 after redirections means alive (§2.1).
+		b.count(func(s *Stats) { s.LinksAlive++ })
+		return out
+	}
+	b.count(func(s *Stats) { s.LinksBroken++ })
+
+	snap, found := b.lookupCopy(title, cl.URL, day)
+	if found {
+		cl.PatchWithArchive(snap.WaybackURL(), snap.Day.String())
+		b.count(func(s *Stats) { s.Patched++ })
+		out.patched = true
+	} else {
+		cl.MarkDead(monthYear(day), b.Name)
+		b.count(func(s *Stats) { s.MarkedDead++ })
+		out.marked = true
+	}
+	out.changed = true
+	return out
+}
+
+// scanLinks runs maintainLink over the article's citations — all of
+// them, or only those matching onlyURL when it is non-empty — and
+// commits an edit if anything changed. It reports whether the article
+// was edited.
+func (b *Bot) scanLinks(ctx context.Context, title, onlyURL string, day simclock.Day) (bool, error) {
 	art := b.Wiki.Article(title)
 	if art == nil {
 		return false, nil
@@ -119,72 +180,54 @@ func (b *Bot) ScanArticle(ctx context.Context, title string, day simclock.Day) (
 	doc := art.Current().Doc()
 	links := doc.CitedLinks()
 
-	changed := false
-	markedAny := false
-	patchedAny := false
+	var agg linkOutcome
 	// Reverse order: mutations insert nodes after the current link, so
 	// walking backwards keeps earlier links' positions valid.
 	for i := len(links) - 1; i >= 0; i-- {
 		cl := links[i]
-		if cl.URL == "" {
+		if cl.URL == "" || (onlyURL != "" && cl.URL != onlyURL) {
 			continue
 		}
-		if cl.IsDead() {
-			if !b.RecheckDead {
-				b.count(func(s *Stats) { s.SkippedDead++ })
-				continue
-			}
-			res := client.Fetch(ctx, cl.URL)
-			b.count(func(s *Stats) { s.LinksChecked++ })
-			if res.FinalStatus == 200 {
-				cl.RemoveDeadTag()
-				b.count(func(s *Stats) { s.Recovered++; s.LinksAlive++ })
-				changed = true
-			} else {
-				b.count(func(s *Stats) { s.LinksBroken++ })
-			}
-			continue
-		}
-		if cl.ArchiveURL() != "" {
-			b.count(func(s *Stats) { s.SkippedArchived++ })
-			continue
-		}
-
-		res := client.Fetch(ctx, cl.URL)
-		b.count(func(s *Stats) { s.LinksChecked++ })
-		if res.FinalStatus == 200 {
-			// One attempt; 200 after redirections means alive (§2.1).
-			b.count(func(s *Stats) { s.LinksAlive++ })
-			continue
-		}
-		b.count(func(s *Stats) { s.LinksBroken++ })
-
-		snap, found := b.lookupCopy(title, cl.URL, day)
-		if found {
-			cl.PatchWithArchive(snap.WaybackURL(), snap.Day.String())
-			b.count(func(s *Stats) { s.Patched++ })
-			patchedAny = true
-		} else {
-			cl.MarkDead(monthYear(day), b.Name)
-			b.count(func(s *Stats) { s.MarkedDead++ })
-			markedAny = true
-		}
-		changed = true
+		out := b.maintainLink(ctx, client, title, cl, day)
+		agg.changed = agg.changed || out.changed
+		agg.marked = agg.marked || out.marked
+		agg.patched = agg.patched || out.patched
 	}
 
-	b.count(func(s *Stats) { s.ArticlesScanned++ })
-	if !changed {
+	if onlyURL == "" {
+		b.count(func(s *Stats) { s.ArticlesScanned++ })
+	}
+	if !agg.changed {
 		return false, nil
 	}
-	if markedAny {
+	if agg.marked {
 		doc.AddCategory(Category)
 	}
-	comment := editComment(patchedAny, markedAny)
+	comment := editComment(agg.patched, agg.marked)
 	if _, err := b.Wiki.Edit(title, day, b.Name, comment, doc.Render()); err != nil {
 		return false, err
 	}
 	b.count(func(s *Stats) { s.ArticlesEdited++ })
 	return true, nil
+}
+
+// ScanArticle runs one maintenance pass over the titled article as of
+// day. It reports whether the article was edited.
+func (b *Bot) ScanArticle(ctx context.Context, title string, day simclock.Day) (bool, error) {
+	return b.scanLinks(ctx, title, "", day)
+}
+
+// ScanLink runs the bot's maintenance policy for a single URL's
+// citations within the titled article — the continuous monitor's
+// repair path: when a watched link flips to dead, the bot revisits
+// just that citation instead of rescanning the whole article. Every
+// occurrence of the URL in the article is maintained; other links are
+// untouched. It reports whether the article was edited.
+func (b *Bot) ScanLink(ctx context.Context, title, url string, day simclock.Day) (bool, error) {
+	if url == "" {
+		return false, nil
+	}
+	return b.scanLinks(ctx, title, url, day)
 }
 
 // ScanAll scans every article in the wiki as of day, in title order.

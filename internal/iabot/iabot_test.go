@@ -309,3 +309,69 @@ func TestContextCancellationStopsScanAll(t *testing.T) {
 		t.Error("cancelled scan should error")
 	}
 }
+
+func TestScanLinkTouchesOnlyTargetURL(t *testing.T) {
+	f := newFixture()
+	s := f.world.AddSite("dies.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/a.html", d(2008, 1, 1))
+	pg.DeletedAt = d(2016, 1, 1)
+	pg2 := s.AddPage("/b.html", d(2008, 1, 1))
+	pg2.DeletedAt = d(2016, 1, 1)
+	f.wiki.Create("Art", d(2010, 5, 1), "User",
+		`<ref>{{cite web|url=http://dies.simtest/a.html|title=A}}</ref><ref>{{cite web|url=http://dies.simtest/b.html|title=B}}</ref>`)
+
+	// Scan only /a.html: /b.html is equally dead but must be left
+	// untouched.
+	edited, err := f.bot.ScanLink(context.Background(), "Art", "http://dies.simtest/a.html", d(2018, 1, 1))
+	if err != nil || !edited {
+		t.Fatalf("edited=%v err=%v", edited, err)
+	}
+	st := f.bot.Stats()
+	if st.LinksChecked != 1 || st.MarkedDead != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ArticlesScanned != 0 {
+		t.Errorf("targeted scan counted as article scan: %+v", st)
+	}
+	cur := f.wiki.Article("Art").Current().Text
+	if !strings.Contains(cur, "a.html|title=A}} {{dead link") &&
+		!strings.Contains(cur, `a.html|title=A|url-status=dead`) {
+		t.Errorf("a.html not marked: %q", cur)
+	}
+	if strings.Contains(cur[strings.Index(cur, "b.html"):], "dead link") {
+		t.Errorf("b.html was touched: %q", cur)
+	}
+
+	// Scanning a URL the article does not cite edits nothing.
+	edited, err = f.bot.ScanLink(context.Background(), "Art", "http://elsewhere.simtest/x", d(2018, 1, 2))
+	if err != nil || edited {
+		t.Fatalf("foreign url: edited=%v err=%v", edited, err)
+	}
+	// ScanLink on a missing article is a no-op.
+	if edited, err := f.bot.ScanLink(context.Background(), "Missing", "http://dies.simtest/a.html", d(2018, 1, 2)); err != nil || edited {
+		t.Fatalf("missing article: edited=%v err=%v", edited, err)
+	}
+}
+
+func TestScanLinkPatchesWithUsableCopy(t *testing.T) {
+	f := newFixture()
+	s := f.world.AddSite("dies.simtest", d(2008, 1, 1))
+	pg := s.AddPage("/a.html", d(2008, 1, 1))
+	pg.DeletedAt = d(2016, 1, 1)
+	f.wiki.Create("Art", d(2010, 5, 1), "User", `<ref>{{cite web|url=http://dies.simtest/a.html|title=A}}</ref>`)
+	f.arch.Add(archive.Snapshot{
+		URL: "http://dies.simtest/a.html", Day: d(2011, 1, 1),
+		InitialStatus: 200, FinalStatus: 200,
+	})
+
+	edited, err := f.bot.ScanLink(context.Background(), "Art", "http://dies.simtest/a.html", d(2018, 1, 1))
+	if err != nil || !edited {
+		t.Fatalf("edited=%v err=%v", edited, err)
+	}
+	if st := f.bot.Stats(); st.Patched != 1 || st.MarkedDead != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if cur := f.wiki.Article("Art").Current().Text; !strings.Contains(cur, "archive-url=https://web.archive.org/web/2011") {
+		t.Errorf("text = %q", cur)
+	}
+}

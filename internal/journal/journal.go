@@ -1,0 +1,204 @@
+// Package journal is the monitor's append-only verdict-delta log: one
+// NDJSON line per verdict flip, each stamped with a monotonically
+// increasing sequence number. The sequence space does double duty — it
+// is the durable replay cursor (a restarted reader resumes from the
+// last seq it processed) and the SSE event-ID space (Last-Event-ID on
+// /v1/stream/verdicts is a journal seq, and resume replays exactly the
+// entries after it).
+//
+// The journal is deliberately dumber than a database: appends only,
+// never rewrites, and the file form is plain NDJSON so shell tooling
+// (jq, wc -l, tail -f) works on it directly. Reopening an existing
+// file restores the sequence counter from its last line, so seqs stay
+// monotonic across process restarts.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Entry is one verdict flip. Old and New are verdict strings owned by
+// the monitor ("alive", "dead"; "unknown" never appears in a journal —
+// initial verdict assignment is not a flip).
+type Entry struct {
+	// Seq is the entry's position in the journal, starting at 1.
+	// Assigned by Append; any caller-provided value is overwritten.
+	Seq int64 `json:"seq"`
+	// Day is the simulated day the flip was observed.
+	Day int `json:"day"`
+	// Date is Day rendered as YYYY-MM-DD for human readers.
+	Date string `json:"date"`
+	URL  string `json:"url"`
+	Old  string `json:"old"`
+	New  string `json:"new"`
+	// Category is the classifier category behind the new verdict
+	// (e.g. "200 (functional)", "404").
+	Category string `json:"category,omitempty"`
+	// Suspect marks a dead verdict measured while the site had an
+	// active transient-fault window: the flip may be the checker
+	// catching the site on a bad day, and a re-check is already
+	// scheduled for when the window clears.
+	Suspect bool `json:"suspect,omitempty"`
+	// Articles lists the watched articles citing the URL at flip time.
+	Articles []string `json:"articles,omitempty"`
+}
+
+// Journal accumulates entries in memory and, when opened over a file,
+// mirrors each append as one NDJSON line.
+type Journal struct {
+	mu      sync.Mutex
+	entries []Entry
+	seq     int64
+	file    *os.File
+	w       *bufio.Writer
+	bytes   int64
+	err     error // first write error, sticky
+}
+
+// New returns an in-memory journal (no file sink).
+func New() *Journal {
+	return &Journal{}
+}
+
+// OpenFile opens (creating if needed) an NDJSON journal file in append
+// mode. Existing entries are loaded so the sequence counter continues
+// from the last line and After can replay history from before the
+// restart.
+func OpenFile(path string) (*Journal, error) {
+	j := &Journal{}
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e Entry
+			if err := json.Unmarshal(line, &e); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("journal %s: corrupt line after seq %d: %w", path, j.seq, err)
+			}
+			j.entries = append(j.entries, e)
+			if e.Seq > j.seq {
+				j.seq = e.Seq
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal %s: %w", path, err)
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := f.Stat(); err == nil {
+		j.bytes = st.Size()
+	}
+	j.file = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// Append assigns the next sequence number to e, records it, and (for
+// file-backed journals) writes and flushes its NDJSON line. Returns
+// the entry with its seq filled in. Append never fails the caller: a
+// file write error is latched into Err and the in-memory log keeps
+// going, so a full disk degrades durability, not monitoring.
+func (j *Journal) Append(e Entry) Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	e.Seq = j.seq
+	j.entries = append(j.entries, e)
+	if j.w != nil && j.err == nil {
+		line, err := json.Marshal(e)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = j.w.Write(line)
+			if err == nil {
+				err = j.w.Flush()
+			}
+		}
+		if err != nil {
+			j.err = err
+		} else {
+			j.bytes += int64(len(line))
+		}
+	}
+	return e
+}
+
+// After returns a copy of every entry with Seq > seq, in order. Pass 0
+// for the full history.
+func (j *Journal) After(seq int64) []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Seqs are dense (1..n) in a single process and monotone across
+	// restarts, so binary-search style math is unnecessary: scan from
+	// the end for the common "recent cursor" case.
+	i := len(j.entries)
+	for i > 0 && j.entries[i-1].Seq > seq {
+		i--
+	}
+	out := make([]Entry, len(j.entries)-i)
+	copy(out, j.entries[i:])
+	return out
+}
+
+// Len returns the number of entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// LastSeq returns the most recently assigned sequence number (0 if
+// empty).
+func (j *Journal) LastSeq() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Bytes returns the size of the file sink in bytes (0 for in-memory
+// journals).
+func (j *Journal) Bytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
+// Err returns the first file write error, if any. In-memory operation
+// is unaffected by a sink error.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the file sink, if any.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if cerr := j.file.Close(); err == nil {
+		err = cerr
+	}
+	j.file, j.w = nil, nil
+	if j.err == nil {
+		j.err = err
+	}
+	return err
+}

@@ -1,0 +1,145 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendAssignsSeqs(t *testing.T) {
+	j := New()
+	a := j.Append(Entry{URL: "http://a.simtest/1", Old: "alive", New: "dead"})
+	b := j.Append(Entry{URL: "http://b.simtest/2", Old: "dead", New: "alive", Seq: 999})
+	if a.Seq != 1 || b.Seq != 2 {
+		t.Fatalf("seqs = %d, %d (caller-provided seq must be overwritten)", a.Seq, b.Seq)
+	}
+	if j.Len() != 2 || j.LastSeq() != 2 {
+		t.Errorf("len=%d lastSeq=%d", j.Len(), j.LastSeq())
+	}
+	if j.Bytes() != 0 {
+		t.Errorf("in-memory journal reports %d bytes", j.Bytes())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	j := New()
+	for i := 0; i < 5; i++ {
+		j.Append(Entry{URL: "http://x.simtest/", Old: "alive", New: "dead"})
+	}
+	if got := j.After(0); len(got) != 5 || got[0].Seq != 1 {
+		t.Fatalf("After(0) = %+v", got)
+	}
+	if got := j.After(3); len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("After(3) = %+v", got)
+	}
+	if got := j.After(5); len(got) != 0 {
+		t.Fatalf("After(last) = %+v", got)
+	}
+	if got := j.After(99); len(got) != 0 {
+		t.Fatalf("After(beyond) = %+v", got)
+	}
+	// After returns a copy: mutating it must not corrupt the journal.
+	got := j.After(0)
+	got[0].URL = "clobbered"
+	if j.After(0)[0].URL != "http://x.simtest/" {
+		t.Error("After exposed internal storage")
+	}
+}
+
+func TestFileSinkAndRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flips.ndjson")
+
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Entry{Day: 6648, Date: "2022-03-15", URL: "http://a.simtest/1", Old: "alive", New: "dead", Suspect: true, Articles: []string{"Alpha"}})
+	j.Append(Entry{Day: 6660, Date: "2022-03-27", URL: "http://a.simtest/1", Old: "dead", New: "alive", Category: "200 (functional)"})
+	if j.Err() != nil {
+		t.Fatalf("sink error: %v", j.Err())
+	}
+	if j.Bytes() <= 0 {
+		t.Error("file journal reports zero bytes")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line must be standalone-parseable NDJSON.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []Entry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 || lines[0].Seq != 1 || lines[1].Seq != 2 {
+		t.Fatalf("file lines = %+v", lines)
+	}
+	if !lines[0].Suspect || lines[0].Articles[0] != "Alpha" {
+		t.Errorf("entry 0 round-trip = %+v", lines[0])
+	}
+
+	// Reopening restores history and continues the sequence.
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.LastSeq() != 2 || j2.Len() != 2 {
+		t.Fatalf("restart: lastSeq=%d len=%d", j2.LastSeq(), j2.Len())
+	}
+	e := j2.Append(Entry{URL: "http://b.simtest/2", Old: "alive", New: "dead"})
+	if e.Seq != 3 {
+		t.Errorf("post-restart seq = %d, want 3", e.Seq)
+	}
+	if got := j2.After(1); len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Errorf("After(1) across restart = %+v", got)
+	}
+}
+
+func TestOpenFileCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(path, []byte("{\"seq\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Fatal("corrupt journal should fail to open")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	j := New()
+	const workers, per = 8, 50
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				j.Append(Entry{URL: "http://x.simtest/", Old: "alive", New: "dead"})
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if j.Len() != workers*per || j.LastSeq() != workers*per {
+		t.Fatalf("len=%d lastSeq=%d", j.Len(), j.LastSeq())
+	}
+	seen := map[int64]bool{}
+	for _, e := range j.After(0) {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -1,0 +1,947 @@
+// Package monitor is the continuous half of the study: where
+// internal/core measures a frozen sample once, the monitor keeps a
+// working set of links warm — ingesting live edit events, re-checking
+// verdicts as they go stale, and publishing every verdict change to a
+// durable journal and to streaming subscribers.
+//
+// Concurrency model: ONE authoritative goroutine (the loop) owns all
+// monitor state. Checker workers and repair workers only receive jobs
+// and send results over channels; public API calls post closures onto
+// the command channel and wait for replies. Nothing outside the loop
+// ever touches the link table, the re-check schedule, or the
+// subscriber set, so the package needs no locks around its state and
+// is race-clean by construction.
+//
+// Time is the tickable simulated clock. Advance is synchronous: it
+// runs every re-check that falls due in the window — each executed at
+// its *scheduled* day against the simulated web as of that day — waits
+// for the resulting repairs, then moves the clock and returns. Two
+// runs over the same universe therefore produce the same verdict
+// flips, which is what makes the streaming smoke test assertable.
+//
+// Within one due-day, checks fan out across workers and results are
+// applied in URL-sorted order, so journal sequence numbers are also
+// deterministic, not an artifact of goroutine scheduling.
+package monitor
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"permadead/internal/eventstream"
+	"permadead/internal/journal"
+	"permadead/internal/simclock"
+)
+
+// ErrClosed is returned by API calls after Close.
+var ErrClosed = errors.New("monitor: closed")
+
+// ErrTooManySubscribers is returned by Subscribe at the configured cap.
+var ErrTooManySubscribers = errors.New("monitor: too many subscribers")
+
+// Repairer is the opt-in flip-to-dead hook: when a watched link with
+// known citing articles flips to dead, the monitor asks the repairer
+// to revisit that citation (IABot's ScanLink satisfies this directly).
+type Repairer interface {
+	ScanLink(ctx context.Context, title, url string, day simclock.Day) (bool, error)
+}
+
+// Config wires and tunes a Monitor. Checker and Clock are required.
+type Config struct {
+	// TTLDays is the re-check cadence for settled verdicts (default 30).
+	TTLDays int
+	// Checkers is the size of the concurrent check worker pool
+	// (default 8).
+	Checkers int
+	// SubscriberBuffer is each subscriber's bounded event buffer
+	// (default 256). A subscriber that falls this far behind is
+	// dropped and flagged, never waited for.
+	SubscriberBuffer int
+	// MaxSubscribers caps concurrent subscriptions (default 64).
+	MaxSubscribers int
+
+	// Clock is the simulated clock the monitor advances.
+	Clock *simclock.Clock
+	// Checker measures link liveness.
+	Checker Checker
+	// Journal records verdict flips; nil uses a fresh in-memory one.
+	Journal *journal.Journal
+	// Repairer, when set, is invoked on flips to dead (see Repairer).
+	Repairer Repairer
+	// Feed, when set, supplies live link addition/removal events; the
+	// monitor updates watched articles' link membership from it.
+	Feed *eventstream.Feed
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTLDays <= 0 {
+		c.TTLDays = 30
+	}
+	if c.Checkers <= 0 {
+		c.Checkers = 8
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 256
+	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 64
+	}
+	return c
+}
+
+// Event is one verdict flip as delivered to subscribers: the journal
+// entry plus a wall-clock emission stamp so stream consumers can
+// measure delivery latency. Replayed (historical) events carry 0.
+type Event struct {
+	journal.Entry
+	EmittedUnixNs int64 `json:"emitted_unix_ns,omitempty"`
+}
+
+// Subscription is one live verdict-change feed. Replay holds the
+// journal entries after the subscriber's resume cursor, captured
+// atomically with registration — consuming Replay then Events yields
+// every flip exactly once, with no gap and no duplicate at the seam.
+type Subscription struct {
+	ID int
+	// Replay is the catch-up backlog (possibly empty).
+	Replay []journal.Entry
+	// Events delivers live flips. Closed when the subscriber is
+	// dropped for falling behind, unsubscribed, or the monitor closes.
+	Events <-chan Event
+
+	dropped atomic.Bool
+}
+
+// Dropped reports whether the subscription was terminated for falling
+// behind (as opposed to a clean unsubscribe or shutdown).
+func (s *Subscription) Dropped() bool { return s.dropped.Load() }
+
+// WatchRequest names links to watch directly and/or articles to watch
+// with their current external URLs (the caller resolves titles to
+// URLs; the monitor tracks membership changes from the feed
+// afterwards). For Unwatch, Articles' URL lists are ignored.
+type WatchRequest struct {
+	URLs     []string
+	Articles map[string][]string
+}
+
+// LinkStatus is a point-in-time snapshot of one watched link.
+type LinkStatus struct {
+	URL         string       `json:"url"`
+	Verdict     Verdict      `json:"verdict"`
+	Category    string       `json:"category,omitempty"`
+	Suspect     bool         `json:"suspect,omitempty"`
+	LastChecked simclock.Day `json:"-"`
+	NextCheck   simclock.Day `json:"-"`
+	// LastCheckedDate/NextCheckDate render the days for JSON readers.
+	LastCheckedDate string   `json:"last_checked,omitempty"`
+	NextCheckDate   string   `json:"next_check,omitempty"`
+	Articles        []string `json:"articles,omitempty"`
+	Explicit        bool     `json:"explicit,omitempty"`
+}
+
+// Stats is a snapshot of monitor activity.
+type Stats struct {
+	Day             simclock.Day `json:"-"`
+	Date            string       `json:"date"`
+	Watched         int          `json:"watched_links"`
+	WatchedArticles int          `json:"watched_articles"`
+	Alive           int          `json:"alive"`
+	Dead            int          `json:"dead"`
+	Unknown         int          `json:"unknown"`
+	Suspect         int          `json:"suspect"`
+	FlipsToDead     int64        `json:"flips_to_dead"`
+	FlipsToAlive    int64        `json:"flips_to_alive"`
+	ChecksScheduled int64        `json:"checks_scheduled"`
+	ChecksExecuted  int64        `json:"checks_executed"`
+	RepairsQueued   int64        `json:"repairs_queued"`
+	RepairsEdited   int64        `json:"repairs_edited"`
+	Subscribers     int          `json:"subscribers"`
+	SubsDropped     int64        `json:"subscribers_dropped"`
+	JournalEntries  int          `json:"journal_entries"`
+	JournalBytes    int64        `json:"journal_bytes"`
+	FeedSeen        int64        `json:"feed_seen"`
+	FeedDropped     int64        `json:"feed_dropped"`
+}
+
+// linkState is the loop-owned record of one watched link.
+type linkState struct {
+	url         string
+	verdict     Verdict
+	category    string
+	suspect     bool
+	lastChecked simclock.Day
+	nextCheck   simclock.Day
+	articles    map[string]struct{}
+	// explicit marks links watched directly (surviving article
+	// membership changes) vs. those watched only via an article.
+	explicit bool
+	checking bool
+	heapIdx  int
+}
+
+func (ls *linkState) status() LinkStatus {
+	st := LinkStatus{
+		URL: ls.url, Verdict: ls.verdict, Category: ls.category,
+		Suspect: ls.suspect, LastChecked: ls.lastChecked,
+		NextCheck: ls.nextCheck, Explicit: ls.explicit,
+		Articles: sortedKeys(ls.articles),
+	}
+	if ls.lastChecked.Valid() && ls.lastChecked != 0 {
+		st.LastCheckedDate = ls.lastChecked.String()
+	}
+	st.NextCheckDate = ls.nextCheck.String()
+	return st
+}
+
+// checkHeap orders links by next re-check day, ties broken by URL so
+// batch composition is deterministic.
+type checkHeap []*linkState
+
+func (h checkHeap) Len() int { return len(h) }
+func (h checkHeap) Less(i, j int) bool {
+	if h[i].nextCheck != h[j].nextCheck {
+		return h[i].nextCheck.Before(h[j].nextCheck)
+	}
+	return h[i].url < h[j].url
+}
+func (h checkHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *checkHeap) Push(x any) {
+	ls := x.(*linkState)
+	ls.heapIdx = len(*h)
+	*h = append(*h, ls)
+}
+func (h *checkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ls := old[n-1]
+	old[n-1] = nil
+	ls.heapIdx = -1
+	*h = old[:n-1]
+	return ls
+}
+
+type checkJob struct {
+	url string
+	day simclock.Day
+}
+
+type checkOutcome struct {
+	url string
+	day simclock.Day
+	res CheckResult
+}
+
+type repairJob struct {
+	url    string
+	titles []string
+	day    simclock.Day
+}
+
+type subscriber struct {
+	id  int
+	ch  chan Event
+	sub *Subscription
+}
+
+type watchOp struct {
+	remaining map[string]struct{}
+	done      chan struct{}
+}
+
+type advanceResult struct {
+	day simclock.Day
+	err error
+}
+
+type advanceOp struct {
+	target simclock.Day
+	done   chan advanceResult
+}
+
+// Monitor is the continuous verdict monitor. See the package comment
+// for the concurrency model.
+type Monitor struct {
+	cfg      Config
+	clock    *simclock.Clock
+	checker  Checker
+	jrnl     *journal.Journal
+	repairer Repairer
+	feed     *eventstream.Feed
+	feedCh   <-chan eventstream.LinkEvent
+
+	cmds       chan func()
+	jobs       chan checkJob
+	results    chan checkOutcome
+	repairCh   chan repairJob
+	repairDone chan int
+	quit       chan struct{}
+	loopExited chan struct{}
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+
+	// Everything below is owned by the loop goroutine.
+	links           map[string]*linkState
+	due             checkHeap
+	watchedArticles map[string]struct{}
+	subs            map[int]*subscriber
+	nextSubID       int
+	watches         []*watchOp
+
+	batchActive  bool
+	batchQueue   []checkJob
+	batchResults []checkOutcome
+	inflight     int
+
+	repairQueue    []repairJob
+	repairInflight bool
+
+	adv *advanceOp
+
+	flipsToDead, flipsToAlive       int64
+	checksScheduled, checksExecuted int64
+	repairsQueued, repairsEdited    int64
+	subsDropped                     int64
+}
+
+// New starts a monitor. Callers must Close it.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Checker == nil {
+		return nil, errors.New("monitor: Config.Checker is required")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("monitor: Config.Clock is required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Journal == nil {
+		cfg.Journal = journal.New()
+	}
+	m := &Monitor{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		checker:  cfg.Checker,
+		jrnl:     cfg.Journal,
+		repairer: cfg.Repairer,
+		feed:     cfg.Feed,
+
+		cmds:       make(chan func(), 64),
+		jobs:       make(chan checkJob),
+		results:    make(chan checkOutcome),
+		repairCh:   make(chan repairJob),
+		repairDone: make(chan int),
+		quit:       make(chan struct{}),
+		loopExited: make(chan struct{}),
+
+		links:           make(map[string]*linkState),
+		watchedArticles: make(map[string]struct{}),
+		subs:            make(map[int]*subscriber),
+		nextSubID:       1,
+	}
+	if m.feed != nil {
+		m.feedCh = m.feed.Events()
+	}
+	for i := 0; i < cfg.Checkers; i++ {
+		m.wg.Add(1)
+		go m.checkWorker()
+	}
+	m.wg.Add(1)
+	go m.repairWorker()
+	go m.loop()
+	return m, nil
+}
+
+// Close stops the loop and all workers. Pending Advance/Watch calls
+// return ErrClosed; subscriber channels are closed.
+func (m *Monitor) Close() {
+	m.closeOnce.Do(func() {
+		close(m.quit)
+		<-m.loopExited
+		close(m.jobs)
+		close(m.repairCh)
+		m.wg.Wait()
+	})
+}
+
+// Journal exposes the monitor's flip journal.
+func (m *Monitor) Journal() *journal.Journal { return m.jrnl }
+
+// Day returns the current simulated day.
+func (m *Monitor) Day() simclock.Day { return m.clock.Now() }
+
+// --- the authoritative loop ---
+
+func (m *Monitor) loop() {
+	defer func() {
+		// Closing subscriber channels here (after the loop stops
+		// broadcasting) lets SSE handlers unblock on shutdown.
+		for id, sub := range m.subs {
+			close(sub.ch)
+			delete(m.subs, id)
+		}
+		close(m.loopExited)
+	}()
+	for {
+		m.pump()
+
+		var jobsOut chan checkJob
+		var job checkJob
+		if len(m.batchQueue) > 0 {
+			jobsOut = m.jobs
+			job = m.batchQueue[0]
+		}
+		var repairOut chan repairJob
+		var rjob repairJob
+		if !m.repairInflight && len(m.repairQueue) > 0 {
+			repairOut = m.repairCh
+			rjob = m.repairQueue[0]
+		}
+
+		select {
+		case cmd := <-m.cmds:
+			cmd()
+		case ev := <-m.feedCh:
+			m.handleFeed(ev)
+		case out := <-m.results:
+			m.inflight--
+			m.checksExecuted++
+			m.batchResults = append(m.batchResults, out)
+		case jobsOut <- job:
+			m.batchQueue = m.batchQueue[1:]
+			m.inflight++
+		case repairOut <- rjob:
+			m.repairQueue = m.repairQueue[1:]
+			m.repairInflight = true
+		case edited := <-m.repairDone:
+			m.repairInflight = false
+			m.repairsEdited += int64(edited)
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// pump runs the loop's state machine between channel events: finish a
+// completed batch, start the next one if checks are due, and complete
+// a pending Advance once the window is fully settled.
+func (m *Monitor) pump() {
+	m.drainFeed()
+	if m.batchActive && len(m.batchQueue) == 0 && m.inflight == 0 {
+		m.processBatch()
+		m.drainFeed()
+	}
+	if !m.batchActive {
+		m.startBatch()
+	}
+	if m.adv != nil && !m.batchActive && !m.repairInflight && len(m.repairQueue) == 0 {
+		op := m.adv
+		m.adv = nil
+		err := m.clock.AdvanceTo(op.target)
+		op.done <- advanceResult{day: m.clock.Now(), err: err}
+	}
+}
+
+// drainFeed applies queued link membership events without blocking.
+func (m *Monitor) drainFeed() {
+	if m.feedCh == nil {
+		return
+	}
+	for {
+		select {
+		case ev := <-m.feedCh:
+			m.handleFeed(ev)
+		default:
+			return
+		}
+	}
+}
+
+func (m *Monitor) handleFeed(ev eventstream.LinkEvent) {
+	if _, ok := m.watchedArticles[ev.Title]; !ok {
+		return
+	}
+	if ev.Removed {
+		ls, ok := m.links[ev.URL]
+		if !ok {
+			return
+		}
+		delete(ls.articles, ev.Title)
+		m.maybeDrop(ls)
+		return
+	}
+	m.ensureLink(ev.URL, ev.Title, false, ev.Day)
+}
+
+// horizon is the latest day checks may currently run: the Advance
+// target mid-advance, else the present.
+func (m *Monitor) horizon() simclock.Day {
+	if m.adv != nil {
+		return m.adv.target
+	}
+	return m.clock.Now()
+}
+
+// startBatch collects every link due on the earliest pending check day
+// (within the horizon) into one dispatch batch. Checks execute at that
+// scheduled day — during an Advance the simulated web is queried as of
+// each due day in turn, not as of the target.
+func (m *Monitor) startBatch() {
+	if len(m.due) == 0 {
+		return
+	}
+	h := m.horizon()
+	if m.due[0].nextCheck.After(h) {
+		return
+	}
+	day := m.due[0].nextCheck
+	if day.Before(m.clock.Now()) {
+		day = m.clock.Now()
+	}
+	for len(m.due) > 0 && !m.due[0].nextCheck.After(day) {
+		ls := heap.Pop(&m.due).(*linkState)
+		ls.checking = true
+		m.batchQueue = append(m.batchQueue, checkJob{url: ls.url, day: day})
+	}
+	m.batchActive = true
+}
+
+// processBatch applies a completed batch's results in URL order, so
+// journal sequence numbers do not depend on worker scheduling.
+func (m *Monitor) processBatch() {
+	m.batchActive = false
+	sort.Slice(m.batchResults, func(i, j int) bool {
+		return m.batchResults[i].url < m.batchResults[j].url
+	})
+	for _, out := range m.batchResults {
+		m.applyResult(out)
+	}
+	m.batchResults = m.batchResults[:0]
+}
+
+func (m *Monitor) applyResult(out checkOutcome) {
+	m.resolveWatches(out.url)
+	ls, ok := m.links[out.url]
+	if !ok {
+		return // unwatched while the check was in flight
+	}
+	ls.checking = false
+	old := ls.verdict
+	ls.verdict = out.res.Verdict
+	ls.category = out.res.Category
+	ls.suspect = out.res.Suspect
+	ls.lastChecked = out.day
+
+	next := out.day.Add(m.cfg.TTLDays)
+	if out.res.RecheckAt.Valid() && out.res.RecheckAt.After(out.day) && out.res.RecheckAt.Before(next) {
+		next = out.res.RecheckAt
+	}
+	ls.nextCheck = next
+	heap.Push(&m.due, ls)
+	m.checksScheduled++
+
+	// unknown→X is initial state, not a flip: only transitions between
+	// settled verdicts are journaled and broadcast.
+	if old != VerdictUnknown && old != ls.verdict {
+		m.recordFlip(ls, old, out.day)
+	}
+}
+
+func (m *Monitor) recordFlip(ls *linkState, old Verdict, day simclock.Day) {
+	arts := sortedKeys(ls.articles)
+	e := m.jrnl.Append(journal.Entry{
+		Day: int(day), Date: day.String(), URL: ls.url,
+		Old: string(old), New: string(ls.verdict),
+		Category: ls.category, Suspect: ls.suspect, Articles: arts,
+	})
+	if ls.verdict == VerdictDead {
+		m.flipsToDead++
+	} else {
+		m.flipsToAlive++
+	}
+	m.broadcast(Event{Entry: e, EmittedUnixNs: time.Now().UnixNano()})
+	if ls.verdict == VerdictDead && m.repairer != nil && len(arts) > 0 {
+		m.repairQueue = append(m.repairQueue, repairJob{url: ls.url, titles: arts, day: day})
+		m.repairsQueued += int64(len(arts))
+	}
+}
+
+func (m *Monitor) broadcast(ev Event) {
+	for id, sub := range m.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			// Bounded buffer full: drop and flag the slow consumer
+			// rather than ever blocking the loop.
+			sub.sub.dropped.Store(true)
+			close(sub.ch)
+			delete(m.subs, id)
+			m.subsDropped++
+		}
+	}
+}
+
+func (m *Monitor) ensureLink(url, article string, explicit bool, due simclock.Day) *linkState {
+	ls, ok := m.links[url]
+	if !ok {
+		if due.Before(m.clock.Now()) {
+			due = m.clock.Now()
+		}
+		ls = &linkState{
+			url: url, verdict: VerdictUnknown, nextCheck: due,
+			articles: make(map[string]struct{}), heapIdx: -1,
+		}
+		m.links[url] = ls
+		heap.Push(&m.due, ls)
+		m.checksScheduled++
+	}
+	if article != "" {
+		ls.articles[article] = struct{}{}
+	}
+	if explicit {
+		ls.explicit = true
+	}
+	return ls
+}
+
+// maybeDrop forgets a link no longer watched by anything.
+func (m *Monitor) maybeDrop(ls *linkState) {
+	if ls.explicit || len(ls.articles) > 0 {
+		return
+	}
+	if ls.heapIdx >= 0 {
+		heap.Remove(&m.due, ls.heapIdx)
+	}
+	delete(m.links, ls.url)
+	// A Watch waiting on this link's first verdict would otherwise
+	// never resolve (its check is gone or will be discarded).
+	m.resolveWatches(ls.url)
+}
+
+func (m *Monitor) resolveWatches(url string) {
+	if len(m.watches) == 0 {
+		return
+	}
+	kept := m.watches[:0]
+	for _, op := range m.watches {
+		delete(op.remaining, url)
+		if len(op.remaining) == 0 {
+			close(op.done)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	for i := len(kept); i < len(m.watches); i++ {
+		m.watches[i] = nil
+	}
+	m.watches = kept
+}
+
+// --- public API (each call posts a closure to the loop) ---
+
+func (m *Monitor) do(fn func()) error {
+	// Check quit on its own first: after Close, the select below could
+	// still enqueue into the buffered cmds channel (select picks
+	// randomly among ready cases) even though the loop is gone.
+	select {
+	case <-m.quit:
+		return ErrClosed
+	default:
+	}
+	select {
+	case m.cmds <- fn:
+		return nil
+	case <-m.quit:
+		return ErrClosed
+	}
+}
+
+func (m *Monitor) doSync(fn func()) error {
+	done := make(chan struct{})
+	if err := m.do(func() { fn(); close(done) }); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-m.quit:
+		return ErrClosed
+	}
+}
+
+// Watch starts watching the requested links and articles, then blocks
+// until every newly watched link has its initial verdict (or ctx
+// ends). Initial verdicts are state, not flips: nothing is journaled
+// or broadcast for them. It returns how many links are newly watched.
+func (m *Monitor) Watch(ctx context.Context, req WatchRequest) (int, error) {
+	op := &watchOp{remaining: make(map[string]struct{}), done: make(chan struct{})}
+	addedCh := make(chan int, 1)
+	err := m.do(func() {
+		before := len(m.links)
+		track := func(url, article string, explicit bool) {
+			if url == "" {
+				return
+			}
+			ls := m.ensureLink(url, article, explicit, m.clock.Now())
+			if ls.verdict == VerdictUnknown {
+				op.remaining[url] = struct{}{}
+			}
+		}
+		for _, u := range req.URLs {
+			track(u, "", true)
+		}
+		for title, urls := range req.Articles {
+			m.watchedArticles[title] = struct{}{}
+			for _, u := range urls {
+				track(u, title, false)
+			}
+		}
+		addedCh <- len(m.links) - before
+		if len(op.remaining) == 0 {
+			close(op.done)
+		} else {
+			m.watches = append(m.watches, op)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Every post-enqueue wait pairs with quit: a Close landing between
+	// the enqueue and the loop executing the closure must not strand
+	// the caller.
+	var added int
+	select {
+	case added = <-addedCh:
+	case <-m.quit:
+		return 0, ErrClosed
+	}
+	select {
+	case <-op.done:
+		return added, nil
+	case <-ctx.Done():
+		return added, ctx.Err()
+	case <-m.quit:
+		return added, ErrClosed
+	}
+}
+
+// Unwatch stops watching the named links and articles. Article URL
+// lists in the request are ignored; current membership is used.
+func (m *Monitor) Unwatch(req WatchRequest) error {
+	return m.doSync(func() {
+		for _, u := range req.URLs {
+			if ls, ok := m.links[u]; ok {
+				ls.explicit = false
+				m.maybeDrop(ls)
+			}
+		}
+		for title := range req.Articles {
+			if _, ok := m.watchedArticles[title]; !ok {
+				continue
+			}
+			delete(m.watchedArticles, title)
+			for _, ls := range m.links {
+				if _, ok := ls.articles[title]; ok {
+					delete(ls.articles, title)
+					m.maybeDrop(ls)
+				}
+			}
+		}
+	})
+}
+
+// Advance moves the simulated clock forward n days, synchronously
+// executing every re-check that falls due in the window (each at its
+// scheduled day) and waiting for the repairs they trigger. It returns
+// the new current day. Advance(0) flushes pending feed events and
+// already-due checks without moving time.
+func (m *Monitor) Advance(days int) (simclock.Day, error) {
+	if days < 0 {
+		return m.clock.Now(), fmt.Errorf("monitor: cannot advance %d days", days)
+	}
+	op := &advanceOp{done: make(chan advanceResult, 1)}
+	errCh := make(chan error, 1)
+	if err := m.do(func() {
+		if m.adv != nil {
+			errCh <- errors.New("monitor: advance already in progress")
+			return
+		}
+		op.target = m.clock.Now().Add(days)
+		m.adv = op
+		errCh <- nil
+	}); err != nil {
+		return m.clock.Now(), err
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			return m.clock.Now(), err
+		}
+	case <-m.quit:
+		return m.clock.Now(), ErrClosed
+	}
+	select {
+	case r := <-op.done:
+		return r.day, r.err
+	case <-m.quit:
+		return m.clock.Now(), ErrClosed
+	}
+}
+
+// Subscribe opens a verdict-change subscription resuming after journal
+// sequence lastSeq (0 for live-only from the start of history; pass
+// the last seq you processed to resume). Replay capture and live
+// registration are atomic, so no flip is missed or duplicated at the
+// boundary.
+func (m *Monitor) Subscribe(lastSeq int64) (*Subscription, error) {
+	type res struct {
+		sub *Subscription
+		err error
+	}
+	ch := make(chan res, 1)
+	if err := m.do(func() {
+		if len(m.subs) >= m.cfg.MaxSubscribers {
+			ch <- res{err: ErrTooManySubscribers}
+			return
+		}
+		id := m.nextSubID
+		m.nextSubID++
+		evCh := make(chan Event, m.cfg.SubscriberBuffer)
+		s := &Subscription{ID: id, Replay: m.jrnl.After(lastSeq), Events: evCh}
+		m.subs[id] = &subscriber{id: id, ch: evCh, sub: s}
+		ch <- res{sub: s}
+	}); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r.sub, r.err
+	case <-m.quit:
+		return nil, ErrClosed
+	}
+}
+
+// Unsubscribe closes a subscription. Safe to call for already-dropped
+// IDs.
+func (m *Monitor) Unsubscribe(id int) {
+	_ = m.doSync(func() {
+		if sub, ok := m.subs[id]; ok {
+			close(sub.ch)
+			delete(m.subs, id)
+		}
+	})
+}
+
+// Watched returns a snapshot of all watched links, sorted by URL.
+func (m *Monitor) Watched() ([]LinkStatus, error) {
+	var out []LinkStatus
+	err := m.doSync(func() {
+		out = make([]LinkStatus, 0, len(m.links))
+		for _, ls := range m.links {
+			out = append(out, ls.status())
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out, nil
+}
+
+// Stats returns a snapshot of monitor counters.
+func (m *Monitor) Stats() (Stats, error) {
+	var st Stats
+	err := m.doSync(func() {
+		st = Stats{
+			Day: m.clock.Now(), Date: m.clock.Now().String(),
+			Watched:         len(m.links),
+			WatchedArticles: len(m.watchedArticles),
+			FlipsToDead:     m.flipsToDead,
+			FlipsToAlive:    m.flipsToAlive,
+			ChecksScheduled: m.checksScheduled,
+			ChecksExecuted:  m.checksExecuted,
+			RepairsQueued:   m.repairsQueued,
+			RepairsEdited:   m.repairsEdited,
+			Subscribers:     len(m.subs),
+			SubsDropped:     m.subsDropped,
+			JournalEntries:  m.jrnl.Len(),
+			JournalBytes:    m.jrnl.Bytes(),
+		}
+		for _, ls := range m.links {
+			switch ls.verdict {
+			case VerdictAlive:
+				st.Alive++
+			case VerdictDead:
+				st.Dead++
+			default:
+				st.Unknown++
+			}
+			if ls.suspect {
+				st.Suspect++
+			}
+		}
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if m.feed != nil {
+		st.FeedSeen = m.feed.Seen()
+		st.FeedDropped = m.feed.Dropped()
+	}
+	return st, nil
+}
+
+// --- workers ---
+
+func (m *Monitor) checkWorker() {
+	defer m.wg.Done()
+	ctx := context.Background()
+	for job := range m.jobs {
+		res := m.checker.Check(ctx, job.url, job.day)
+		select {
+		case m.results <- checkOutcome{url: job.url, day: job.day, res: res}:
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// repairWorker runs repairs strictly one at a time, in queue order, so
+// wiki edits land in ascending day order.
+func (m *Monitor) repairWorker() {
+	defer m.wg.Done()
+	ctx := context.Background()
+	for job := range m.repairCh {
+		edited := 0
+		for _, title := range job.titles {
+			if ok, err := m.repairer.ScanLink(ctx, title, job.url, job.day); err == nil && ok {
+				edited++
+			}
+		}
+		select {
+		case m.repairDone <- edited:
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -73,6 +73,12 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("/v1/classify", s.v1("classify", http.MethodGet, s.handleClassify))
 	mux.Handle("/v1/classify/batch", s.v1("batch", http.MethodPost, s.handleClassifyBatch))
 	mux.Handle("/v1/sample", s.v1("sample", http.MethodGet, s.handleSample))
+	mux.Handle("/v1/watch", s.v1("watch", http.MethodPost, s.handleWatch))
+	mux.Handle("/v1/watched", s.v1("watched", http.MethodGet, s.handleWatched))
+	mux.Handle("/v1/stream/verdicts", s.sse("stream", s.handleStreamVerdicts))
+	mux.Handle("/v1/sim/tick", s.v1("sim", http.MethodPost, s.handleSimTick))
+	mux.Handle("/v1/sim/edit", s.v1("sim", http.MethodPost, s.handleSimEdit))
+	mux.Handle("/v1/sim/article", s.v1("sim", http.MethodGet, s.handleSimArticle))
 	mux.Handle("/metrics", s.met.handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -626,6 +632,10 @@ type sampleResponse struct {
 	Offset int      `json:"offset"`
 	Count  int      `json:"count"`
 	URLs   []string `json:"urls"`
+	// Articles, present with ?articles=1, carries each URL's citing
+	// article title, index-aligned with URLs — what a stream driver
+	// needs to build /v1/watch requests.
+	Articles []string `json:"articles,omitempty"`
 }
 
 // handleSample lists the served link population in sample order, so
@@ -650,9 +660,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		}
 		offset = parsed
 	}
+	withArticles := q.Get("articles") == "1" || q.Get("articles") == "true"
 	resp := sampleResponse{Total: len(s.order), Offset: offset}
 	for i := offset; i < len(s.order) && len(resp.URLs) < n; i++ {
 		resp.URLs = append(resp.URLs, s.order[i].URL)
+		if withArticles {
+			resp.Articles = append(resp.Articles, s.order[i].Article)
+		}
 	}
 	resp.Count = len(resp.URLs)
 	writeJSON(w, resp)

@@ -20,6 +20,21 @@
 // /metrics (expvar-based counters, latency histograms, cache and memo
 // stats), and /healthz.
 //
+// On top of the batch queries, the server hosts the continuous verdict
+// monitor (internal/monitor) unless DisableMonitor is set:
+//
+//	POST /v1/watch              watch links and/or articles (resolving
+//	                            each article's current external links);
+//	                            remove=true unwatches
+//	GET  /v1/watched            the warm verdict table, sorted by URL
+//	GET  /v1/stream/verdicts    Server-Sent Events feed of verdict
+//	                            flips, resumable via Last-Event-ID
+//	POST /v1/sim/tick           advance the simulated clock, running
+//	                            every re-check that falls due
+//	POST /v1/sim/edit           apply a wiki edit (the monitor ingests
+//	                            the resulting link add/remove events)
+//	GET  /v1/sim/article        an article's current revision and links
+//
 // Production shape: every /v1 request passes an admission-control
 // semaphore bounding total in-flight work (waiters queue until their
 // per-request deadline, then are shed with 503); classification
@@ -46,10 +61,16 @@ import (
 	"time"
 
 	"permadead/internal/core"
+	"permadead/internal/eventstream"
 	"permadead/internal/fetch"
+	"permadead/internal/iabot"
+	"permadead/internal/journal"
+	"permadead/internal/monitor"
 	"permadead/internal/persist"
+	"permadead/internal/simclock"
 	"permadead/internal/simweb"
 	"permadead/internal/urlutil"
+	"permadead/internal/wikimedia"
 )
 
 // Config tunes the server. The zero value is unusable; start from
@@ -94,6 +115,30 @@ type Config struct {
 	// MemoCap bounds the study memo's per-map entries
 	// (archive.NewMemoCapped); 0 means unbounded.
 	MemoCap int
+
+	// DisableMonitor turns off the continuous verdict monitor and its
+	// endpoints (/v1/watch, /v1/watched, /v1/stream/verdicts, /v1/sim/*).
+	DisableMonitor bool
+	// MonitorTTLDays is the warm verdict table's re-check cadence: a
+	// settled verdict is re-measured this many simulated days after its
+	// last check (sooner when a fault window makes it suspect).
+	MonitorTTLDays int
+	// MonitorCheckers sizes the monitor's concurrent check worker pool.
+	MonitorCheckers int
+	// SSESubscriberBuffer is each /v1/stream/verdicts subscriber's
+	// bounded event buffer; a subscriber that falls this far behind is
+	// dropped and flagged rather than ever blocking the monitor.
+	SSESubscriberBuffer int
+	// MaxSSESubscribers caps concurrent verdict-stream subscriptions.
+	MaxSSESubscribers int
+	// JournalPath, when set, appends every verdict flip to this NDJSON
+	// file (sequence numbers resume from its existing entries); empty
+	// keeps the journal in memory only.
+	JournalPath string
+	// EnableRepair runs IABot's single-link maintenance pass over every
+	// watched article citing a link that flips to dead: the citation is
+	// patched with a usable archived copy or tagged {{dead link}}.
+	EnableRepair bool
 }
 
 // DefaultConfig returns production-shaped defaults over the paper's
@@ -110,8 +155,18 @@ func DefaultConfig() Config {
 		MaxBatchLinks:   10000,
 		BatchWorkers:    16,
 		MemoCap:         1 << 16,
+
+		MonitorTTLDays:      30,
+		MonitorCheckers:     8,
+		SSESubscriberBuffer: 256,
+		MaxSSESubscribers:   64,
 	}
 }
+
+// feedBuffer bounds the edit-event queue between the wiki and the
+// monitor. Events beyond it are dropped and counted (the EventStream
+// consumer-falls-behind failure mode), never blocking an editor.
+const feedBuffer = 4096
 
 // Server is the link-status query service.
 type Server struct {
@@ -144,10 +199,22 @@ type Server struct {
 	startupMu sync.Mutex
 	startupMS map[string]int64
 
+	// Continuous-monitor wiring (nil when DisableMonitor is set): the
+	// live wiki for watch resolution and sim edits, the monitor itself,
+	// its flip journal, and the opt-in repair bot.
+	wiki *wikimedia.Wiki
+	mon  *monitor.Monitor
+	jrnl *journal.Journal
+	bot  *iabot.Bot
+
 	// testHookClassify, when set, runs inside every /v1/classify
 	// handler after admission — tests use it to hold requests in
 	// flight across a shutdown.
 	testHookClassify func()
+	// testHookStreamWrite, when set, runs before every SSE event write —
+	// tests use it to stall the stream writer so the subscriber buffer
+	// fills and the drop-and-flag path fires.
+	testHookStreamWrite func()
 }
 
 // New builds a Server over a universe bundle. The bundle's archive is
@@ -194,7 +261,7 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		flight:       newFlightGroup(),
 		gate:         newAdmission(cfg.MaxInFlight),
 		classifyPool: newAdmission(cfg.ClassifyWorkers),
-		met:          newMetrics([]string{"availability", "status", "classify", "batch", "sample"}),
+		met:          newMetrics([]string{"availability", "status", "classify", "batch", "sample", "watch", "watched", "stream", "sim"}),
 		retryStats:   new(fetch.RetryStats),
 		started:      time.Now(),
 		startupMS:    make(map[string]int64),
@@ -203,6 +270,12 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		key := urlutil.SchemeAgnosticKey(rec.URL)
 		if _, dup := s.records[key]; !dup {
 			s.records[key] = rec
+		}
+	}
+
+	if !cfg.DisableMonitor {
+		if err := s.startMonitor(b, cfg); err != nil {
+			return nil, err
 		}
 	}
 
@@ -237,6 +310,62 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 	})
 	return s, nil
 }
+
+// startMonitor wires the continuous verdict monitor over the bundle:
+// a tickable clock starting at the study day, an edit-event feed
+// attached to the wiki, the flip journal (file-backed when JournalPath
+// is set), the live checker over the simulated web, and — with
+// EnableRepair — an IABot instance invoked on flips to dead.
+func (s *Server) startMonitor(b *persist.Bundle, cfg Config) error {
+	s.wiki = b.Wiki
+	jrnl := journal.New()
+	if cfg.JournalPath != "" {
+		var err error
+		jrnl, err = journal.OpenFile(cfg.JournalPath)
+		if err != nil {
+			return fmt.Errorf("service: opening flip journal: %w", err)
+		}
+	}
+	feed := eventstream.NewFeed(feedBuffer)
+	feed.Attach(b.Wiki)
+	var repairer monitor.Repairer
+	if cfg.EnableRepair {
+		s.bot = iabot.New(b.Wiki, b.Archive, func(day simclock.Day) *fetch.Client {
+			return fetch.New(simweb.NewTransport(b.World, day))
+		})
+		repairer = s.bot
+	}
+	mon, err := monitor.New(monitor.Config{
+		TTLDays:          cfg.MonitorTTLDays,
+		Checkers:         cfg.MonitorCheckers,
+		SubscriberBuffer: cfg.SSESubscriberBuffer,
+		MaxSubscribers:   cfg.MaxSSESubscribers,
+		Clock:            simclock.NewClock(cfg.Study.StudyTime),
+		Checker:          &monitor.LiveChecker{World: b.World},
+		Journal:          jrnl,
+		Repairer:         repairer,
+		Feed:             feed,
+	})
+	if err != nil {
+		jrnl.Close() //nolint:errcheck // the monitor never started; nothing was written
+		return err
+	}
+	s.mon, s.jrnl = mon, jrnl
+	s.met.publishFunc("monitor", func() any {
+		st, err := mon.Stats()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return st
+	})
+	if s.bot != nil {
+		s.met.publishFunc("iabot", func() any { return s.bot.Stats() })
+	}
+	return nil
+}
+
+// Monitor exposes the continuous verdict monitor (nil when disabled).
+func (s *Server) Monitor() *monitor.Monitor { return s.mon }
 
 // RecordStartupPhase publishes a named startup-phase duration
 // (rounded to milliseconds) under the /metrics "startup_ms" map. The
@@ -288,14 +417,25 @@ func (s *Server) Addr() string {
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Shutdown drains the server gracefully: it begins draining (new
-// requests get 503), then waits — up to ctx — for in-flight requests
-// to complete before closing the listener and connections.
+// requests get 503), stops the monitor — which closes every stream
+// subscriber's channel, so long-lived SSE handlers return and their
+// connections can drain — flushes the flip journal, then waits, up to
+// ctx, for in-flight requests to complete before closing the listener
+// and connections.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	if s.httpSrv == nil {
-		return nil
+	var jerr error
+	if s.mon != nil {
+		s.mon.Close()
+		jerr = s.jrnl.Close()
 	}
-	return s.httpSrv.Shutdown(ctx)
+	if s.httpSrv == nil {
+		return jerr
+	}
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return jerr
 }
 
 // Draining reports whether shutdown has begun.

@@ -1,0 +1,51 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(FromDate(2022, 3, 15))
+	if got := c.Now(); got != FromDate(2022, 3, 15) {
+		t.Fatalf("Now = %v", got)
+	}
+	day, err := c.Advance(10)
+	if err != nil || day != FromDate(2022, 3, 25) {
+		t.Fatalf("Advance(10) = %v, %v", day, err)
+	}
+	if _, err := c.Advance(-1); err == nil {
+		t.Error("Advance(-1) should be rejected")
+	}
+	if err := c.AdvanceTo(FromDate(2022, 1, 1)); err == nil {
+		t.Error("AdvanceTo a past day should be rejected")
+	}
+	if err := c.AdvanceTo(FromDate(2022, 4, 1)); err != nil {
+		t.Errorf("AdvanceTo forward: %v", err)
+	}
+	if got := c.Now(); got != FromDate(2022, 4, 1) {
+		t.Errorf("Now after AdvanceTo = %v", got)
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := c.Advance(1); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 800 {
+		t.Errorf("after 8x100 single-day advances, Now = %v, want 800", got)
+	}
+}

@@ -98,6 +98,35 @@ func (fw FaultWindow) retryAfter() int {
 	return 120
 }
 
+// SuspectUntil reports whether any transient-fault window is active on
+// the given day — in which case a dead verdict measured that day is
+// suspect (the checker may have caught the site on a bad day, the §3
+// false-dead mechanism) — and the earliest day by which every window
+// active on that day has expired, i.e. the first day a re-check is
+// guaranteed clear of those windows. When some active window is
+// open-ended (To == simclock.Never) there is no such day and the
+// second return is simclock.Never; callers fall back to their normal
+// re-check cadence.
+func (s *Site) SuspectUntil(day simclock.Day) (until simclock.Day, suspect bool) {
+	until = simclock.Day(0)
+	for _, fw := range s.Faults {
+		if fw.Rate <= 0 || !fw.ActiveOn(day) {
+			continue
+		}
+		suspect = true
+		if !fw.To.Valid() {
+			return simclock.Never, true
+		}
+		if fw.To.After(until) {
+			until = fw.To
+		}
+	}
+	if !suspect {
+		return 0, false
+	}
+	return until, true
+}
+
 // faultAt returns the first window that fires for (day, attempt).
 func (s *Site) faultAt(day simclock.Day, attempt int) (FaultWindow, bool) {
 	for _, fw := range s.Faults {

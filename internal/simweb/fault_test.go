@@ -252,3 +252,36 @@ func readAll(t *testing.T, resp *http.Response) string {
 		}
 	}
 }
+
+func TestSuspectUntil(t *testing.T) {
+	s := &Site{Hostname: "flaky.simtest"}
+	if _, suspect := s.SuspectUntil(100); suspect {
+		t.Fatal("site without windows should never be suspect")
+	}
+	s.Faults = []FaultWindow{
+		{From: 90, To: 110, Mode: FaultServerBusy, Rate: 0.5, Seed: 1},
+		{From: 95, To: 130, Mode: FaultTimeout, Rate: 0.5, Seed: 2},
+		{From: 200, To: 210, Mode: FaultRateLimit, Rate: 0.5, Seed: 3},
+	}
+	until, suspect := s.SuspectUntil(100)
+	if !suspect || until != 130 {
+		t.Errorf("SuspectUntil(100) = %v, %v; want 130, true (latest active window end)", until, suspect)
+	}
+	if until, suspect := s.SuspectUntil(205); !suspect || until != 210 {
+		t.Errorf("SuspectUntil(205) = %v, %v; want 210, true", until, suspect)
+	}
+	if _, suspect := s.SuspectUntil(150); suspect {
+		t.Error("gap day between windows should not be suspect")
+	}
+	// A zero-rate window never fires and therefore never casts doubt.
+	s.Faults = []FaultWindow{{From: 90, To: 110, Rate: 0}}
+	if _, suspect := s.SuspectUntil(100); suspect {
+		t.Error("zero-rate window should not be suspect")
+	}
+	// An open-ended window has no expiry: suspect forever.
+	s.Faults = []FaultWindow{{From: 90, To: simclock.Never, Rate: 0.5}}
+	until, suspect = s.SuspectUntil(100)
+	if !suspect || until.Valid() {
+		t.Errorf("open-ended window: SuspectUntil = %v, %v; want never, true", until, suspect)
+	}
+}

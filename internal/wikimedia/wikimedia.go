@@ -2,8 +2,9 @@
 // an article store with full edit history, category membership derived
 // from wikitext, an alphabetical article listing (the paper crawls the
 // first 10,000 articles of a category listing in title order, §2.4),
-// and an event stream of external-link additions which the Internet
-// Archive's capture services consume (§5.1).
+// and an event stream of external-link additions and removals; the
+// Internet Archive's capture services consume the additions (§5.1)
+// and the continuous verdict monitor consumes both.
 //
 // Every edit is a complete new revision, as in MediaWiki. The edit
 // history is the source of truth for the three per-link facts the
@@ -78,6 +79,18 @@ type LinkAddedEvent struct {
 	User  string
 }
 
+// LinkRemovedEvent is emitted when an edit drops every occurrence of
+// an external URL from an article. Archives never needed this signal
+// (a capture is forever), but a live monitor does: a link edited out
+// of its article no longer has a page whose citation health depends
+// on it, so its watch can be released.
+type LinkRemovedEvent struct {
+	Title string
+	URL   string
+	Day   simclock.Day
+	User  string
+}
+
 // Wiki is the article store. Safe for concurrent use.
 //
 // A wiki may be backed by an ArticleSource (SetSource), in which case
@@ -88,8 +101,13 @@ type Wiki struct {
 	mu        sync.RWMutex
 	articles  map[string]*Article
 	nextRevID int
-	listeners []func(LinkAddedEvent)
-	src       ArticleSource
+	// Listener slices are copy-on-write: Subscribe* replaces the
+	// slice under the write lock instead of appending in place, so an
+	// emitter iterating a previously captured slice never races a new
+	// registration (Subscribe is safe mid-stream, while edits flow).
+	listeners        []func(LinkAddedEvent)
+	removedListeners []func(LinkRemovedEvent)
+	src              ArticleSource
 }
 
 // ArticleSource lazily supplies articles from external storage (a
@@ -148,11 +166,25 @@ func (w *Wiki) lookupLocked(title string) *Article {
 
 // Subscribe registers a listener for link-addition events. Listeners
 // are invoked synchronously during Create/Edit, in registration order.
-// Subscribe before generating content.
+// Safe to call at any time, including after content generation while
+// concurrent edits are emitting: a registration only applies to edits
+// that start after it.
 func (w *Wiki) Subscribe(fn func(LinkAddedEvent)) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.listeners = append(w.listeners, fn)
+	next := make([]func(LinkAddedEvent), len(w.listeners), len(w.listeners)+1)
+	copy(next, w.listeners)
+	w.listeners = append(next, fn)
+}
+
+// SubscribeRemoved registers a listener for link-removal events, with
+// the same invocation and registration-timing contract as Subscribe.
+func (w *Wiki) SubscribeRemoved(fn func(LinkRemovedEvent)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := make([]func(LinkRemovedEvent), len(w.removedListeners), len(w.removedListeners)+1)
+	copy(next, w.removedListeners)
+	w.removedListeners = append(next, fn)
 }
 
 // Create makes a new article with an initial revision. It panics on a
@@ -169,10 +201,10 @@ func (w *Wiki) Create(title string, day simclock.Day, user, text string) *Articl
 	})
 	w.nextRevID++
 	w.articles[title] = a
-	listeners := w.listeners
+	added, removed := w.listeners, w.removedListeners
 	w.mu.Unlock()
 
-	emitNewLinks(listeners, title, nil, text, day, user)
+	emitLinkDiff(added, removed, title, nil, text, day, user)
 	return a
 }
 
@@ -196,31 +228,56 @@ func (w *Wiki) Edit(title string, day simclock.Day, user, comment, text string) 
 	})
 	w.nextRevID++
 	rev := a.Current()
-	listeners := w.listeners
+	added, removed := w.listeners, w.removedListeners
 	prevText := prev.Text
 	w.mu.Unlock()
 
-	emitNewLinks(listeners, title, &prevText, text, day, user)
+	emitLinkDiff(added, removed, title, &prevText, text, day, user)
 	return rev, nil
 }
 
-func emitNewLinks(listeners []func(LinkAddedEvent), title string, prevText *string, text string, day simclock.Day, user string) {
-	if len(listeners) == 0 {
+// emitLinkDiff walks the external-URL sets of the previous and new
+// revisions once and emits one LinkAddedEvent per URL newly present
+// and one LinkRemovedEvent per URL no longer present. Removal events
+// fire before addition events so a consumer tracking membership (the
+// verdict monitor) never double-counts a URL mid-edit.
+func emitLinkDiff(added []func(LinkAddedEvent), removed []func(LinkRemovedEvent), title string, prevText *string, text string, day simclock.Day, user string) {
+	if len(added) == 0 && len(removed) == 0 {
 		return
 	}
-	seen := make(map[string]struct{})
+	prev := make(map[string]struct{})
 	if prevText != nil {
 		for _, u := range wikitext.Parse(*prevText).ExternalURLs() {
-			seen[u] = struct{}{}
+			prev[u] = struct{}{}
 		}
 	}
-	for _, u := range wikitext.Parse(text).ExternalURLs() {
-		if _, ok := seen[u]; ok {
-			continue
+	curList := wikitext.Parse(text).ExternalURLs()
+	cur := make(map[string]struct{}, len(curList))
+	for _, u := range curList {
+		cur[u] = struct{}{}
+	}
+	if len(removed) > 0 && prevText != nil {
+		// Iterate the parse-order list of the previous revision so
+		// removal order is deterministic.
+		for _, u := range wikitext.Parse(*prevText).ExternalURLs() {
+			if _, still := cur[u]; still {
+				continue
+			}
+			ev := LinkRemovedEvent{Title: title, URL: u, Day: day, User: user}
+			for _, fn := range removed {
+				fn(ev)
+			}
 		}
-		ev := LinkAddedEvent{Title: title, URL: u, Day: day, User: user}
-		for _, fn := range listeners {
-			fn(ev)
+	}
+	if len(added) > 0 {
+		for _, u := range curList {
+			if _, had := prev[u]; had {
+				continue
+			}
+			ev := LinkAddedEvent{Title: title, URL: u, Day: day, User: user}
+			for _, fn := range added {
+				fn(ev)
+			}
 		}
 	}
 }

@@ -130,6 +130,63 @@ func TestLinkAddedEvents(t *testing.T) {
 	}
 }
 
+func TestLinkRemovedEvents(t *testing.T) {
+	w := NewWiki()
+	var added []LinkAddedEvent
+	var removed []LinkRemovedEvent
+	w.Subscribe(func(e LinkAddedEvent) { added = append(added, e) })
+	w.SubscribeRemoved(func(e LinkRemovedEvent) { removed = append(removed, e) })
+
+	w.Create("Alpha", d(100), "UserA", "[http://x.simtest/1 One] [http://y.simtest/2 Two]")
+	if len(removed) != 0 {
+		t.Fatalf("creation emitted removals: %+v", removed)
+	}
+	// Dropping one link and adding another emits one removal (first)
+	// and one addition, both stamped with the editing revision.
+	w.Edit("Alpha", d(200), "UserB", "swap", "[http://x.simtest/1 One] [http://z.simtest/3 Three]")
+	if len(removed) != 1 || removed[0].URL != "http://y.simtest/2" ||
+		removed[0].Day != d(200) || removed[0].User != "UserB" || removed[0].Title != "Alpha" {
+		t.Fatalf("removed = %+v", removed)
+	}
+	if len(added) != 3 || added[2].URL != "http://z.simtest/3" {
+		t.Fatalf("added = %+v", added)
+	}
+	// A link cited twice and edited down to one occurrence is not
+	// removed: the URL is still present in the revision.
+	w.Edit("Alpha", d(300), "UserB", "dedupe", "[http://x.simtest/1 One]{{cite web|url=http://x.simtest/1|title=T}}")
+	w.Edit("Alpha", d(400), "UserB", "trim", "[http://x.simtest/1 One]")
+	if len(removed) != 2 || removed[1].URL != "http://z.simtest/3" {
+		t.Fatalf("removed after dedupe/trim = %+v", removed)
+	}
+}
+
+// TestSubscribeDuringEdits pins the post-generation Subscribe
+// contract: listener registration must be safe while concurrent edits
+// are emitting events (run under -race). Before listener lists became
+// copy-on-write, Subscribe's in-place append could write into the
+// same backing array an emitter was iterating.
+func TestSubscribeDuringEdits(t *testing.T) {
+	w := NewWiki()
+	w.Create("Alpha", d(1), "U", "seed")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			text := "[http://x.simtest/" + string(rune('a'+i%26)) + " L]"
+			if _, err := w.Edit("Alpha", d(1+i), "U", "c", text); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		w.Subscribe(func(LinkAddedEvent) {})
+		w.SubscribeRemoved(func(LinkRemovedEvent) {})
+	}
+	<-done
+}
+
 func TestHistoryOf(t *testing.T) {
 	w := NewWiki()
 	w.Create("Alpha", d(100), "Author", `Claim.<ref>{{cite web|url=http://x.simtest/1|title=T}}</ref>`)

@@ -20,6 +20,9 @@ import (
 //     scan era (well before StudyTime), so some genuinely healthy links
 //     get marked "permanently dead" during the timeline purely because
 //     the bot checked them on a bad day.
+//   - With FlakyStreamDays > 0, alternating on/off windows continue
+//     past StudyTime so a continuous monitor session sees verdicts
+//     keep flipping instead of settling after the first expiry.
 //
 // The schedule is drawn from its own RNG stream (seeded off
 // Params.Seed) over the sorted hostname list, so enabling or disabling
@@ -54,9 +57,25 @@ func plantFaults(p Params, world *simweb.World) {
 			}
 		}
 		// The study-time window.
+		studyEnd := p.StudyTime.Add(1 + rng.Intn(14))
 		s.Faults = append(s.Faults, window(0,
 			p.StudyTime.Add(-(5+rng.Intn(40))),
-			p.StudyTime.Add(1+rng.Intn(14))))
+			studyEnd))
+		// Post-study alternating windows for continuous-monitor runs:
+		// on for 3–12 days, clear for 4–18, repeating until the stream
+		// horizon. Each site's phase is independently staggered by the
+		// rng draws so the fleet of flaky sites flips on different days.
+		if p.FlakyStreamDays > 0 {
+			horizon := p.StudyTime.Add(p.FlakyStreamDays)
+			for from := studyEnd.Add(4 + rng.Intn(15)); from.Before(horizon); {
+				to := from.Add(3 + rng.Intn(10))
+				if horizon.Before(to) {
+					to = horizon
+				}
+				s.Faults = append(s.Faults, window(len(s.Faults), from, to))
+				from = to.Add(4 + rng.Intn(15))
+			}
+		}
 		// Historical windows in the bot-scan era.
 		for n := rng.Intn(3); n > 0; n-- {
 			span := scanEraEnd.Sub(p.IABotStart)

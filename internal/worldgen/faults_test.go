@@ -1,0 +1,107 @@
+package worldgen
+
+import (
+	"testing"
+
+	"permadead/internal/simclock"
+	"permadead/internal/simweb"
+)
+
+func faultTestParams() Params {
+	p := DefaultParams()
+	p.FlakySiteFrac = 1
+	p.FlakyRate = 0.5
+	return p
+}
+
+func faultTestWorld() *simweb.World {
+	w := simweb.NewWorld()
+	for _, host := range []string{"a.simtest", "b.simtest", "c.simtest"} {
+		w.AddSite(host, simclock.FromDate(2008, 1, 1))
+	}
+	return w
+}
+
+func TestPlantFaultsStudyWindowBounds(t *testing.T) {
+	p := faultTestParams()
+	w := faultTestWorld()
+	plantFaults(p, w)
+	for _, host := range w.Hostnames() {
+		s := w.Site(host)
+		if len(s.Faults) == 0 {
+			t.Fatalf("%s: no fault windows planted", host)
+		}
+		// Without FlakyStreamDays, no window may extend more than two
+		// weeks past StudyTime.
+		for _, fw := range s.Faults {
+			if fw.To.After(p.StudyTime.Add(14)) {
+				t.Errorf("%s: window %+v extends past StudyTime+14", host, fw)
+			}
+		}
+		// The study-time window itself must cover StudyTime.
+		if _, suspect := s.SuspectUntil(p.StudyTime); !suspect {
+			t.Errorf("%s: not suspect at study time", host)
+		}
+	}
+}
+
+func TestPlantFaultsStreamWindows(t *testing.T) {
+	p := faultTestParams()
+	p.FlakyStreamDays = 365
+	w := faultTestWorld()
+	plantFaults(p, w)
+
+	horizon := p.StudyTime.Add(p.FlakyStreamDays)
+	for _, host := range w.Hostnames() {
+		s := w.Site(host)
+		post := 0
+		var prevTo simclock.Day
+		for _, fw := range s.Faults {
+			if !fw.From.After(p.StudyTime) {
+				continue
+			}
+			post++
+			if fw.To.After(horizon) {
+				t.Errorf("%s: stream window %+v crosses horizon %v", host, fw, horizon)
+			}
+			if !fw.From.Before(fw.To) {
+				t.Errorf("%s: empty stream window %+v", host, fw)
+			}
+			// Alternating: each stream window opens strictly after the
+			// previous one closed, leaving a clear gap for re-checks.
+			if prevTo.Valid() && prevTo != 0 && !prevTo.Before(fw.From) {
+				t.Errorf("%s: stream windows overlap: prev end %v, next start %v", host, prevTo, fw.From)
+			}
+			prevTo = fw.To
+		}
+		// A year of streaming at a 7–22 day cycle must produce a
+		// healthy number of flips per site.
+		if post < 8 {
+			t.Errorf("%s: only %d post-study windows over a year", host, post)
+		}
+	}
+}
+
+// TestPlantFaultsStreamDeterministic pins that the same params plant
+// the same schedule, and that enabling the stream extension leaves the
+// pre-study schedule untouched.
+func TestPlantFaultsStreamDeterministic(t *testing.T) {
+	base := faultTestParams()
+	stream := base
+	stream.FlakyStreamDays = 365
+
+	w1, w2 := faultTestWorld(), faultTestWorld()
+	plantFaults(stream, w1)
+	plantFaults(stream, w2)
+	for _, host := range w1.Hostnames() {
+		f1, f2 := w1.Site(host).Faults, w2.Site(host).Faults
+		if len(f1) != len(f2) {
+			t.Fatalf("%s: schedule not deterministic: %d vs %d windows", host, len(f1), len(f2))
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				t.Errorf("%s: window %d differs: %+v vs %+v", host, i, f1[i], f2[i])
+			}
+		}
+	}
+}

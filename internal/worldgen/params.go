@@ -115,6 +115,15 @@ type Params struct {
 	// FlakyRetryAfterSec is the Retry-After advertisement on injected
 	// 503/429 responses (default 120 when zero).
 	FlakyRetryAfterSec int
+	// FlakyStreamDays, when positive, extends each flaky site's fault
+	// schedule past StudyTime with alternating on/off windows for that
+	// many days. The continuous monitor feeds on this: every window
+	// opening makes live links look dead, every closing lets a suspect
+	// re-check find them alive again, so a long-running stream session
+	// has a steady supply of verdict flips instead of a single burst
+	// when the study-time window expires. Zero (the default) leaves the
+	// schedule exactly as before, so existing universes are unchanged.
+	FlakyStreamDays int
 
 	// Progress, when set, receives coarse generation progress: the
 	// stage name and a done/total pair (total 0 for untracked stages).

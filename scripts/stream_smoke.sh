@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke-test the continuous verdict monitor end to end: boot permadeadd
+# over a fully flaky universe whose fault windows extend far past the
+# study day, run cmd/streamsmoke (live SSE delivery exactly once,
+# Last-Event-ID resume, suspect flagging, IABot repairs landing in
+# wikitext), require the on-disk NDJSON journal to be non-empty, then
+# boot a fresh server and measure SSE fan-out with loadgen's stream
+# workload. The bench line lands in BENCH_PR8.json via cmd/benchjson.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+P99_MAX=${P99_MAX:-2s}
+
+workdir=$(mktemp -d)
+server_pid=""
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/permadeadd" ./cmd/permadeadd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+go build -o "$workdir/streamsmoke" ./cmd/streamsmoke
+
+boot() { # boot <extra server flags...>; sets $addr and $server_pid
+  rm -f "$workdir/addr"
+  "$workdir/permadeadd" -addr 127.0.0.1:0 -scale 0.06 -addr-file "$workdir/addr" \
+    -flaky 1 -flaky-rate 0.7 -flaky-stream-days 3650 -monitor-ttl 7 "$@" \
+    >"$workdir/server.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "permadeadd died during startup:"; cat "$workdir/server.log"; exit 1; }
+    sleep 0.2
+  done
+  [ -s "$workdir/addr" ] || { echo "permadeadd never wrote its address"; cat "$workdir/server.log"; exit 1; }
+  addr=$(cat "$workdir/addr")
+}
+
+stop() {
+  kill -TERM "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+}
+
+fail() { echo "FAIL: $1"; cat "$workdir/server.log"; exit 1; }
+
+# --- Round 1: the full contract, repairs on, journal on disk ---
+boot -repair -journal "$workdir/journal.ndjson"
+echo "permadeadd up on $addr (monitor + repair + journal)"
+
+metrics=$(curl -sf "http://$addr/metrics")
+echo "$metrics" | grep -q '"monitor"' || fail "/metrics lacks the monitor section"
+echo "$metrics" | grep -q '"iabot"' || fail "/metrics lacks the iabot section"
+
+"$workdir/streamsmoke" -addr "$addr" -expect-repair \
+  || fail "streamsmoke assertions"
+
+curl -sf "http://$addr/metrics" | grep -q '"5xx": *[1-9]' && fail "server counted 5xx responses"
+stop
+
+# The journal survives the server: flips as NDJSON, one per line,
+# flushed on shutdown.
+[ -s "$workdir/journal.ndjson" ] || fail "journal file is empty after a run full of flips"
+head -1 "$workdir/journal.ndjson" | grep -q '"seq":1' || fail "journal does not start at seq 1"
+echo "journal OK: $(wc -l < "$workdir/journal.ndjson") flips on disk"
+
+# --- Round 2: fresh server, SSE fan-out bench (no repair noise) ---
+boot
+echo "permadeadd up on $addr (stream bench)"
+"$workdir/loadgen" -addr "$addr" -workload stream -c 8 -sample 64 \
+  -tick-days 150 -tick-step 15 -p99-max "$P99_MAX" -bench StreamDelivery \
+  >"$workdir/bench_stream.txt" || { cat "$workdir/bench_stream.txt"; fail "stream loadgen"; }
+cat "$workdir/bench_stream.txt"
+curl -sf "http://$addr/metrics" | grep -q '"5xx": *[1-9]' && fail "server counted 5xx responses"
+stop
+
+grep '^Benchmark' "$workdir/bench_stream.txt" \
+  | go run ./cmd/benchjson -o BENCH_PR8.json >/dev/null
+echo "stream smoke OK (BENCH_PR8.json updated)"
