@@ -3,9 +3,9 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke persistsmoke streamsmoke
+.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke persistsmoke streamsmoke shardsmoke
 
-check: vet build test race retrysmoke batchsmoke persistsmoke streamsmoke
+check: vet build test race retrysmoke batchsmoke persistsmoke streamsmoke shardsmoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,16 @@ batchsmoke:
 # throughput parity all required. Records BENCH_PR7.json.
 persistsmoke:
 	./scripts/persist_smoke.sh
+
+# shardsmoke boots router+shard fleets at 1, 2, and 4 shards over one
+# paged universe and checks the fleet contracts: /v1/classify byte-
+# identical to a standalone server, scatter-gathered /v1/sample totals
+# matching, a killed shard degrading to flagged partials with
+# Retry-After (zero 5xx on healthy-shard traffic), a rebalance
+# handoff, and 4-shard classify throughput >= 3x the 1-shard figure.
+# Records per-fleet-size throughput and scatter p99 in BENCH_PR9.json.
+shardsmoke:
+	./scripts/shard_smoke.sh
 
 # streamsmoke exercises the continuous verdict monitor against a live
 # permadeadd over a fully flaky universe: exactly-once SSE delivery,

@@ -13,6 +13,13 @@
 //	                  throughput, and the server's RSS from /metrics —
 //	                  the steady-state memory check for the paged
 //	                  universe store
+//	-workload fleet   classify-only GETs (the shard-scaling measure:
+//	                  every request routes to exactly one shard) plus
+//	                  -scatter scatter-gather /v1/sample probes, with
+//	                  separate bench lines (<Name>Classify,
+//	                  <Name>Scatter) so a smoke harness can compare
+//	                  classify throughput across fleet sizes and bound
+//	                  scatter p99
 //	-workload stream  open -c SSE subscribers on /v1/stream/verdicts,
 //	                  watch -sample articles, then drive the sim clock
 //	                  forward -tick-days in -tick-step increments so
@@ -71,6 +78,7 @@ func main() {
 		duration  = flag.Duration("duration", 30*time.Second, "how long the soak workload runs")
 		report    = flag.Duration("report", 5*time.Second, "soak progress-line interval")
 		batchSize = flag.Int("batch-size", 100, "links per /v1/classify/batch POST (batch workload)")
+		scatter   = flag.Int("scatter", 50, "scatter-gather /v1/sample probes after the classify phase (fleet workload)")
 		tickDays  = flag.Int("tick-days", 120, "total sim days the stream workload advances")
 		tickStep  = flag.Int("tick-step", 15, "sim days per /v1/sim/tick POST (stream workload)")
 		zipfS     = flag.Float64("zipf", 0, "zipf skew s for URL selection (> 1; 0 = uniform round-robin)")
@@ -83,9 +91,9 @@ func main() {
 		fatal(fmt.Errorf("-n, -c, -sample, and -batch-size must all be >= 1"))
 	}
 	switch *workload {
-	case "mixed", "batch", "soak", "stream":
+	case "mixed", "batch", "soak", "stream", "fleet":
 	default:
-		fatal(fmt.Errorf("-workload must be 'mixed', 'batch', 'soak', or 'stream', got %q", *workload))
+		fatal(fmt.Errorf("-workload must be 'mixed', 'batch', 'soak', 'stream', or 'fleet', got %q", *workload))
 	}
 	if *zipfS != 0 && *zipfS <= 1 {
 		fatal(fmt.Errorf("-zipf needs s > 1 (got %v)", *zipfS))
@@ -109,6 +117,14 @@ func main() {
 	pool, err := fetchSample(client, base, *sample)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *workload == "fleet" {
+		runFleet(client, base, pool, fleetConfig{
+			N: *n, Clients: *c, Scatter: *scatter, ScatterN: *sample,
+			ZipfS: *zipfS, Seed: *seed, P99Max: *p99Max, BenchName: *benchName,
+		})
+		return
 	}
 
 	if *workload == "soak" {
@@ -207,6 +223,134 @@ func main() {
 		os.Exit(1)
 	case *p99Max > 0 && p99 > *p99Max:
 		fmt.Fprintf(os.Stderr, "loadgen: p99 %s exceeds bound %s\n", p99, *p99Max)
+		os.Exit(1)
+	}
+}
+
+type fleetConfig struct {
+	N         int // classify GETs
+	Clients   int
+	Scatter   int // scatter-gather /v1/sample probes
+	ScatterN  int // sample size each probe asks for
+	ZipfS     float64
+	Seed      int64
+	P99Max    time.Duration
+	BenchName string
+}
+
+// runFleet is the shard-scaling workload. Phase one fires cfg.N
+// /v1/classify GETs from cfg.Clients workers — classification routes
+// to exactly one shard, so fleet throughput here is the near-linear
+// scaling claim a shard smoke compares across 1, 2, and 4 shards.
+// Phase two fires cfg.Scatter /v1/sample probes, each of which
+// scatter-gathers every shard, and reports their p99 — the cost of the
+// fan-out path. Both phases emit separate bench lines
+// (<Name>Classify, <Name>Scatter) for cmd/benchjson.
+func runFleet(client *http.Client, base string, pool []string, cfg fleetConfig) {
+	fmt.Fprintf(os.Stderr, "loadgen: fleet workload: %d classify GETs from %d clients, then %d scatter probes\n",
+		cfg.N, cfg.Clients, cfg.Scatter)
+
+	var (
+		next      atomic.Int64
+		errors    atomic.Int64
+		fiveXX    atomic.Int64
+		okCount   atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			pick := uniformPicker(len(pool))
+			if cfg.ZipfS != 0 {
+				pick = zipfPicker(cfg.ZipfS, len(pool), cfg.Seed+int64(worker))
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.N {
+					return
+				}
+				target := base + "/v1/classify?url=" + url.QueryEscape(pool[pick(i)])
+				d, status, err := get(client, target)
+				switch {
+				case err != nil:
+					errors.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+					continue
+				case status >= 500:
+					fiveXX.Add(1)
+				case status < 400:
+					okCount.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	classifyElapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	classifyRPS := float64(len(latencies)) / classifyElapsed.Seconds()
+	fmt.Printf("classify:   %d ok, %d 5xx, %d transport errors\n", okCount.Load(), fiveXX.Load(), errors.Load())
+	fmt.Printf("throughput: %.1f req/s (%d requests in %.2fs)\n", classifyRPS, len(latencies), classifyElapsed.Seconds())
+	var classifyP99 time.Duration
+	if len(latencies) > 0 {
+		classifyP99 = quantile(latencies, 0.99)
+		fmt.Printf("latency:    p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(latencies, 0.50), quantile(latencies, 0.90),
+			classifyP99, latencies[len(latencies)-1])
+	}
+
+	// Scatter phase: sequential probes measure the fan-out path alone,
+	// not its behavior under self-inflicted contention.
+	var scatterLat []time.Duration
+	scatterStart := time.Now()
+	for i := 0; i < cfg.Scatter; i++ {
+		d, status, err := get(client, fmt.Sprintf("%s/v1/sample?n=%d", base, cfg.ScatterN))
+		switch {
+		case err != nil:
+			errors.Add(1)
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			continue
+		case status >= 500:
+			fiveXX.Add(1)
+		case status < 400:
+			okCount.Add(1)
+		}
+		scatterLat = append(scatterLat, d)
+	}
+	scatterElapsed := time.Since(scatterStart)
+	sort.Slice(scatterLat, func(i, j int) bool { return scatterLat[i] < scatterLat[j] })
+	var scatterP99 time.Duration
+	if len(scatterLat) > 0 {
+		scatterP99 = quantile(scatterLat, 0.99)
+		fmt.Printf("scatter:    %d probes, p50 %s  p99 %s  max %s\n",
+			len(scatterLat), quantile(scatterLat, 0.50), scatterP99, scatterLat[len(scatterLat)-1])
+	}
+
+	if cfg.BenchName != "" && len(latencies) > 0 {
+		mean := classifyElapsed.Nanoseconds() / int64(len(latencies))
+		fmt.Printf("Benchmark%sClassify %d %d ns/op %.3f p99ms %.1f req/s\n",
+			cfg.BenchName, len(latencies), mean,
+			float64(classifyP99.Microseconds())/1000, classifyRPS)
+	}
+	if cfg.BenchName != "" && len(scatterLat) > 0 {
+		mean := scatterElapsed.Nanoseconds() / int64(len(scatterLat))
+		fmt.Printf("Benchmark%sScatter %d %d ns/op %.3f p99ms %.1f req/s\n",
+			cfg.BenchName, len(scatterLat), mean,
+			float64(scatterP99.Microseconds())/1000, float64(len(scatterLat))/scatterElapsed.Seconds())
+	}
+
+	switch {
+	case fiveXX.Load() > 0 || errors.Load() > 0 || okCount.Load() == 0:
+		os.Exit(1)
+	case cfg.P99Max > 0 && classifyP99 > cfg.P99Max:
+		fmt.Fprintf(os.Stderr, "loadgen: classify p99 %s exceeds bound %s\n", classifyP99, cfg.P99Max)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,121 @@
+// Command permadead-router fronts a fleet of permadeadd shards: it
+// owns the consistent-hash ring over registrable domains, proxies each
+// single-link verdict to the owning shard, splits batch requests by
+// owner and re-merges the streamed lines in input order, and
+// scatter-gathers population queries across every shard — degrading to
+// flagged partial results (with Retry-After) when a shard is down
+// instead of erroring or hanging.
+//
+// Usage:
+//
+//	permadead-router -members s1=127.0.0.1:9001,s2=127.0.0.1:9002 \
+//	                 [-addr host:port] [-vnodes n] [-shard-timeout d]
+//
+// Member names must match each shard's -shard-name; the shards must
+// have been started with the same member list (the ring is rebuilt
+// identically everywhere from the names alone). Runtime rebalances go
+// through POST /admin/rebalance {"domain": ..., "to": ...}.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"permadead/internal/shard"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		members      = flag.String("members", "", "comma-separated name=host:port fleet members, in ring order")
+		vnodes       = flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = default)")
+		shardTimeout = flag.Duration("shard-timeout", 15*time.Second, "per-shard deadline on proxied and scattered requests")
+		healthEvery  = flag.Duration("health-interval", time.Second, "shard /healthz polling cadence")
+		retryAfter   = flag.Int("retry-after", 2, "Retry-After seconds advertised on degraded responses")
+		maxBatch     = flag.Int("max-batch", 10000, "max links per /v1/classify/batch request")
+		drainWait    = flag.Duration("drain-timeout", 5*time.Second, "rebalance bound on draining the old owner's in-flight range")
+	)
+	flag.Parse()
+
+	fleet, err := parseMembers(*members)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Members:        fleet,
+		VNodes:         *vnodes,
+		ShardTimeout:   *shardTimeout,
+		HealthInterval: *healthEvery,
+		RetryAfterSec:  *retryAfter,
+		MaxBatchLinks:  *maxBatch,
+		DrainTimeout:   *drainWait,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	names := make([]string, len(fleet))
+	for i, m := range fleet {
+		names[i] = m.Name
+	}
+	fmt.Fprintf(os.Stderr, "permadead-router: routing for [%s] on http://%s\n",
+		strings.Join(names, " "), ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "permadead-router: %v received, shutting down...\n", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx) //nolint:errcheck // the router holds no state worth a forced drain
+}
+
+// parseMembers decodes "-members s1=host:port,s2=host:port".
+func parseMembers(spec string) ([]shard.Member, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-members is required (name=host:port, comma-separated)")
+	}
+	var out []shard.Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, base, ok := strings.Cut(part, "=")
+		if !ok || name == "" || base == "" {
+			return nil, fmt.Errorf("malformed member %q, want name=host:port", part)
+		}
+		out = append(out, shard.Member{Name: name, Base: base})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "permadead-router: %v\n", err)
+	os.Exit(1)
+}

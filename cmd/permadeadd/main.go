@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +53,7 @@ func main() {
 		maxBatch        = flag.Int("max-batch", defaults.MaxBatchLinks, "max links per /v1/classify/batch request")
 		batchWorkers    = flag.Int("batch-workers", defaults.BatchWorkers, "per-batch classify fan-out (clamped to -classify-workers)")
 		noPrefilter     = flag.Bool("no-prefilter", false, "disable the frozen archive's capture prefilter (for benchmarking)")
+		liveLatency     = flag.Duration("live-latency", 0, "floor each classification's service time with this wall-clock wait, modeling real live-web I/O (0 = simulator full speed)")
 		memoCap         = flag.Int("memo-cap", defaults.MemoCap, "per-map entry bound on the archive memo (0 = unbounded)")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 
@@ -65,7 +67,12 @@ func main() {
 		sseBuffer      = flag.Int("sse-buffer", defaults.SSESubscriberBuffer, "per-subscriber event buffer; slow consumers past it are dropped")
 		maxSubs        = flag.Int("max-subscribers", defaults.MaxSSESubscribers, "bound on concurrent /v1/stream/verdicts subscribers")
 		journalPath    = flag.String("journal", "", "append verdict flips to this NDJSON file (empty = in-memory only)")
+		journalWindow  = flag.Int("journal-window", defaults.JournalWindow, "in-memory flip-journal window; older SSE resume cursors replay from -journal or get 410 (0 = unbounded)")
 		repair         = flag.Bool("repair", false, "run the IABot repair loop: rescue links that flip to dead with archive URLs")
+
+		shardName    = flag.String("shard-name", "", "run as this member of a sharded fleet (requires -shard-members)")
+		shardMembers = flag.String("shard-members", "", "comma-separated fleet member names, identical on every shard and the router")
+		shardVNodes  = flag.Int("shard-vnodes", 0, "consistent-hash virtual nodes per member (0 = default)")
 	)
 	flag.Parse()
 
@@ -116,6 +123,7 @@ func main() {
 	cfg.MaxBatchLinks = *maxBatch
 	cfg.BatchWorkers = *batchWorkers
 	cfg.DisablePrefilter = *noPrefilter
+	cfg.SimLiveLatency = *liveLatency
 	cfg.MemoCap = *memoCap
 	cfg.DisableMonitor = *noMonitor
 	cfg.MonitorTTLDays = *monitorTTL
@@ -123,7 +131,20 @@ func main() {
 	cfg.SSESubscriberBuffer = *sseBuffer
 	cfg.MaxSSESubscribers = *maxSubs
 	cfg.JournalPath = *journalPath
+	cfg.JournalWindow = *journalWindow
 	cfg.EnableRepair = *repair
+	if *shardName != "" {
+		if *shardMembers == "" {
+			fatal(fmt.Errorf("-shard-name requires -shard-members"))
+		}
+		cfg.ShardName = *shardName
+		for _, m := range strings.Split(*shardMembers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				cfg.ShardMembers = append(cfg.ShardMembers, m)
+			}
+		}
+		cfg.ShardVNodes = *shardVNodes
+	}
 
 	// Startup-phase timing: load (or generate), freeze (service.New
 	// freezes the archive and collects the sample), listen. One log
@@ -146,6 +167,9 @@ func main() {
 		loadDur.Milliseconds(), freezeDur.Milliseconds(), listenDur.Milliseconds(),
 		(loadDur + freezeDur + listenDur).Milliseconds())
 	fmt.Fprintf(os.Stderr, "permadeadd: serving %d sampled links on http://%s\n", srv.SampleSize(), srv.Addr())
+	if *shardName != "" {
+		fmt.Fprintf(os.Stderr, "permadeadd: fleet member %s of [%s]\n", *shardName, *shardMembers)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
 			fatal(err)

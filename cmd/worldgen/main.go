@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"permadead/internal/persist"
+	"permadead/internal/shard"
 	"permadead/internal/worldgen"
 )
 
@@ -32,6 +33,9 @@ func main() {
 		flaky          = flag.Float64("flaky", 0, "fraction of sites given transient-fault windows (0 = off; the study's default universe)")
 		flakyRate      = flag.Float64("flaky-rate", 0.5, "per-attempt failure probability inside a fault window")
 		flakyRetryWait = flag.Int("flaky-retry-after", 0, "Retry-After seconds advertised by injected 429/503 responses (0 = per-window default)")
+
+		shards  = flag.Int("shards", 0, "report how an N-member fleet would partition the universe's link domains; with -save, also write a <save>.fleet.json manifest")
+		svnodes = flag.Int("shard-vnodes", 0, "virtual nodes per member for the -shards report (0 = default)")
 	)
 	flag.Parse()
 
@@ -100,6 +104,13 @@ func main() {
 		fmt.Printf("wrote MediaWiki XML dump to %s\n", *dumpPath)
 	}
 
+	if *shards > 0 {
+		if err := reportShards(u, *shards, *svnodes, *savePath); err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: shards: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -115,4 +126,58 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote %d link plans to %s\n", len(u.Plan.Links), *jsonPath)
 	}
+}
+
+// reportShards previews how an n-member fleet would partition the
+// generated universe: per-member owned link counts over the
+// consistent-hash ring a real fleet would build from the same names.
+// With -save set, the same numbers land in <save>.fleet.json, the
+// manifest a fleet launcher feeds to permadeadd -shard-members and
+// permadead-router -members.
+func reportShards(u *worldgen.Universe, n, vnodes int, savePath string) error {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i+1)
+	}
+	ring, err := shard.New(names, vnodes)
+	if err != nil {
+		return err
+	}
+	domains := make([]string, len(u.Plan.Links))
+	for i, lp := range u.Plan.Links {
+		domains[i] = lp.Domain
+	}
+	counts := ring.OwnedCount(domains)
+	fmt.Printf("\nfleet partition (%d shards, %d links):\n", n, len(domains))
+	even := float64(len(domains)) / float64(n)
+	for _, name := range names {
+		c := counts[name]
+		fmt.Printf("  %-4s %6d links (%+.1f%% vs even)\n", name, c, 100*(float64(c)-even)/even)
+	}
+
+	if savePath == "" {
+		return nil
+	}
+	manifest := struct {
+		Members    []string       `json:"members"`
+		VNodes     int            `json:"vnodes"`
+		Links      int            `json:"links"`
+		OwnedLinks map[string]int `json:"owned_links"`
+	}{Members: names, VNodes: ring.State().VNodes, Links: len(domains), OwnedLinks: counts}
+	path := savePath + ".fleet.json"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifest); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote fleet manifest to %s\n", path)
+	return nil
 }

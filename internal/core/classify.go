@@ -142,6 +142,21 @@ type SpatialStatus struct {
 	TypoScanTruncated bool `json:"typo_scan_truncated,omitempty"`
 }
 
+// Transient reports whether this live measurement went through a
+// transient failure — a timeout, a 429, or a 5xx — mirroring the
+// fetch.Transient retry rule. A verdict carrying a transient live half
+// reflects the moment, not the link: the serving layer must not
+// memoize it. DNS failures are deliberately excluded: the paper's DNS
+// deaths are overwhelmingly permanent (domain gone), and treating them
+// as transient would make the most common dead class uncacheable —
+// the rare DNS flap is the monitor's re-check problem, not the cache's.
+func (ls LiveStatus) Transient() bool {
+	if ls.Category == fetch.CatTimeout.String() {
+		return true
+	}
+	return ls.FinalStatus == 429 || ls.FinalStatus >= 500
+}
+
 // CheckLive runs the §3 live-web measurement for one URL through the
 // study's configured fetch policy (single GET unless Config enables
 // retries/confirmation): Figure 4 classification plus the soft-404

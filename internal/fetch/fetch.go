@@ -88,7 +88,8 @@ type Result struct {
 	// Err is the transport error for DNS/timeout/other failures.
 	Err error
 	// RetryAfter is the final response's Retry-After advertisement
-	// (integer-seconds form only; zero when absent).
+	// (either the integer-seconds or the HTTP-date form; zero when
+	// absent or malformed).
 	RetryAfter time.Duration
 	// Attempts is the total number of HTTP fetches a Retrier spent on
 	// this result, retries and confirmation rechecks included. A bare
@@ -191,7 +192,7 @@ func (c *Client) FetchWithHeaders(ctx context.Context, rawURL string, extra http
 		res.FinalStatus = resp.StatusCode
 		res.FinalURL = current
 		res.Body = body
-		res.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		res.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), responseTime(resp.Header))
 		if readErr != nil {
 			// The transport died mid-body: a truncated read is a failed
 			// fetch, not a Cat200 with a short body (which would poison
@@ -283,17 +284,43 @@ func readBody(resp *http.Response, limit int64) (string, error) {
 	return string(b), err
 }
 
-// parseRetryAfter reads the integer-seconds form of a Retry-After
-// header (the HTTP-date form is not used by the simulation).
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After header in either form RFC 9110
+// allows: delay-seconds ("120") or an HTTP-date ("Fri, 31 Dec 1999
+// 23:59:59 GMT"). Dates are converted to a delay relative to `now`
+// (the response's own Date header when present, else wall clock), so
+// an origin advertising an absolute retry time is honored instead of
+// silently parsing to 0 and defeating the retry layer's backoff.
+// Absent, malformed, negative, or already-elapsed values are 0.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := when.Sub(now)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// responseTime anchors HTTP-date Retry-After math at the response's
+// own Date header when it parses (the server's clock is the one the
+// date was written against), falling back to the local wall clock.
+func responseTime(h http.Header) time.Time {
+	if t, err := http.ParseTime(h.Get("Date")); err == nil {
+		return t
+	}
+	return time.Now()
 }
 
 func isRedirect(status int) bool {

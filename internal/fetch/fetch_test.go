@@ -2,6 +2,7 @@ package fetch
 
 import (
 	"context"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -226,5 +227,55 @@ func TestWithOptions(t *testing.T) {
 	}
 	if res.Category != Cat200 {
 		t.Errorf("category = %v", res.Category)
+	}
+}
+
+// TestParseRetryAfter covers both header forms RFC 9110 allows. The
+// HTTP-date form used to parse silently to 0, which defeated the
+// Retrier's Retry-After honoring whenever an origin advertised an
+// absolute retry time instead of delay-seconds.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2022, 6, 15, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"absent", "", 0},
+		{"seconds", "120", 120 * time.Second},
+		{"seconds with space", " 7 ", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-5", 0},
+		{"http date ahead", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date rfc850", now.Add(time.Hour).Format("Monday, 02-Jan-06 15:04:05 GMT"), time.Hour},
+		{"http date asctime", now.Add(30 * time.Second).Format(time.ANSIC), 30 * time.Second},
+		{"http date elapsed", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+		{"float seconds", "1.5", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.v, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestResponseTimeAnchorsOnDateHeader: HTTP-date math must use the
+// server's own clock (its Date header) when present, so skew between
+// the origin and the client cannot inflate or erase the delay.
+func TestResponseTimeAnchorsOnDateHeader(t *testing.T) {
+	served := time.Date(2022, 6, 15, 12, 0, 0, 0, time.UTC)
+	h := http.Header{}
+	h.Set("Date", served.Format(http.TimeFormat))
+	if got := responseTime(h); !got.Equal(served) {
+		t.Errorf("responseTime with Date header = %v, want %v", got, served)
+	}
+	// Retry 10 minutes after the server's Date, regardless of local time.
+	after := served.Add(10 * time.Minute).Format(http.TimeFormat)
+	if got := parseRetryAfter(after, responseTime(h)); got != 10*time.Minute {
+		t.Errorf("date-anchored Retry-After = %v, want 10m", got)
+	}
+	if before := responseTime(http.Header{}); time.Since(before) > time.Minute {
+		t.Errorf("responseTime without Date header should be ~now, got %v", before)
 	}
 }

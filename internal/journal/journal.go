@@ -21,6 +21,23 @@ import (
 	"sync"
 )
 
+// TruncatedError reports a replay cursor that predates the in-memory
+// window of a journal with no file sink: the entries between
+// RequestedSeq and OldestSeq-1 were evicted and cannot be recovered.
+// File-backed journals never return it — they re-read the file
+// instead.
+type TruncatedError struct {
+	// RequestedSeq is the cursor the caller tried to resume after.
+	RequestedSeq int64
+	// OldestSeq is the oldest entry still held in memory.
+	OldestSeq int64
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("journal: entries after seq %d are gone (oldest retained is %d); the in-memory window was exceeded and no file sink exists",
+		e.RequestedSeq, e.OldestSeq)
+}
+
 // Entry is one verdict flip. Old and New are verdict strings owned by
 // the monitor ("alive", "dead"; "unknown" never appears in a journal —
 // initial verdict assignment is not a flip).
@@ -53,10 +70,15 @@ type Journal struct {
 	mu      sync.Mutex
 	entries []Entry
 	seq     int64
+	path    string
 	file    *os.File
 	w       *bufio.Writer
 	bytes   int64
 	err     error // first write error, sticky
+	// window, when > 0, bounds the in-memory entry slice: once the
+	// slice outgrows it, the oldest entries are evicted (they stay on
+	// disk for file-backed journals). 0 keeps everything in memory.
+	window int
 }
 
 // New returns an in-memory journal (no file sink).
@@ -103,9 +125,37 @@ func OpenFile(path string) (*Journal, error) {
 	if st, err := f.Stat(); err == nil {
 		j.bytes = st.Size()
 	}
+	j.path = path
 	j.file = f
 	j.w = bufio.NewWriter(f)
 	return j, nil
+}
+
+// SetWindow bounds the in-memory entry slice to roughly the last n
+// entries (0 = unbounded, the default). Entries evicted from a
+// file-backed journal remain replayable from disk; evicting from an
+// in-memory journal makes Replay cursors older than the window answer
+// a TruncatedError. Call before concurrent use.
+func (j *Journal) SetWindow(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	j.window = n
+	j.trimLocked()
+}
+
+// trimLocked enforces the in-memory window. Eviction happens in
+// batches of ~window/4 so a journal at its cap does not copy the whole
+// slice on every append: at most window+window/4 entries are resident,
+// and at least the last `window` are always retained.
+func (j *Journal) trimLocked() {
+	if j.window <= 0 || len(j.entries) <= j.window+j.window/4 {
+		return
+	}
+	keep := j.entries[len(j.entries)-j.window:]
+	j.entries = append(j.entries[:0:0], keep...)
 }
 
 // Append assigns the next sequence number to e, records it, and (for
@@ -119,6 +169,7 @@ func (j *Journal) Append(e Entry) Entry {
 	j.seq++
 	e.Seq = j.seq
 	j.entries = append(j.entries, e)
+	j.trimLocked()
 	if j.w != nil && j.err == nil {
 		line, err := json.Marshal(e)
 		if err == nil {
@@ -137,8 +188,11 @@ func (j *Journal) Append(e Entry) Entry {
 	return e
 }
 
-// After returns a copy of every entry with Seq > seq, in order. Pass 0
-// for the full history.
+// After returns a copy of every in-memory entry with Seq > seq, in
+// order. Pass 0 for the full history. With an in-memory window set,
+// entries older than the window are absent from the result — callers
+// that must not silently skip history (SSE resume) should use Replay,
+// which detects the gap.
 func (j *Journal) After(seq int64) []Entry {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -152,6 +206,68 @@ func (j *Journal) After(seq int64) []Entry {
 	out := make([]Entry, len(j.entries)-i)
 	copy(out, j.entries[i:])
 	return out
+}
+
+// Replay returns every entry with Seq > seq, in order, with a
+// no-silent-gap guarantee: if the cursor predates the in-memory window
+// the missing prefix is re-read from the file sink, and when there is
+// no file to read from (or the sink latched a write error before the
+// cursor's entries were evicted), a *TruncatedError names the oldest
+// sequence still available so the caller can tell its client the
+// cursor is gone rather than skipping flips.
+func (j *Journal) Replay(seq int64) ([]Entry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.entries) == 0 || j.entries[0].Seq <= seq+1 {
+		// Everything requested is still in memory (or there is nothing
+		// at all): the in-memory path answers exactly.
+		i := len(j.entries)
+		for i > 0 && j.entries[i-1].Seq > seq {
+			i--
+		}
+		out := make([]Entry, len(j.entries)-i)
+		copy(out, j.entries[i:])
+		return out, nil
+	}
+	if j.path == "" || j.err != nil {
+		return nil, &TruncatedError{RequestedSeq: seq, OldestSeq: j.entries[0].Seq}
+	}
+	// The cursor predates the window: rebuild the requested suffix from
+	// the file sink. Appends are mirrored to disk synchronously (Append
+	// flushes), so the file holds every entry up to j.seq. Reading under
+	// the mutex keeps the result consistent with concurrent appends;
+	// resume is a reconnect-time cost, not a hot path.
+	if j.w != nil {
+		if err := j.w.Flush(); err != nil {
+			j.err = err
+			return nil, fmt.Errorf("journal: flushing before replay: %w", err)
+		}
+	}
+	f, err := os.Open(j.path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reopening %s for replay: %w", j.path, err)
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("journal %s: corrupt line during replay: %w", j.path, err)
+		}
+		if e.Seq > seq {
+			out = append(out, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal %s: replay read: %w", j.path, err)
+	}
+	return out, nil
 }
 
 // Len returns the number of entries.

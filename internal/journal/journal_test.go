@@ -3,6 +3,7 @@ package journal
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -141,5 +142,100 @@ func TestConcurrentAppend(t *testing.T) {
 			t.Fatalf("duplicate seq %d", e.Seq)
 		}
 		seen[e.Seq] = true
+	}
+}
+
+// TestWindowEviction: a bounded window retains at least the last n
+// entries; After over the evicted range silently shrinks (documented),
+// while LastSeq keeps counting every append.
+func TestWindowEviction(t *testing.T) {
+	j := New()
+	j.SetWindow(2)
+	for i := 0; i < 10; i++ {
+		j.Append(Entry{URL: "http://w.example/"})
+	}
+	if j.LastSeq() != 10 {
+		t.Fatalf("LastSeq = %d, want 10", j.LastSeq())
+	}
+	got := j.After(0)
+	if len(got) < 2 || got[len(got)-1].Seq != 10 {
+		t.Fatalf("After(0) over a 2-entry window = %d entries ending at seq %d", len(got), got[len(got)-1].Seq)
+	}
+	if len(got) > 3 { // window + window/4 slack
+		t.Fatalf("window 2 retained %d entries", len(got))
+	}
+}
+
+// TestReplayWithinWindow behaves exactly like After.
+func TestReplayWithinWindow(t *testing.T) {
+	j := New()
+	for i := 0; i < 5; i++ {
+		j.Append(Entry{URL: "http://w.example/"})
+	}
+	got, err := j.Replay(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Seq != 3 {
+		t.Fatalf("Replay(2) = %d entries starting at %d, want 3 starting at 3", len(got), got[0].Seq)
+	}
+}
+
+// TestReplayTruncatedInMemory: an in-memory journal whose window has
+// evicted the requested range must answer a TruncatedError naming the
+// oldest retained seq — never silently skip the gap.
+func TestReplayTruncatedInMemory(t *testing.T) {
+	j := New()
+	j.SetWindow(2)
+	for i := 0; i < 10; i++ {
+		j.Append(Entry{URL: "http://w.example/"})
+	}
+	_, err := j.Replay(1)
+	var trunc *TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("Replay(1) past the window = %v, want *TruncatedError", err)
+	}
+	if trunc.RequestedSeq != 1 || trunc.OldestSeq <= 2 {
+		t.Fatalf("TruncatedError = %+v", trunc)
+	}
+	// A cursor at the window edge still replays.
+	if _, err := j.Replay(j.LastSeq() - 1); err != nil {
+		t.Fatalf("Replay inside the window: %v", err)
+	}
+}
+
+// TestReplayFromDisk: a file-backed journal re-reads its sink for
+// cursors older than the in-memory window, returning the complete
+// suffix in order.
+func TestReplayFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flips.ndjson")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.SetWindow(2)
+	for i := 0; i < 10; i++ {
+		j.Append(Entry{URL: "http://w.example/", Day: i})
+	}
+	got, err := j.Replay(0)
+	if err != nil {
+		t.Fatalf("Replay(0) from disk: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("Replay(0) = %d entries, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != int64(i+1) || e.Day != i {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+	// Mid-stream cursor older than the window also comes from disk.
+	mid, err := j.Replay(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid) != 6 || mid[0].Seq != 5 {
+		t.Fatalf("Replay(4) = %d entries starting at %d", len(mid), mid[0].Seq)
 	}
 }

@@ -797,10 +797,18 @@ func (m *Monitor) Advance(days int) (simclock.Day, error) {
 }
 
 // Subscribe opens a verdict-change subscription resuming after journal
-// sequence lastSeq (0 for live-only from the start of history; pass
-// the last seq you processed to resume). Replay capture and live
+// sequence lastSeq (pass the last seq you processed to resume; 0 for
+// everything since the start of history). Replay capture and live
 // registration are atomic, so no flip is missed or duplicated at the
 // boundary.
+//
+// A non-negative lastSeq is a resume contract: if entries after it
+// were evicted from the journal's in-memory window and cannot be
+// re-read from its file sink, Subscribe fails with a
+// *journal.TruncatedError rather than silently skipping them. A
+// negative lastSeq waives the contract — the subscription replays
+// whatever history is still retained and continues live (the shape a
+// first-time subscriber with no cursor wants).
 func (m *Monitor) Subscribe(lastSeq int64) (*Subscription, error) {
 	type res struct {
 		sub *Subscription
@@ -812,10 +820,26 @@ func (m *Monitor) Subscribe(lastSeq int64) (*Subscription, error) {
 			ch <- res{err: ErrTooManySubscribers}
 			return
 		}
+		// Replay, not After: a cursor older than the journal's
+		// in-memory window must come back from the file sink or fail
+		// loudly (TruncatedError), never silently skip flips. A
+		// negative cursor is the no-contract subscribe: retained
+		// history only.
+		var backlog []journal.Entry
+		if lastSeq < 0 {
+			backlog = m.jrnl.After(0)
+		} else {
+			var err error
+			backlog, err = m.jrnl.Replay(lastSeq)
+			if err != nil {
+				ch <- res{err: err}
+				return
+			}
+		}
 		id := m.nextSubID
 		m.nextSubID++
 		evCh := make(chan Event, m.cfg.SubscriberBuffer)
-		s := &Subscription{ID: id, Replay: m.jrnl.After(lastSeq), Events: evCh}
+		s := &Subscription{ID: id, Replay: backlog, Events: evCh}
 		m.subs[id] = &subscriber{id: id, ch: evCh, sub: s}
 		ch <- res{sub: s}
 	}); err != nil {
@@ -872,8 +896,11 @@ func (m *Monitor) Stats() (Stats, error) {
 			RepairsEdited:   m.repairsEdited,
 			Subscribers:     len(m.subs),
 			SubsDropped:     m.subsDropped,
-			JournalEntries:  m.jrnl.Len(),
-			JournalBytes:    m.jrnl.Bytes(),
+			// LastSeq, not Len: with a bounded in-memory journal
+			// window the slice undercounts; the seq counter is the
+			// true number of flips ever journaled.
+			JournalEntries: int(m.jrnl.LastSeq()),
+			JournalBytes:   m.jrnl.Bytes(),
 		}
 		for _, ls := range m.links {
 			switch ls.verdict {

@@ -28,9 +28,10 @@ func (f *flushCountingRecorder) Flush() { f.flushes++ }
 // postBatch drives one /v1/classify/batch request and returns the
 // recorder plus the parsed NDJSON lines.
 type batchLine struct {
-	URL     string       `json:"url"`
-	Verdict core.Verdict `json:"verdict"`
-	Error   *errorBody   `json:"error"`
+	URL     string          `json:"url"`
+	Verdict core.Verdict    `json:"verdict"`
+	Live    core.LiveStatus `json:"live"`
+	Error   *errorBody      `json:"error"`
 }
 
 func postBatch(t *testing.T, h http.Handler, urls []string, wantStatus int) (*flushCountingRecorder, []batchLine) {
@@ -96,15 +97,22 @@ func TestBatchMatchesOfflineStudy(t *testing.T) {
 		t.Errorf("%d 5xx responses during batch golden", n)
 	}
 
-	// A repeat of the same batch answers entirely from the caches: no
-	// new singleflight leaders.
+	// A repeat of the same batch answers from the caches except for
+	// links whose live half went through a transient failure — those
+	// are deliberately never memoized, so each re-leads a computation.
+	transient := 0
+	for _, l := range lines {
+		if l.Error == nil && l.Live.Transient() {
+			transient++
+		}
+	}
 	leadersBefore := s.flight.stats().Leaders
 	_, again := postBatch(t, s.Handler(), urls, http.StatusOK)
 	if len(again) != len(urls) {
 		t.Fatalf("repeat batch: %d lines for %d urls", len(again), len(urls))
 	}
-	if got := s.flight.stats().Leaders; got != leadersBefore {
-		t.Errorf("repeat batch led %d new computations, want 0", got-leadersBefore)
+	if got := int(s.flight.stats().Leaders - leadersBefore); got > transient {
+		t.Errorf("repeat batch led %d new computations, want at most the %d transient lines", got, transient)
 	}
 }
 

@@ -81,6 +81,13 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("/v1/sim/article", s.v1("sim", http.MethodGet, s.handleSimArticle))
 	mux.Handle("/metrics", s.met.handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.ring.Load() != nil {
+		// Fleet admin plane, deliberately outside the v1 wrapper: a
+		// router's ring push must land even when the data plane is
+		// saturated (admission gate full) or draining.
+		mux.HandleFunc("/v1/shard/info", s.handleShardInfo)
+		mux.HandleFunc("/v1/shard/ownership", s.handleShardOwnership)
+	}
 	return mux
 }
 
@@ -142,15 +149,32 @@ func (s *Server) tryServeCached(w http.ResponseWriter, key string) bool {
 	return true
 }
 
+// cacheClass says where (whether) a computed response body may be
+// memoized.
+type cacheClass int
+
+const (
+	// cachePositive: a durable answer with archive substance; the main
+	// response cache.
+	cachePositive cacheClass = iota
+	// cacheNegative: a durable "nothing there" answer (no snapshot,
+	// never archived); the negative cache's own capacity class, so the
+	// unbounded population of negative lookups cannot evict positive
+	// results (§5.1: the majority of the paper's dead links were never
+	// archived at all — the negative case is the common one).
+	cacheNegative
+	// cacheSkip: the answer reflects a transient condition (a 5xx, a
+	// 429, a timeout) rather than frozen-index state. Serving it once
+	// is honest; memoizing it would let one bad moment poison every
+	// later request until eviction.
+	cacheSkip
+)
+
 // cachedJSON consults the response caches before computing; on a miss
-// it renders v() to JSON, stores it, and serves it. Only successful
-// computations are cached. An empty key bypasses the cache. negative,
-// when non-nil, routes "nothing there" answers (no snapshot, never
-// archived) to the negative cache's shorter capacity class, so a flood
-// of lookups for unarchived URLs cannot evict the expensive positive
-// results (§5.1: the majority of the paper's dead links were never
-// archived at all — the negative case is the common one).
-func (s *Server) cachedJSON(w http.ResponseWriter, key string, negative func(v any) bool, v func() (any, error)) {
+// it renders v() to JSON, stores it according to class (nil = always
+// positive), and serves it. Only successful computations are cached.
+// An empty key bypasses the cache entirely.
+func (s *Server) cachedJSON(w http.ResponseWriter, key string, class func(v any) cacheClass, v func() (any, error)) {
 	if s.tryServeCached(w, key) {
 		return
 	}
@@ -166,10 +190,15 @@ func (s *Server) cachedJSON(w http.ResponseWriter, key string, negative func(v a
 	}
 	body = append(body, '\n')
 	if key != "" {
-		if negative != nil && negative(val) {
-			s.negCache.Put(key, body)
-		} else {
+		cl := cachePositive
+		if class != nil {
+			cl = class(val)
+		}
+		switch cl {
+		case cachePositive:
 			s.cache.Put(key, body)
+		case cacheNegative:
+			s.negCache.Put(key, body)
 		}
 	}
 	w.Header().Set("X-Cache", "miss")
@@ -308,10 +337,23 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		"a", urlutil.SchemeAgnosticKey(rawURL), rawURL, strconv.Itoa(int(want)),
 		strconv.Itoa(int(asOf)), timeout.String(), acceptName,
 	}, "\x00")
-	// "No usable snapshot" (absence or a §4.1 timeout) is the negative
-	// class: cheap to recompute, endless to enumerate.
-	negative := func(v any) bool { return !v.(availabilityResponse).Available }
-	s.cachedJSON(w, key, negative, func() (any, error) {
+	// "No usable snapshot" by frozen-index absence is the negative
+	// class: cheap to recompute, endless to enumerate. A §4.1 lookup
+	// timeout is NOT: the scan never finished, so "timed_out with no
+	// snapshot" is a fact about this lookup's budget, not about the
+	// archive — memoizing it would turn one slow moment into a durable
+	// (and wrong) no-snapshot answer.
+	class := func(v any) cacheClass {
+		resp := v.(availabilityResponse)
+		switch {
+		case resp.TimedOut:
+			return cacheSkip
+		case !resp.Available:
+			return cacheNegative
+		}
+		return cachePositive
+	}
+	s.cachedJSON(w, key, class, func() (any, error) {
 		resp := availabilityResponse{
 			URL:       rawURL,
 			Policy:    availabilityPolicy{TimeoutMS: int64(timeout / time.Millisecond), Accept: acceptName},
@@ -411,7 +453,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		key += "\x00r" + strconv.Itoa(retries) + "\x00c" + strconv.Itoa(confirm) +
 			"\x00d" + strconv.Itoa(spacing)
 	}
-	s.cachedJSON(w, key, nil, func() (any, error) {
+	// A live check that ran into a 5xx/429/timeout is a snapshot of a
+	// bad moment (a fault window, an overloaded origin) — serve it,
+	// never memoize it.
+	class := func(v any) cacheClass {
+		if v.(statusResponse).Live.Transient() {
+			return cacheSkip
+		}
+		return cachePositive
+	}
+	s.cachedJSON(w, key, class, func() (any, error) {
 		resp := statusResponse{URL: rawURL}
 		var live core.LiveStatus
 		var err error
@@ -513,6 +564,18 @@ func (s *Server) classifyBody(ctx context.Context, rawURL string) (body []byte, 
 		if s.testHookClassify != nil {
 			s.testHookClassify()
 		}
+		// SimLiveLatency models the live-web round trip the simulator
+		// otherwise skips: a real classification spends most of its
+		// wall-clock in network I/O, and restoring that service time
+		// (while a worker slot is held) makes measured capacity
+		// worker-bound, as in production, rather than CPU-bound.
+		if s.cfg.SimLiveLatency > 0 {
+			select {
+			case <-time.After(s.cfg.SimLiveLatency):
+			case <-cctx.Done():
+				return nil, &classifyError{http.StatusServiceUnavailable, "deadline", cctx.Err().Error()}
+			}
+		}
 		c, err := s.study.ClassifyLink(cctx, rec)
 		if err != nil {
 			return nil, err
@@ -522,9 +585,16 @@ func (s *Server) classifyBody(ctx context.Context, rawURL string) (body []byte, 
 			return nil, &classifyError{http.StatusInternalServerError, "encode", err.Error()}
 		}
 		b = append(b, '\n')
-		if c.Archive.NeverArchived {
+		// A verdict measured through a transient live failure (a 5xx,
+		// a 429, a timeout during a fault window) is served to this
+		// flight but never memoized: the archive half is durable, the
+		// live half is not, and the next request should re-measure.
+		switch {
+		case c.Live.Transient():
+			// skip both caches
+		case c.Archive.NeverArchived:
 			s.negCache.Put(key, b)
-		} else {
+		default:
 			s.cache.Put(key, b)
 		}
 		return b, nil
@@ -661,8 +731,32 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		offset = parsed
 	}
 	withArticles := q.Get("articles") == "1" || q.Get("articles") == "true"
-	resp := sampleResponse{Total: len(s.order), Offset: offset}
-	for i := offset; i < len(s.order) && len(resp.URLs) < n; i++ {
+
+	// view=owned (shard mode) restricts the listing to links whose
+	// registrable domain this fleet member owns on the current ring —
+	// the slice a router concatenates across shards. Standalone servers
+	// own everything, so the filter passes all records through there.
+	owned := func(int) bool { return true }
+	if q.Get("view") == "owned" {
+		if ring := s.ring.Load(); ring != nil {
+			owned = func(i int) bool { return ring.Owner(s.recordDomains[i]) == s.shardName }
+		}
+	}
+
+	resp := sampleResponse{Offset: offset}
+	seen := 0
+	for i := 0; i < len(s.order); i++ {
+		if !owned(i) {
+			continue
+		}
+		resp.Total++
+		if seen < offset {
+			seen++
+			continue
+		}
+		if len(resp.URLs) >= n {
+			continue // keep counting Total past the window
+		}
 		resp.URLs = append(resp.URLs, s.order[i].URL)
 		if withArticles {
 			resp.Articles = append(resp.Articles, s.order[i].Article)

@@ -67,6 +67,7 @@ import (
 	"permadead/internal/journal"
 	"permadead/internal/monitor"
 	"permadead/internal/persist"
+	"permadead/internal/shard"
 	"permadead/internal/simclock"
 	"permadead/internal/simweb"
 	"permadead/internal/urlutil"
@@ -112,6 +113,14 @@ type Config struct {
 	// DisablePrefilter turns off the frozen archive's capture
 	// prefilter (for benchmarking the filter's effect).
 	DisablePrefilter bool
+	// SimLiveLatency, when > 0, floors each classification's service
+	// time with a wall-clock wait while its worker slot is held. The
+	// simulated web answers instantly, but the system being modeled
+	// spends most of a classification in live-web I/O; restoring that
+	// makes measured throughput worker-bound (as in production), which
+	// is what fleet-scaling benchmarks need on small machines. Zero
+	// (the default) leaves the simulator at full speed.
+	SimLiveLatency time.Duration
 	// MemoCap bounds the study memo's per-map entries
 	// (archive.NewMemoCapped); 0 means unbounded.
 	MemoCap int
@@ -135,10 +144,29 @@ type Config struct {
 	// file (sequence numbers resume from its existing entries); empty
 	// keeps the journal in memory only.
 	JournalPath string
+	// JournalWindow bounds how many flip entries the journal keeps in
+	// memory (0 = unbounded). An SSE resume cursor older than the
+	// window replays from the JournalPath file when one is configured;
+	// without a file the stream answers 410 Gone instead of silently
+	// skipping the evicted flips.
+	JournalWindow int
 	// EnableRepair runs IABot's single-link maintenance pass over every
 	// watched article citing a link that flips to dead: the citation is
 	// patched with a usable archived copy or tagged {{dead link}}.
 	EnableRepair bool
+
+	// ShardName, when set, runs this server as one member of a sharded
+	// fleet: the /v1/shard admin endpoints activate and /v1/sample
+	// gains a view=owned filter restricted to the registrable domains
+	// this member owns on the fleet's consistent-hash ring. The shard
+	// still serves the full universe on the verdict endpoints —
+	// ownership shapes only the population view — which is what makes
+	// restart-free rebalancing possible. ShardMembers lists every
+	// fleet member name (must include ShardName); ShardVNodes is the
+	// ring's per-member virtual-node count (0 = shard.DefaultVNodes).
+	ShardName    string
+	ShardMembers []string
+	ShardVNodes  int
 }
 
 // DefaultConfig returns production-shaped defaults over the paper's
@@ -160,6 +188,7 @@ func DefaultConfig() Config {
 		MonitorCheckers:     8,
 		SSESubscriberBuffer: 256,
 		MaxSSESubscribers:   64,
+		JournalWindow:       8192,
 	}
 }
 
@@ -192,6 +221,16 @@ type Server struct {
 	httpSrv  *http.Server
 	ln       net.Listener
 	started  time.Time
+
+	// Shard mode (ring holds nil when standalone): the fleet member
+	// name this process serves as, the current ownership ring —
+	// swapped atomically when the router pushes a rebalanced
+	// RingState — and each sampled record's registrable domain,
+	// precomputed once so the owned /v1/sample view filters without
+	// re-deriving PSL domains per request.
+	shardName     string
+	ring          atomic.Pointer[shard.Ring]
+	recordDomains []string
 
 	// startupMS holds named startup-phase durations (load, freeze,
 	// listen) recorded by the serving binary and exported under the
@@ -273,6 +312,12 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		}
 	}
 
+	if cfg.ShardName != "" {
+		if err := s.initShard(cfg); err != nil {
+			return nil, err
+		}
+	}
+
 	if !cfg.DisableMonitor {
 		if err := s.startMonitor(b, cfg); err != nil {
 			return nil, err
@@ -326,6 +371,7 @@ func (s *Server) startMonitor(b *persist.Bundle, cfg Config) error {
 			return fmt.Errorf("service: opening flip journal: %w", err)
 		}
 	}
+	jrnl.SetWindow(cfg.JournalWindow)
 	feed := eventstream.NewFeed(feedBuffer)
 	feed.Attach(b.Wiki)
 	var repairer monitor.Repairer

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"permadead/internal/shard"
+	"permadead/internal/urlutil"
+)
+
+// initShard turns on fleet membership: build the initial ring from the
+// configured member list and precompute each sampled record's
+// registrable domain for the owned /v1/sample view.
+func (s *Server) initShard(cfg Config) error {
+	ring, err := shard.New(cfg.ShardMembers, cfg.ShardVNodes)
+	if err != nil {
+		return fmt.Errorf("service: building shard ring: %w", err)
+	}
+	found := false
+	for _, m := range ring.Members() {
+		if m == cfg.ShardName {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("service: shard name %q is not in the member list %v", cfg.ShardName, cfg.ShardMembers)
+	}
+	s.shardName = cfg.ShardName
+	s.ring.Store(ring)
+	s.recordDomains = make([]string, len(s.order))
+	for i, rec := range s.order {
+		s.recordDomains[i] = urlutil.Domain(rec.URL)
+	}
+	s.met.publishFunc("shard", func() any {
+		r := s.ring.Load()
+		owned, total := s.ownedCount()
+		return map[string]any{
+			"name":        s.shardName,
+			"generation":  r.Generation(),
+			"members":     r.Members(),
+			"owned_links": owned,
+			"total_links": total,
+		}
+	})
+	return nil
+}
+
+// ownedCount tallies how many sampled links this member currently owns.
+func (s *Server) ownedCount() (owned, total int) {
+	r := s.ring.Load()
+	for _, d := range s.recordDomains {
+		if r.Owner(d) == s.shardName {
+			owned++
+		}
+	}
+	return owned, len(s.order)
+}
+
+// shardInfoResponse is GET /v1/shard/info: this member's identity and
+// its current slice of the population.
+type shardInfoResponse struct {
+	Name       string   `json:"name"`
+	Generation int64    `json:"generation"`
+	VNodes     int      `json:"vnodes"`
+	Members    []string `json:"members"`
+	OwnedLinks int      `json:"owned_links"`
+	TotalLinks int      `json:"total_links"`
+}
+
+func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	ring := s.ring.Load()
+	st := ring.State()
+	owned, total := s.ownedCount()
+	writeJSON(w, shardInfoResponse{
+		Name:       s.shardName,
+		Generation: st.Generation,
+		VNodes:     st.VNodes,
+		Members:    st.Members,
+		OwnedLinks: owned,
+		TotalLinks: total,
+	})
+}
+
+// handleShardOwnership installs a router-pushed ring update. Updates
+// are ordered by generation: a state older than what this shard holds
+// answers 409 so a delayed push can never roll ownership back. Equal
+// generations are accepted idempotently (the router retries pushes).
+func (s *Server) handleShardOwnership(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var st shard.RingState
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&st); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "decoding ring state: %v", err)
+		return
+	}
+	next, err := shard.FromState(st)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_ring", "%v", err)
+		return
+	}
+	for {
+		cur := s.ring.Load()
+		if next.Generation() < cur.Generation() {
+			writeError(w, http.StatusConflict, "stale_ring",
+				"pushed generation %d is older than installed generation %d", next.Generation(), cur.Generation())
+			return
+		}
+		if s.ring.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	owned, total := s.ownedCount()
+	writeJSON(w, map[string]any{
+		"name":        s.shardName,
+		"generation":  next.Generation(),
+		"owned_links": owned,
+		"total_links": total,
+	})
+}

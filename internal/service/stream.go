@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"permadead/internal/journal"
 	"permadead/internal/monitor"
 )
 
@@ -142,14 +143,18 @@ func (s *Server) handleWatched(w http.ResponseWriter, r *http.Request) {
 
 // parseLastEventID reads the resume cursor: the standard Last-Event-ID
 // header (what an EventSource client re-sends on reconnect), with a
-// last_event_id query parameter as the curl-friendly spelling.
+// last_event_id query parameter as the curl-friendly spelling. An
+// absent cursor returns -1: "no resume contract" — the subscriber gets
+// whatever history is retained, leniently — whereas an explicit cursor
+// (0 included) demands exactly-once delivery of everything after it
+// and fails with 410 when that history is gone.
 func parseLastEventID(r *http.Request) (int64, error) {
 	v := r.Header.Get("Last-Event-ID")
 	if v == "" {
 		v = r.URL.Query().Get("last_event_id")
 	}
 	if v == "" {
-		return 0, nil
+		return -1, nil
 	}
 	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil || n < 0 {
@@ -186,6 +191,18 @@ func (s *Server) handleStreamVerdicts(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, err := s.mon.Subscribe(lastSeq)
 	if err != nil {
+		// A cursor that predates the journal's in-memory window with no
+		// file to replay from is permanently unservable: 410 tells the
+		// client its cursor is dead and a fresh (cursor-less) subscribe
+		// plus its own state resync is the only way forward. Anything
+		// else would silently skip the evicted flips.
+		var trunc *journal.TruncatedError
+		if errors.As(err, &trunc) {
+			writeError(w, http.StatusGone, "replay_gone",
+				"cursor %d predates the retained journal window (oldest replayable seq is %d); reconnect without Last-Event-ID and resync",
+				trunc.RequestedSeq, trunc.OldestSeq)
+			return
+		}
 		writeMonitorError(w, err)
 		return
 	}

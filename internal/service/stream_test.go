@@ -527,3 +527,111 @@ func TestSimEditMembership(t *testing.T) {
 		t.Fatalf("sim/article: %+v", ar)
 	}
 }
+
+// streamResume opens /v1/stream/verdicts with an explicit
+// Last-Event-ID header and returns the raw response (caller closes).
+func streamResume(t *testing.T, base string, lastSeq int64) *http.Response {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stream/verdicts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeq, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestStreamResumeBeyondWindowGone: with a bounded in-memory journal
+// window and no file sink, a resume cursor whose successor entries
+// were evicted must answer 410 Gone — the regression was a silent
+// skip: the stream connected and replayed only what was left, so a
+// reconnecting client lost flips without any signal.
+func TestStreamResumeBeyondWindowGone(t *testing.T) {
+	_, base := newStreamServer(t, func(cfg *Config) { cfg.JournalWindow = 1 })
+
+	watchSampleArticles(t, base, 120)
+	last := tickUntilFlips(t, base, 3, 15, 120)
+	n := last.Stats.JournalEntries
+
+	resp := streamResume(t, base, 0)
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("resume at 0 past a 1-entry window = %d, want 410 (body: %s)", resp.StatusCode, raw)
+	}
+	var env struct {
+		Error errorBody `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("410 body is not the error envelope: %v (%s)", err, raw)
+	}
+	if env.Error.Code != "replay_gone" {
+		t.Fatalf("410 code = %q, want replay_gone", env.Error.Code)
+	}
+
+	// A cursor still inside the window resumes normally...
+	ok := streamResume(t, base, int64(n-1))
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("resume at %d (inside window) = %d, want 200", n-1, ok.StatusCode)
+	}
+	ch := make(chan sseEvent, 16)
+	go readSSE(ok.Body, ch)
+	got := collectN(t, ch, 1, 10*time.Second)
+	if got[0].id != int64(n) {
+		t.Fatalf("in-window resume replayed seq %d, want %d", got[0].id, n)
+	}
+
+	// ...and a fresh subscriber with no cursor has no resume contract:
+	// it connects fine (lenient retained-history replay).
+	fresh, err := http.Get(base + "/v1/stream/verdicts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Body.Close()
+	if fresh.StatusCode != http.StatusOK {
+		t.Fatalf("cursor-less subscribe after eviction = %d, want 200", fresh.StatusCode)
+	}
+}
+
+// TestStreamResumeBeyondWindowFromDisk: the same stale cursor against
+// a file-backed journal replays the full suffix from disk — every
+// evicted seq present, exactly once, in order.
+func TestStreamResumeBeyondWindowFromDisk(t *testing.T) {
+	jpath := t.TempDir() + "/flips.ndjson"
+	_, base := newStreamServer(t, func(cfg *Config) {
+		cfg.JournalWindow = 1
+		cfg.JournalPath = jpath
+	})
+
+	watchSampleArticles(t, base, 120)
+	last := tickUntilFlips(t, base, 3, 15, 120)
+	n := last.Stats.JournalEntries
+
+	resp := streamResume(t, base, 0)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("disk-backed resume at 0 = %d, want 200 (body: %s)", resp.StatusCode, raw)
+	}
+	ch := make(chan sseEvent, 1024)
+	go readSSE(resp.Body, ch)
+	events := collectN(t, ch, n, 10*time.Second)
+	for i, ev := range events {
+		if ev.id != int64(i+1) {
+			t.Fatalf("disk replay event %d: id %d, want %d", i, ev.id, i+1)
+		}
+		var e monitor.Event
+		if err := json.Unmarshal([]byte(ev.data), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != ev.id || e.URL == "" {
+			t.Fatalf("disk replay event %d malformed: %+v", i, e)
+		}
+	}
+}

@@ -1,0 +1,836 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"permadead/internal/core"
+	"permadead/internal/urlutil"
+)
+
+// Member names one shard and where to reach it.
+type Member struct {
+	Name string
+	Base string // e.g. http://127.0.0.1:9001
+}
+
+// RouterConfig tunes the fleet router. Zero values select defaults.
+type RouterConfig struct {
+	// Members is the fleet, in ring order. Names must match the
+	// -shard-name each permadeadd was started with.
+	Members []Member
+	// VNodes is the ring's per-member virtual-node count.
+	VNodes int
+	// ShardTimeout is the per-shard deadline on every proxied or
+	// scattered leg — the bound that turns a hung shard into a flagged
+	// partial result instead of a hung client.
+	ShardTimeout time.Duration
+	// HealthInterval is the /healthz polling cadence. Proxy failures
+	// mark a member down immediately; polling brings it back.
+	HealthInterval time.Duration
+	// RetryAfterSec is the Retry-After advertisement on degraded
+	// (shard-down) responses.
+	RetryAfterSec int
+	// MaxBatchLinks mirrors the shard-side bound on one batch request.
+	MaxBatchLinks int
+	// DrainTimeout bounds how long a rebalance waits for the old
+	// owner's in-flight requests on the moved range to finish.
+	DrainTimeout time.Duration
+}
+
+func (c *RouterConfig) fillDefaults() {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 15 * time.Second
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.RetryAfterSec <= 0 {
+		c.RetryAfterSec = 2
+	}
+	if c.MaxBatchLinks <= 0 {
+		c.MaxBatchLinks = 10000
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+}
+
+// member is the router's live view of one shard.
+type member struct {
+	name    string
+	base    string
+	healthy atomic.Bool
+	// proxied / failed count forwarded requests and transport-level
+	// failures (for /metrics).
+	proxied atomic.Int64
+	failed  atomic.Int64
+	// inflight tracks requests currently forwarded to this member,
+	// bucketed by the ring point that routed them — the unit a
+	// rebalance drains before declaring the handoff complete.
+	inflight sync.Map // uint64 (ring point) -> *atomic.Int64
+}
+
+func (m *member) track(point uint64) func() {
+	v, _ := m.inflight.LoadOrStore(point, new(atomic.Int64))
+	ctr := v.(*atomic.Int64)
+	ctr.Add(1)
+	return func() { ctr.Add(-1) }
+}
+
+func (m *member) inflightOn(point uint64) int64 {
+	v, ok := m.inflight.Load(point)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
+}
+
+// Router is a stateless fan-out proxy in front of a permadeadd fleet.
+// It owns the authoritative ring, proxies single-link verdicts to the
+// owning shard, scatter-gathers population queries, splits batch
+// requests by owner, and orchestrates rebalances. It holds no link
+// state of its own: killing and restarting the router loses nothing.
+type Router struct {
+	cfg     RouterConfig
+	ring    atomic.Pointer[Ring]
+	members map[string]*member
+	order   []string
+	client  *http.Client
+
+	rebalanceMu sync.Mutex // serializes handoffs
+	stop        chan struct{}
+	stopOnce    sync.Once
+
+	degraded atomic.Int64 // responses flagged partial or shard_down
+}
+
+// NewRouter builds a router over the fleet. Members start healthy;
+// the first health sweep (and any proxy failure) corrects that.
+// Call Close to stop the health loop.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg.fillDefaults()
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one member")
+	}
+	names := make([]string, len(cfg.Members))
+	for i, m := range cfg.Members {
+		names[i] = m.Name
+	}
+	ring, err := New(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:     cfg,
+		members: make(map[string]*member, len(cfg.Members)),
+		order:   names,
+		client:  &http.Client{}, // per-leg deadlines ride on contexts
+		stop:    make(chan struct{}),
+	}
+	r.ring.Store(ring)
+	for _, m := range cfg.Members {
+		base := m.Base
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		mem := &member{name: m.Name, base: strings.TrimSuffix(base, "/")}
+		mem.healthy.Store(true)
+		r.members[m.Name] = mem
+	}
+	go r.healthLoop()
+	return r, nil
+}
+
+// Close stops the health loop.
+func (r *Router) Close() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// Ring returns the current ring.
+func (r *Router) Ring() *Ring { return r.ring.Load() }
+
+func (r *Router) healthLoop() {
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			for _, m := range r.members {
+				m.healthy.Store(r.probe(m))
+			}
+		}
+	}
+}
+
+// probe asks one shard's /healthz; only a 200 counts (a draining shard
+// answers 503 and must stop receiving traffic).
+func (r *Router) probe(m *member) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Handler returns the router's route tree. The surface mirrors the
+// shard API where proxying is transparent; fleet-only routes live
+// under /admin.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	single := http.HandlerFunc(r.handleSingle)
+	mux.Handle("/v1/availability", single)
+	mux.Handle("/v1/status", single)
+	mux.Handle("/v1/classify", single)
+	mux.HandleFunc("/v1/classify/batch", r.handleBatch)
+	mux.HandleFunc("/v1/sample", r.handleSample)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/admin/ring", r.handleRing)
+	mux.HandleFunc("/admin/rebalance", r.handleRebalance)
+	return mux
+}
+
+// writeError mirrors the shard-side error envelope so fleet clients
+// parse one shape everywhere.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+		"error": map[string]string{"code": code, "message": fmt.Sprintf(format, args...)},
+	})
+}
+
+func (r *Router) degrade(w http.ResponseWriter, status int, code, format string, args ...any) {
+	r.degraded.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(r.cfg.RetryAfterSec))
+	writeError(w, status, code, format, args...)
+}
+
+// route resolves a raw URL to its owning member and the ring point
+// that made the decision.
+func (r *Router) route(rawURL string) (*member, uint64) {
+	ring := r.ring.Load()
+	domain := urlutil.Domain(rawURL)
+	return r.members[ring.Owner(domain)], ring.PointOf(domain)
+}
+
+// handleSingle proxies /v1/availability, /v1/status, and /v1/classify
+// to the shard owning the queried URL's registrable domain. The shard's
+// response — status, body, cache headers — passes through verbatim, so
+// a fleet answer is byte-identical to the owning shard's; the router
+// adds only X-Fleet-Shard. A down or unreachable owner answers 503
+// with Retry-After instead of hanging.
+func (r *Router) handleSingle(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	rawURL := req.URL.Query().Get("url")
+	if rawURL == "" {
+		writeError(w, http.StatusBadRequest, "missing_url", "missing url parameter")
+		return
+	}
+	m, point := r.route(rawURL)
+	if !m.healthy.Load() {
+		r.degrade(w, http.StatusServiceUnavailable, "shard_down",
+			"shard %s (owner of %s) is down; retry shortly", m.name, urlutil.Domain(rawURL))
+		return
+	}
+	done := m.track(point)
+	defer done()
+
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ShardTimeout)
+	defer cancel()
+	out, err := http.NewRequestWithContext(ctx, http.MethodGet, m.base+req.URL.Path+"?"+req.URL.RawQuery, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		m.healthy.Store(false)
+		m.failed.Add(1)
+		r.degrade(w, http.StatusServiceUnavailable, "shard_unreachable",
+			"shard %s did not answer within %v: %v", m.name, r.cfg.ShardTimeout, err)
+		return
+	}
+	defer resp.Body.Close()
+	m.proxied.Add(1)
+	for _, h := range []string{"Content-Type", "X-Cache", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Fleet-Shard", m.name)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // headers are out; the stream just ends
+}
+
+// batchLine pairs a global input index with its rendered NDJSON line.
+type errLine struct {
+	URL   string `json:"url"`
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func renderErrLine(url, code, msg string) []byte {
+	var l errLine
+	l.URL = url
+	l.Error.Code, l.Error.Message = code, msg
+	b, _ := json.Marshal(l) //nolint:errcheck // struct of strings cannot fail
+	return append(b, '\n')
+}
+
+// handleBatch splits one bulk-classify request by owning shard, posts
+// each shard its sub-batch concurrently, and re-merges the streamed
+// NDJSON lines into global input order via core.StreamOrdered — line i
+// flushes as soon as it and its predecessors are ready, no matter
+// which shard computed it. Links owned by a down shard become
+// {"error":{"code":"shard_down"}} lines (the same per-line degradation
+// contract as unknown links), the response is flagged with
+// X-Fleet-Partial and Retry-After, and a shard that dies mid-stream
+// fails only its own remaining lines.
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var body struct {
+		URLs []string `json:"urls"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 32<<20)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "decoding request body: %v", err)
+		return
+	}
+	if len(body.URLs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", `body must carry a non-empty "urls" array`)
+		return
+	}
+	if len(body.URLs) > r.cfg.MaxBatchLinks {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"%d urls exceeds the %d-link batch bound; split the request", len(body.URLs), r.cfg.MaxBatchLinks)
+		return
+	}
+
+	// Partition input indices by owning member under one ring snapshot
+	// (a rebalance mid-request must not split a batch across rings).
+	ring := r.ring.Load()
+	type part struct {
+		m      *member
+		point  uint64 // any routed point; per-index points tracked below
+		idxs   []int
+		points []uint64
+	}
+	parts := make(map[string]*part)
+	for i, u := range body.URLs {
+		d := urlutil.Domain(u)
+		name := ring.Owner(d)
+		p := parts[name]
+		if p == nil {
+			p = &part{m: r.members[name]}
+			parts[name] = p
+		}
+		p.idxs = append(p.idxs, i)
+		p.points = append(p.points, ring.PointOf(d))
+	}
+
+	// slots[i] carries exactly one line for global index i; capacity 1
+	// means shard readers never block on the merger.
+	n := len(body.URLs)
+	slots := make([]chan []byte, n)
+	for i := range slots {
+		slots[i] = make(chan []byte, 1)
+	}
+
+	var down []string
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		if !p.m.healthy.Load() {
+			down = append(down, p.m.name)
+			for _, i := range p.idxs {
+				slots[i] <- renderErrLine(body.URLs[i], "shard_down",
+					fmt.Sprintf("shard %s is down; retry shortly", p.m.name))
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(p *part) {
+			defer wg.Done()
+			r.streamSubBatch(ctx, p.m, p.points, body.URLs, p.idxs, slots)
+		}(p)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("X-Batch-Links", strconv.Itoa(n))
+	if len(down) > 0 {
+		sort.Strings(down)
+		w.Header().Set("X-Fleet-Partial", strings.Join(down, ","))
+		w.Header().Set("Retry-After", strconv.Itoa(r.cfg.RetryAfterSec))
+		r.degraded.Add(1)
+	}
+	flusher, _ := w.(http.Flusher)
+
+	// The merge: workers claim global indices and wait on that index's
+	// slot; emit runs in strict input order. Width tracks the fleet —
+	// one in-flight index per shard stream plus slack — because each
+	// claimed index blocks until its shard delivers.
+	width := 2*len(parts) + 1
+	//nolint:errcheck // a mid-stream client disconnect just ends the stream
+	core.StreamOrdered(ctx, n, width,
+		func(i int) []byte {
+			select {
+			case line := <-slots[i]:
+				return line
+			case <-ctx.Done():
+				return renderErrLine(body.URLs[i], "client_closed_request", "request canceled")
+			}
+		},
+		func(i int, line []byte) error {
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	cancel()
+	wg.Wait()
+}
+
+// streamSubBatch posts one shard its slice of the batch and fans the
+// streamed lines back into the global slots. Any leg failure —
+// unreachable shard, non-200, truncated stream — turns the remaining
+// indices into shard_unreachable error lines; it never hangs past the
+// per-shard deadline.
+func (r *Router) streamSubBatch(ctx context.Context, m *member, points []uint64, urls []string, idxs []int, slots []chan []byte) {
+	for k, point := range points {
+		defer m.track(point)() //nolint:gocritic // balanced at stream end by design
+		_ = k
+	}
+	sub := make([]string, len(idxs))
+	for k, i := range idxs {
+		sub[k] = urls[i]
+	}
+	payload, _ := json.Marshal(map[string][]string{"urls": sub}) //nolint:errcheck
+
+	failFrom := func(k int, code string, msg string) {
+		for ; k < len(idxs); k++ {
+			slots[idxs[k]] <- renderErrLine(urls[idxs[k]], code, msg)
+		}
+	}
+
+	legCtx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(legCtx, http.MethodPost, m.base+"/v1/classify/batch", bytes.NewReader(payload))
+	if err != nil {
+		failFrom(0, "internal", err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		m.healthy.Store(false)
+		m.failed.Add(1)
+		failFrom(0, "shard_unreachable", fmt.Sprintf("shard %s: %v", m.name, err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		failFrom(0, "shard_error", fmt.Sprintf("shard %s answered %d: %s", m.name, resp.StatusCode, bytes.TrimSpace(raw)))
+		return
+	}
+	m.proxied.Add(1)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	k := 0
+	for k < len(idxs) && sc.Scan() {
+		line := append(append([]byte(nil), sc.Bytes()...), '\n')
+		slots[idxs[k]] <- line
+		k++
+	}
+	if k < len(idxs) {
+		msg := fmt.Sprintf("shard %s stream truncated at line %d of %d", m.name, k, len(idxs))
+		if err := sc.Err(); err != nil {
+			msg += ": " + err.Error()
+		}
+		failFrom(k, "shard_unreachable", msg)
+	}
+}
+
+// routerSample is the fleet's merged /v1/sample shape: the shard
+// response plus the degraded-mode fields. Partial and MissingShards
+// appear only when a shard could not contribute, so healthy-fleet
+// responses stay shaped like a single shard's.
+type routerSample struct {
+	Total    int      `json:"total"`
+	Offset   int      `json:"offset"`
+	Count    int      `json:"count"`
+	URLs     []string `json:"urls"`
+	Articles []string `json:"articles,omitempty"`
+	// ByShard reports each contributing shard's owned-population size.
+	ByShard map[string]int `json:"by_shard"`
+	// Partial is set when at least one shard's slice is missing; the
+	// response then also carries Retry-After.
+	Partial       bool     `json:"partial,omitempty"`
+	MissingShards []string `json:"missing_shards,omitempty"`
+}
+
+// handleSample scatter-gathers the sampled population: every shard
+// contributes its owned slice (view=owned), each leg under its own
+// deadline, and the router interleaves the slices round-robin before
+// applying offset/n. A missing shard — down, unreachable, or past its
+// deadline — yields a flagged partial result with Retry-After instead
+// of an error or a hang.
+func (r *Router) handleSample(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	q := req.URL.Query()
+	n := 100
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, "bad_n", "malformed n %q", v)
+			return
+		}
+		n = parsed
+	}
+	offset := 0
+	if v := q.Get("offset"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, "bad_offset", "malformed offset %q", v)
+			return
+		}
+		offset = parsed
+	}
+	withArticles := q.Get("articles") == "1" || q.Get("articles") == "true"
+
+	type slice struct {
+		total    int
+		urls     []string
+		articles []string
+		err      error
+	}
+	slices := make([]slice, len(r.order))
+	var wg sync.WaitGroup
+	for i, name := range r.order {
+		m := r.members[name]
+		if !m.healthy.Load() {
+			slices[i].err = fmt.Errorf("down")
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ShardTimeout)
+			defer cancel()
+			// Each shard is asked for enough of its slice to cover the
+			// merged window: offset+n is an upper bound on any one
+			// shard's contribution.
+			target := fmt.Sprintf("%s/v1/sample?view=owned&n=%d", m.base, offset+n)
+			if withArticles {
+				target += "&articles=1"
+			}
+			out, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+			if err != nil {
+				slices[i].err = err
+				return
+			}
+			resp, err := r.client.Do(out)
+			if err != nil {
+				m.healthy.Store(false)
+				m.failed.Add(1)
+				slices[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				slices[i].err = fmt.Errorf("shard answered %d", resp.StatusCode)
+				return
+			}
+			m.proxied.Add(1)
+			var sr struct {
+				Total    int      `json:"total"`
+				URLs     []string `json:"urls"`
+				Articles []string `json:"articles"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				slices[i].err = err
+				return
+			}
+			slices[i] = slice{total: sr.Total, urls: sr.URLs, articles: sr.Articles}
+		}(i, m)
+	}
+	wg.Wait()
+
+	out := routerSample{Offset: offset, ByShard: make(map[string]int, len(r.order))}
+	for i, name := range r.order {
+		sl := slices[i]
+		if sl.err != nil {
+			out.Partial = true
+			out.MissingShards = append(out.MissingShards, name)
+			continue
+		}
+		out.Total += sl.total
+		out.ByShard[name] = sl.total
+	}
+	// Interleave the slices round-robin rather than concatenating them:
+	// any prefix of the merged listing then spreads across the whole
+	// fleet, so a load generator sampling the first K URLs drives every
+	// shard instead of hammering whichever member sorts first — the
+	// sampling property the fleet workload's scaling measurement (and
+	// any client wanting a representative cross-section) relies on.
+	skip := offset
+	for j := 0; len(out.URLs) < n; j++ {
+		advanced := false
+		for i := range r.order {
+			sl := slices[i]
+			if sl.err != nil || j >= len(sl.urls) {
+				continue
+			}
+			advanced = true
+			if skip > 0 {
+				skip--
+				continue
+			}
+			if len(out.URLs) >= n {
+				break
+			}
+			out.URLs = append(out.URLs, sl.urls[j])
+			if withArticles && j < len(sl.articles) {
+				out.Articles = append(out.Articles, sl.articles[j])
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	out.Count = len(out.URLs)
+	if out.Partial {
+		w.Header().Set("Retry-After", strconv.Itoa(r.cfg.RetryAfterSec))
+		r.degraded.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
+}
+
+// handleHealthz reports fleet health: 200 with per-shard status. The
+// router itself is healthy as long as it runs; "degraded" in the body
+// is the load-balancer signal that some range of the keyspace is dark.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	shards := make(map[string]any, len(r.order))
+	status := "ok"
+	for _, name := range r.order {
+		m := r.members[name]
+		h := m.healthy.Load()
+		if !h {
+			status = "degraded"
+		}
+		shards[name] = map[string]any{"base": m.base, "healthy": h}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+		"status":     status,
+		"generation": r.ring.Load().Generation(),
+		"shards":     shards,
+	})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	shards := make(map[string]any, len(r.order))
+	for _, name := range r.order {
+		m := r.members[name]
+		shards[name] = map[string]any{
+			"healthy": m.healthy.Load(),
+			"proxied": m.proxied.Load(),
+			"failed":  m.failed.Load(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+		"generation": r.ring.Load().Generation(),
+		"degraded":   r.degraded.Load(),
+		"shards":     shards,
+	})
+}
+
+func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(r.ring.Load().State()) //nolint:errcheck
+}
+
+// handleRebalance moves the hash range owning a domain to another
+// member. See Rebalance for the protocol.
+func (r *Router) handleRebalance(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var body struct {
+		Domain string `json:"domain"`
+		To     string `json:"to"`
+	}
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "decoding request body: %v", err)
+		return
+	}
+	if body.Domain == "" || body.To == "" {
+		writeError(w, http.StatusBadRequest, "bad_rebalance", `body must carry "domain" and "to"`)
+		return
+	}
+	res, err := r.Rebalance(req.Context(), body.Domain, body.To)
+	if err != nil {
+		writeError(w, http.StatusConflict, "rebalance_failed", "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(res) //nolint:errcheck
+}
+
+// RebalanceResult reports one completed handoff.
+type RebalanceResult struct {
+	Domain     string `json:"domain"`
+	Point      uint64 `json:"point"`
+	From       string `json:"from"`
+	To         string `json:"to"`
+	Generation int64  `json:"generation"`
+	// Drained reports whether the old owner's in-flight requests on the
+	// moved range hit zero within DrainTimeout (false means the wait
+	// timed out; the handoff still completed — shards serve the full
+	// universe, so a straggler finishes correctly on the old owner).
+	Drained     bool  `json:"drained"`
+	DrainWaitMS int64 `json:"drain_wait_ms"`
+}
+
+// Rebalance moves the hash range covering domain to member `to`:
+//
+//  1. the new owner learns the updated ring first (its owned sample
+//     view widens before any traffic arrives);
+//  2. the router cuts over — new requests for the range route to the
+//     new owner;
+//  3. the old owner's in-flight requests on the moved range drain
+//     (bounded by DrainTimeout; stragglers finish correctly because
+//     every shard can classify the full universe);
+//  4. the updated ring propagates to the remaining members, best
+//     effort, so their owned views converge.
+//
+// Handoffs serialize on an internal mutex; the target must be healthy.
+func (r *Router) Rebalance(ctx context.Context, domain, to string) (*RebalanceResult, error) {
+	r.rebalanceMu.Lock()
+	defer r.rebalanceMu.Unlock()
+
+	target, ok := r.members[to]
+	if !ok {
+		return nil, fmt.Errorf("unknown member %q", to)
+	}
+	if !target.healthy.Load() {
+		return nil, fmt.Errorf("target shard %s is down", to)
+	}
+	ring := r.ring.Load()
+	next, from, point, err := ring.MoveDomain(domain, to)
+	if err != nil {
+		return nil, err
+	}
+	res := &RebalanceResult{Domain: domain, Point: point, From: from, To: to, Generation: next.Generation()}
+	if from == to {
+		res.Drained = true
+		return res, nil // already owned; nothing to move
+	}
+
+	// 1. New owner first: it must accept the range before traffic cuts
+	// over to it.
+	if err := r.pushOwnership(ctx, target, next.State()); err != nil {
+		return nil, fmt.Errorf("new owner %s rejected the ring: %w", to, err)
+	}
+
+	// 2. Cut over.
+	r.ring.Store(next)
+
+	// 3. Drain the old owner's in-flight work on the moved range.
+	old := r.members[from]
+	start := time.Now()
+	deadline := start.Add(r.cfg.DrainTimeout)
+	for old.inflightOn(point) > 0 && time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			res.DrainWaitMS = time.Since(start).Milliseconds()
+			return res, nil
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	res.Drained = old.inflightOn(point) == 0
+	res.DrainWaitMS = time.Since(start).Milliseconds()
+
+	// 4. Propagate to the rest of the fleet (best effort — a shard that
+	// misses the update serves a stale owned view until the next push,
+	// which only affects /v1/sample composition, not verdicts).
+	for _, name := range r.order {
+		if name == to {
+			continue
+		}
+		if m := r.members[name]; m.healthy.Load() {
+			r.pushOwnership(ctx, m, next.State()) //nolint:errcheck
+		}
+	}
+	return res, nil
+}
+
+// pushOwnership POSTs a ring state to one shard's admin endpoint.
+func (r *Router) pushOwnership(ctx context.Context, m *member, st RingState) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	legCtx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(legCtx, http.MethodPost, m.base+"/v1/shard/ownership", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("shard %s answered %d: %s", m.name, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+#!/usr/bin/env bash
+# Smoke-test the sharded fleet end to end: generate one paged universe
+# (with a fleet-partition manifest), boot router+shards at 1, 2, and 4
+# shards, and check every fleet contract —
+#
+#   * verdict parity: /v1/classify through the router is byte-identical
+#     to a standalone permadeadd over the same universe file
+#   * scatter-gather: the fleet /v1/sample totals match the standalone's
+#   * degradation: with one shard killed, its links answer 503 with
+#     Retry-After (never a hang), the scattered sample flags partial and
+#     names the missing shard, and healthy-shard traffic still flows
+#   * scaling: classify throughput at 4 shards must be >= 3x the
+#     1-shard figure (shards run -classify-workers 1 -live-latency so
+#     capacity is worker-bound, not CPU-bound — the production shape)
+#
+# Throughput per fleet size and scatter p99 land in BENCH_PR9.json via
+# cmd/benchjson.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE=${SCALE:-0.05}
+LIVE_LATENCY=${LIVE_LATENCY:-25ms}
+N_REQS=${N_REQS:-240}
+SCALING_MIN=${SCALING_MIN:-3.0}
+
+workdir=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/permadeadd" ./cmd/permadeadd
+go build -o "$workdir/permadead-router" ./cmd/permadead-router
+go build -o "$workdir/loadgen" ./cmd/loadgen
+go build -o "$workdir/worldgen" ./cmd/worldgen
+
+fail() { echo "FAIL: $1"; tail -n 40 "$workdir"/*.log 2>/dev/null; exit 1; }
+
+# One universe for every fleet size, saved paged so each shard boot is
+# an mmap, plus the fleet-partition manifest worldgen -shards writes.
+"$workdir/worldgen" -scale "$SCALE" -save "$workdir/u.pduniv" -shards 4 >"$workdir/worldgen.log" 2>&1 \
+  || fail "worldgen"
+[ -s "$workdir/u.pduniv.fleet.json" ] || fail "worldgen -shards wrote no fleet manifest"
+grep -q '"owned_links"' "$workdir/u.pduniv.fleet.json" || fail "fleet manifest lacks owned_links"
+
+wait_addr() { # wait_addr <file> <pid> <what>
+  for _ in $(seq 1 150); do
+    [ -s "$1" ] && return 0
+    kill -0 "$2" 2>/dev/null || fail "$3 died during startup"
+    sleep 0.2
+  done
+  fail "$3 never wrote its address"
+}
+
+# boot_fleet N: N shards + router over them; sets $router_addr and
+# $shard_pids/$shard_addrs arrays.
+boot_fleet() {
+  local n=$1 members="" i
+  for i in $(seq 1 "$n"); do members="${members:+$members,}s$i"; done
+  shard_pids=(); shard_addrs=()
+  for i in $(seq 1 "$n"); do
+    rm -f "$workdir/s$i.addr"
+    "$workdir/permadeadd" -addr 127.0.0.1:0 -addr-file "$workdir/s$i.addr" \
+      -load "$workdir/u.pduniv" -no-monitor \
+      -shard-name "s$i" -shard-members "$members" \
+      -classify-workers 1 -live-latency "$LIVE_LATENCY" \
+      -cache-entries 0 -neg-cache-entries 0 \
+      >"$workdir/s$i.log" 2>&1 &
+    shard_pids+=($!); pids+=($!)
+  done
+  local routerspec=""
+  for i in $(seq 1 "$n"); do
+    wait_addr "$workdir/s$i.addr" "${shard_pids[$((i-1))]}" "shard s$i"
+    shard_addrs+=("$(cat "$workdir/s$i.addr")")
+    routerspec="${routerspec:+$routerspec,}s$i=${shard_addrs[$((i-1))]}"
+  done
+  rm -f "$workdir/router.addr"
+  "$workdir/permadead-router" -addr 127.0.0.1:0 -addr-file "$workdir/router.addr" \
+    -members "$routerspec" >"$workdir/router.log" 2>&1 &
+  router_pid=$!; pids+=($!)
+  wait_addr "$workdir/router.addr" "$router_pid" "router"
+  router_addr=$(cat "$workdir/router.addr")
+}
+
+stop_fleet() {
+  kill "${shard_pids[@]}" "$router_pid" 2>/dev/null || true
+  wait "${shard_pids[@]}" "$router_pid" 2>/dev/null || true
+  pids=()
+}
+
+# --- Correctness pass: 4-shard fleet vs a standalone server ---
+boot_fleet 4
+rm -f "$workdir/solo.addr"
+"$workdir/permadeadd" -addr 127.0.0.1:0 -addr-file "$workdir/solo.addr" \
+  -load "$workdir/u.pduniv" -no-monitor \
+  -classify-workers 1 -live-latency "$LIVE_LATENCY" \
+  -cache-entries 0 -neg-cache-entries 0 \
+  >"$workdir/solo.log" 2>&1 &
+solo_pid=$!; pids+=($!)
+wait_addr "$workdir/solo.addr" "$solo_pid" "standalone"
+solo_addr=$(cat "$workdir/solo.addr")
+echo "fleet of 4 on $router_addr, standalone on $solo_addr"
+
+curl -sf "http://$router_addr/healthz" | grep -q '"status":"ok"' || fail "fleet /healthz not ok"
+
+# Verdict parity: every sampled URL, byte for byte.
+urls=$(curl -sf "http://$solo_addr/v1/sample?n=24" \
+  | sed -n 's/.*"urls":\[\([^]]*\)\].*/\1/p' | tr ',' '\n' | tr -d '"')
+[ -n "$urls" ] || fail "/v1/sample returned no URLs"
+enc() { python3 -c 'import sys,urllib.parse; print(urllib.parse.quote(sys.argv[1], safe=""))' "$1" 2>/dev/null \
+  || printf '%s' "$1" | sed 's|:|%3A|g; s|/|%2F|g; s|?|%3F|g; s|&|%26|g; s|=|%3D|g'; }
+n_checked=0
+for u in $urls; do
+  q=$(enc "$u")
+  curl -sf "http://$solo_addr/v1/classify?url=$q" >"$workdir/solo.json" || fail "standalone classify $u"
+  curl -sf "http://$router_addr/v1/classify?url=$q" >"$workdir/fleet.json" || fail "fleet classify $u"
+  cmp -s "$workdir/solo.json" "$workdir/fleet.json" || fail "fleet verdict differs from standalone for $u"
+  n_checked=$((n_checked+1))
+done
+echo "verdict parity: $n_checked/$n_checked byte-identical"
+
+# Scatter-gather parity: merged totals match the standalone population.
+solo_total=$(curl -sf "http://$solo_addr/v1/sample?n=1" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+fleet_total=$(curl -sf "http://$router_addr/v1/sample?n=1" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+[ "$solo_total" = "$fleet_total" ] || fail "fleet total $fleet_total != standalone total $solo_total"
+echo "scatter-gather total matches ($fleet_total links)"
+
+# Rebalance round trip: move one domain to s2 and back via the router.
+dom=$(echo "$urls" | head -1 | sed 's|https\?://||; s|/.*||; s|^www\.||')
+curl -sf -X POST -d "{\"domain\":\"$dom\",\"to\":\"s2\"}" "http://$router_addr/admin/rebalance" \
+  | grep -q '"to":"s2"' || fail "rebalance to s2"
+curl -sf "http://$router_addr/admin/ring" | grep -q '"generation":' || fail "/admin/ring after rebalance"
+q=$(enc "$(echo "$urls" | head -1)")
+curl -sf "http://$solo_addr/v1/classify?url=$q" >"$workdir/solo.json"
+curl -sf "http://$router_addr/v1/classify?url=$q" >"$workdir/fleet.json"
+cmp -s "$workdir/solo.json" "$workdir/fleet.json" || fail "post-rebalance verdict differs for $dom"
+echo "rebalance handoff OK ($dom -> s2)"
+
+# Degraded mode: kill s4, then every URL must answer promptly — 200
+# from healthy shards (zero 5xx there) or 503+Retry-After for the dead
+# one; the scattered sample flags partial and names s4.
+kill "${shard_pids[3]}" 2>/dev/null || true
+wait "${shard_pids[3]}" 2>/dev/null || true
+dead=0; alive=0
+for u in $urls; do
+  q=$(enc "$u")
+  code=$(curl -s -o "$workdir/resp.json" -D "$workdir/resp.hdr" -w '%{http_code}' \
+    --max-time 10 "http://$router_addr/v1/classify?url=$q") || fail "classify $u hung with a shard down"
+  case "$code" in
+    200) alive=$((alive+1)) ;;
+    503)
+      grep -qi '^Retry-After:' "$workdir/resp.hdr" || fail "503 for $u carries no Retry-After"
+      grep -Eq 'shard_(down|unreachable)' "$workdir/resp.json" || fail "503 for $u lacks a shard error code"
+      dead=$((dead+1)) ;;
+    *) fail "classify $u answered $code with a shard down" ;;
+  esac
+done
+[ "$dead" -ge 1 ] || fail "no sampled URL routed to the killed shard (sample too small?)"
+[ "$alive" -ge 1 ] || fail "no healthy-shard traffic survived the kill"
+echo "degraded mode: $alive healthy answers, $dead flagged 503s, zero hangs"
+curl -sf -D "$workdir/resp.hdr" "http://$router_addr/v1/sample?n=5" >"$workdir/resp.json"
+grep -q '"partial":true' "$workdir/resp.json" || fail "degraded sample not flagged partial"
+grep -q '"missing_shards":\["s4"\]' "$workdir/resp.json" || fail "degraded sample does not name s4"
+grep -qi '^Retry-After:' "$workdir/resp.hdr" || fail "degraded sample carries no Retry-After"
+echo "degraded scatter flags partial + names s4 + Retry-After"
+stop_fleet
+kill "$solo_pid" 2>/dev/null || true; wait "$solo_pid" 2>/dev/null || true
+
+# --- Scaling pass: classify throughput at 1, 2, 4 shards ---
+: >"$workdir/bench.txt"
+for n in 1 2 4; do
+  boot_fleet "$n"
+  "$workdir/loadgen" -addr "$router_addr" -workload fleet \
+    -n "$N_REQS" -c 32 -sample 64 -scatter 30 -bench "Fleet${n}Shard" \
+    >"$workdir/fleet$n.txt" || { cat "$workdir/fleet$n.txt"; fail "fleet loadgen ($n shards)"; }
+  cat "$workdir/fleet$n.txt"
+  cat "$workdir/fleet$n.txt" >>"$workdir/bench.txt"
+  stop_fleet
+done
+
+rps1=$(sed -n 's/^BenchmarkFleet1ShardClassify .* \([0-9.]*\) req\/s$/\1/p' "$workdir/bench.txt")
+rps4=$(sed -n 's/^BenchmarkFleet4ShardClassify .* \([0-9.]*\) req\/s$/\1/p' "$workdir/bench.txt")
+[ -n "$rps1" ] && [ -n "$rps4" ] || fail "missing classify bench lines"
+speedup=$(awk -v a="$rps4" -v b="$rps1" 'BEGIN{printf "%.2f", a/b}')
+echo "classify scaling 1->4 shards: ${rps1} -> ${rps4} req/s (${speedup}x)"
+awk -v s="$speedup" -v min="$SCALING_MIN" 'BEGIN{exit !(s >= min)}' \
+  || fail "4-shard classify throughput only ${speedup}x the 1-shard figure (need >= ${SCALING_MIN}x)"
+
+go run ./cmd/benchjson -o BENCH_PR9.json <"$workdir/bench.txt" >/dev/null
+echo "shard smoke OK (BENCH_PR9.json updated)"
