@@ -3,9 +3,9 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke persistsmoke streamsmoke shardsmoke
+.PHONY: check build test vet race bench benchsmoke servesmoke retrysmoke batchsmoke persistsmoke streamsmoke shardsmoke fedsmoke
 
-check: vet build test race retrysmoke batchsmoke persistsmoke streamsmoke shardsmoke
+check: vet build test race retrysmoke batchsmoke persistsmoke streamsmoke shardsmoke fedsmoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,18 @@ persistsmoke:
 # Records per-fleet-size throughput and scatter p99 in BENCH_PR9.json.
 shardsmoke:
 	./scripts/shard_smoke.sh
+
+# fedsmoke boots federation-less, single-member-federation, and
+# 3-member-federation permadeadd servers over one paged universe and
+# checks the federation contracts: single-member responses byte-
+# identical to the bare archive, usable coverage strictly increased by
+# the skewed secondaries, hedged availability p99 <= 2x the single-
+# archive p99, zero 5xx with one archive member killed (degraded
+# coverage surfaced, not failure), and the per-scenario x per-policy
+# false-dead grid in its expected shape. Records availability
+# throughput and the grid in BENCH_PR10.json.
+fedsmoke:
+	./scripts/fed_smoke.sh
 
 # streamsmoke exercises the continuous verdict monitor against a live
 # permadeadd over a fully flaky universe: exactly-once SSE delivery,

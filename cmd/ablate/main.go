@@ -40,6 +40,7 @@ func main() {
 		flaky     = flag.Float64("flaky", 0, "fraction of sites given transient-fault windows (enables the retry-policy ablation)")
 		flakyRate = flag.Float64("flaky-rate", 0.5, "per-attempt failure probability inside a fault window")
 		smoke     = flag.Bool("smoke", false, "run only the retry-policy ablation and fail unless the false-dead rate strictly decreases single-GET → retry → confirmation")
+		scenarios = flag.Bool("scenarios", false, "run only the per-scenario × per-policy false-dead grid (flaky, paywall, geo-block, parking; forces -flaky 0 — the grid plants its own windows) and fail unless the grid matches the expected robustness shape")
 	)
 	flag.Parse()
 
@@ -52,6 +53,11 @@ func main() {
 	params.Seed = *seed
 	params.FlakySiteFrac = *flaky
 	params.FlakyRate = *flakyRate
+	if *scenarios {
+		// The grid's scenario axis includes its own flaky windows;
+		// generation-time ones would contaminate every other cell.
+		params.FlakySiteFrac = 0
+	}
 	fmt.Fprintf(os.Stderr, "generating universe (scale %.2f)...\n", *scale)
 	u := worldgen.Generate(params)
 
@@ -70,6 +76,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sampled %d permanently dead links\n\n", len(records))
 	n := float64(len(records))
 	_ = context.Background()
+
+	if *scenarios {
+		runScenarioGrid(u, records)
+		return
+	}
 
 	// --- §3: false-dead rate vs retry policy (fault-injected universe). ---
 	var falseDeadPts []ablation.FalseDeadPoint
@@ -234,6 +245,115 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runScenarioGrid sweeps the per-scenario × per-policy false-dead
+// grid, prints it, emits one `go test -bench`-format line per cell
+// (so `ablate -scenarios | benchjson` lands the grid in the PR's
+// benchmark record), and enforces its expected shape.
+func runScenarioGrid(u *worldgen.Universe, records []core.LinkRecord) {
+	grid := ablation.ScenarioSweep(u.World, records, u.Params.StudyTime,
+		ablation.DefaultScenarios(), ablation.DefaultRetryPolicySpecs())
+
+	t := stats.Table{
+		Title:   "Ablation: false-dead grid, lifecycle scenario × checking policy",
+		Headers: []string{"Scenario", "Policy", "Truly alive", "False dead", "Rate", "Fetches"},
+	}
+	for i, sc := range grid.Scenarios {
+		for j, spec := range grid.Specs {
+			pt := grid.Cells[i][j]
+			t.AddRow(sc.Label, spec.Label, fmt.Sprint(pt.TrulyAlive),
+				fmt.Sprint(pt.FalseDead), fmt.Sprintf("%.1f%%", pt.Rate*100),
+				fmt.Sprint(pt.Fetches))
+		}
+	}
+	fmt.Println(t.String())
+
+	for i, sc := range grid.Scenarios {
+		for j, spec := range grid.Specs {
+			pt := grid.Cells[i][j]
+			fmt.Printf("BenchmarkScenario/%s/%s 1 %d false-dead %.4f rate %d fetches\n",
+				sc.Key, spec.Key, pt.FalseDead, pt.Rate, pt.Fetches)
+		}
+	}
+
+	if err := checkGrid(&grid); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: scenario grid FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "scenario grid OK: retries rescue flaky, confirmation rescues paywall/geo-block, nothing rescues parking")
+}
+
+// checkGrid enforces the grid's robustness shape: the retry ladder
+// strictly improves on flaky windows (the PR 5 invariant), same-day
+// retries do NOT help against rate-1 paywalls/geo-blocks while spaced
+// confirmation escapes their windows entirely, and parking (a 200
+// with a parked body) fools every status-based rung equally.
+func checkGrid(g *ablation.ScenarioGrid) error {
+	cell := func(s, p string) (*ablation.FalseDeadPoint, error) {
+		c := g.Cell(s, p)
+		if c == nil {
+			return nil, fmt.Errorf("grid is missing cell %s/%s", s, p)
+		}
+		return c, nil
+	}
+
+	for _, key := range []string{"single", "retry", "confirm"} {
+		if _, err := cell("flaky", key); err != nil {
+			return err
+		}
+	}
+	fs, _ := cell("flaky", "single")
+	fr, _ := cell("flaky", "retry")
+	fc, _ := cell("flaky", "confirm")
+	if !(fs.FalseDead > fr.FalseDead && fr.FalseDead > fc.FalseDead) {
+		return fmt.Errorf("flaky row should strictly decrease up the ladder, got %d/%d/%d",
+			fs.FalseDead, fr.FalseDead, fc.FalseDead)
+	}
+
+	for _, key := range []string{"paywall", "geoblock"} {
+		single, err := cell(key, "single")
+		if err != nil {
+			return err
+		}
+		retry, err := cell(key, "retry")
+		if err != nil {
+			return err
+		}
+		confirm, err := cell(key, "confirm")
+		if err != nil {
+			return err
+		}
+		if single.FalseDead == 0 {
+			return fmt.Errorf("%s scenario did not bite (0 false-dead under single GET)", key)
+		}
+		if retry.FalseDead != single.FalseDead {
+			return fmt.Errorf("same-day retries should not rescue rate-1 %s links, got %d vs %d",
+				key, retry.FalseDead, single.FalseDead)
+		}
+		if confirm.FalseDead != 0 {
+			return fmt.Errorf("spaced confirmation should escape the %s window, got %d false-dead",
+				key, confirm.FalseDead)
+		}
+	}
+
+	ps, err := cell("parking", "single")
+	if err != nil {
+		return err
+	}
+	pr, _ := cell("parking", "retry")
+	pc, _ := cell("parking", "confirm")
+	if pr == nil || pc == nil {
+		return fmt.Errorf("grid is missing parking cells")
+	}
+	if ps.FalseDead == 0 {
+		return fmt.Errorf("parking scenario did not bite")
+	}
+	if ps.FalseDead != pr.FalseDead || ps.FalseDead != pc.FalseDead {
+		return fmt.Errorf("parking should fool every status-based rung equally, got %d/%d/%d",
+			ps.FalseDead, pr.FalseDead, pc.FalseDead)
+	}
+	return nil
 }
 
 // writeFigs writes each rendered SVG into dir (no-op when dir or figs

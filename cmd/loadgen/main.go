@@ -5,6 +5,10 @@
 //
 //	-workload mixed   spread single-link GETs across /v1/classify,
 //	                  /v1/status, and /v1/availability (the default)
+//	-workload avail   availability-only GETs — the archive-lookup hot
+//	                  path in isolation, which is what the federation
+//	                  smoke compares (hedged multi-archive p99 vs.
+//	                  single-archive p99) without classify noise
 //	-workload batch   POST NDJSON batches of -batch-size links to
 //	                  /v1/classify/batch, counting streamed lines
 //	-workload soak    drive the mixed request shape for -duration
@@ -74,7 +78,7 @@ func main() {
 		c         = flag.Int("c", 16, "concurrent clients")
 		sample    = flag.Int("sample", 64, "URL pool size (smaller pools repeat URLs and hit the cache)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
-		workload  = flag.String("workload", "mixed", "workload shape: mixed (single-link GETs), batch (NDJSON POSTs), soak (duration-based mixed load), or stream (SSE verdict subscribers)")
+		workload  = flag.String("workload", "mixed", "workload shape: mixed (single-link GETs), avail (availability-only GETs), batch (NDJSON POSTs), soak (duration-based mixed load), or stream (SSE verdict subscribers)")
 		duration  = flag.Duration("duration", 30*time.Second, "how long the soak workload runs")
 		report    = flag.Duration("report", 5*time.Second, "soak progress-line interval")
 		batchSize = flag.Int("batch-size", 100, "links per /v1/classify/batch POST (batch workload)")
@@ -91,9 +95,9 @@ func main() {
 		fatal(fmt.Errorf("-n, -c, -sample, and -batch-size must all be >= 1"))
 	}
 	switch *workload {
-	case "mixed", "batch", "soak", "stream", "fleet":
+	case "mixed", "avail", "batch", "soak", "stream", "fleet":
 	default:
-		fatal(fmt.Errorf("-workload must be 'mixed', 'batch', 'soak', 'stream', or 'fleet', got %q", *workload))
+		fatal(fmt.Errorf("-workload must be 'mixed', 'avail', 'batch', 'soak', 'stream', or 'fleet', got %q", *workload))
 	}
 	if *zipfS != 0 && *zipfS <= 1 {
 		fatal(fmt.Errorf("-zipf needs s > 1 (got %v)", *zipfS))
@@ -137,6 +141,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loadgen: %d URLs in pool, firing %d %s requests from %d clients\n",
 		len(pool), *n, *workload, *c)
 
+	eps := endpoints
+	if *workload == "avail" {
+		eps = []string{"/v1/availability"}
+	}
+
 	var (
 		next       atomic.Int64
 		errors     atomic.Int64
@@ -174,7 +183,7 @@ func main() {
 					lines.Add(got)
 					faultLines.Add(faults)
 				} else {
-					target := base + endpoints[i%len(endpoints)] + "?url=" + url.QueryEscape(pool[pick(i)])
+					target := base + eps[i%len(eps)] + "?url=" + url.QueryEscape(pool[pick(i)])
 					d, status, err = get(client, target)
 				}
 				if err != nil {

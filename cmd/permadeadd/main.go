@@ -8,6 +8,7 @@
 //	permadeadd [-addr host:port] [-scale f] [-seed n] [-load file]
 //	           [-universe.paged=bool] [-flaky f] [-flaky-stream-days n]
 //	           [-monitor-ttl days] [-journal file] [-repair]
+//	           [-archives manifest.json] [-fed-budget ms] [-fed-hedge f]
 //
 // The universe is generated at startup (or loaded from a 'worldgen
 // -save' file); the server then answers queries until SIGINT/SIGTERM,
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"permadead/internal/federation"
 	"permadead/internal/persist"
 	"permadead/internal/service"
 	"permadead/internal/worldgen"
@@ -73,6 +75,11 @@ func main() {
 		shardName    = flag.String("shard-name", "", "run as this member of a sharded fleet (requires -shard-members)")
 		shardMembers = flag.String("shard-members", "", "comma-separated fleet member names, identical on every shard and the router")
 		shardVNodes  = flag.Int("shard-vnodes", 0, "consistent-hash virtual nodes per member (0 = default)")
+
+		archivesPath = flag.String("archives", "", "federate archive reads across the member manifest in this JSON file (see 'worldgen -archives'); empty serves the bare archive")
+		fedBudget    = flag.Int("fed-budget", -1, "federation-wide lookup budget in ms, overriding the manifest (<0 keeps the manifest's; 0 = unbounded)")
+		fedHedge     = flag.Float64("fed-hedge", -1, "hedge deadline as a fraction of the budget, overriding the manifest (<0 keeps the manifest's)")
+		fedTimeScale = flag.Float64("fed-timescale", -1, "wall-clock seconds per simulated second for federated lookups, overriding the manifest (<0 keeps the manifest's; 0 = instant)")
 	)
 	flag.Parse()
 
@@ -145,6 +152,25 @@ func main() {
 		}
 		cfg.ShardVNodes = *shardVNodes
 	}
+	if *archivesPath != "" {
+		m, err := federation.LoadManifest(*archivesPath)
+		if err != nil {
+			fatal(err)
+		}
+		if *fedBudget >= 0 {
+			m.BudgetMS = *fedBudget
+		}
+		if *fedHedge >= 0 {
+			m.HedgeFraction = *fedHedge
+		}
+		if *fedTimeScale >= 0 {
+			m.TimeScale = *fedTimeScale
+		}
+		if err := m.Validate(); err != nil {
+			fatal(err)
+		}
+		cfg.Federation = &m
+	}
 
 	// Startup-phase timing: load (or generate), freeze (service.New
 	// freezes the archive and collects the sample), listen. One log
@@ -169,6 +195,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "permadeadd: serving %d sampled links on http://%s\n", srv.SampleSize(), srv.Addr())
 	if *shardName != "" {
 		fmt.Fprintf(os.Stderr, "permadeadd: fleet member %s of [%s]\n", *shardName, *shardMembers)
+	}
+	if cfg.Federation != nil {
+		fmt.Fprintf(os.Stderr, "permadeadd: federating %d archive members (budget %dms, hedge %.2f)\n",
+			len(cfg.Federation.Members), cfg.Federation.BudgetMS, cfg.Federation.HedgeFraction)
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"permadead/internal/federation"
 	"permadead/internal/persist"
 	"permadead/internal/shard"
 	"permadead/internal/worldgen"
@@ -36,6 +37,8 @@ func main() {
 
 		shards  = flag.Int("shards", 0, "report how an N-member fleet would partition the universe's link domains; with -save, also write a <save>.fleet.json manifest")
 		svnodes = flag.Int("shard-vnodes", 0, "virtual nodes per member for the -shards report (0 = default)")
+
+		archives = flag.Int("archives", 0, "derive an N-member archive-federation manifest with seed-deterministic coverage/latency skew; with -save, write it to <save>.archives.json")
 	)
 	flag.Parse()
 
@@ -111,6 +114,13 @@ func main() {
 		}
 	}
 
+	if *archives > 0 {
+		if err := reportArchives(u, *archives, *savePath); err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: archives: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -126,6 +136,52 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote %d link plans to %s\n", len(u.Plan.Links), *jsonPath)
 	}
+}
+
+// reportArchives derives the n-member federation manifest the
+// universe's parameters imply (seed-deterministic per-archive coverage
+// and latency skew) and prints it; with -save set it also lands in
+// <save>.archives.json, ready for permadeadd -archives.
+func reportArchives(u *worldgen.Universe, n int, savePath string) error {
+	m := worldgen.FederationManifest(u.Params, n)
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("\narchive federation (%d members, budget %dms):\n", len(m.Members), m.BudgetMS)
+	for _, ms := range m.Members {
+		cov := ms.Coverage
+		if cov <= 0 || cov >= 1 {
+			cov = 1
+		}
+		policy := ms.Policy
+		if policy == "" {
+			policy = federation.PolicyKeepAll
+		}
+		lat := "inherited"
+		if ms.LatencyMS > 0 || ms.JitterMS > 0 {
+			lat = fmt.Sprintf("%d+%dms", ms.LatencyMS, ms.JitterMS)
+		}
+		fmt.Printf("  %-18s coverage %.2f  policy %-11s latency %s\n", ms.Name, cov, policy, lat)
+	}
+	if savePath == "" {
+		return nil
+	}
+	path := savePath + ".archives.json"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote federation manifest to %s\n", path)
+	return nil
 }
 
 // reportShards previews how an n-member fleet would partition the

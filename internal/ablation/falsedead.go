@@ -7,6 +7,7 @@ import (
 	"permadead/internal/fetch"
 	"permadead/internal/simclock"
 	"permadead/internal/simweb"
+	"permadead/internal/softerror"
 )
 
 // The false-dead ablation: over a universe with transient-fault
@@ -18,6 +19,10 @@ import (
 
 // RetryPolicySpec names one fetch policy for FalseDeadSweep.
 type RetryPolicySpec struct {
+	// Key is a short machine-stable identifier ("single", "retry",
+	// "confirm") used in grid cells and benchmark names; Label is the
+	// human-facing figure legend.
+	Key    string
 	Label  string
 	Policy fetch.RetryPolicy
 }
@@ -29,9 +34,9 @@ type RetryPolicySpec struct {
 // the injected study-time fault windows).
 func DefaultRetryPolicySpecs() []RetryPolicySpec {
 	return []RetryPolicySpec{
-		{Label: "single GET (IABot)", Policy: fetch.SingleGET()},
-		{Label: "3 attempts + backoff", Policy: fetch.DefaultRetryPolicy()},
-		{Label: "3 attempts × 3 checks / 45d", Policy: fetch.ConfirmationPolicy(3, 45)},
+		{Key: "single", Label: "single GET (IABot)", Policy: fetch.SingleGET()},
+		{Key: "retry", Label: "3 attempts + backoff", Policy: fetch.DefaultRetryPolicy()},
+		{Key: "confirm", Label: "3 attempts × 3 checks / 45d", Policy: fetch.ConfirmationPolicy(3, 45)},
 	}
 }
 
@@ -55,6 +60,19 @@ type FalseDeadPoint struct {
 	MaxFetchesPerLink int
 }
 
+// deadResult is the sweep's verdict criterion: a link is judged dead
+// when the final status is not 200 OR the 200 body reads as a parked
+// domain or soft-404 boilerplate. Both the fault-free truth baseline
+// and the policy fetches apply the SAME criterion, so scenarios that
+// serve healthy-status garbage (parking waves) count as false-dead
+// verdicts instead of silently passing a status-only check.
+func deadResult(res fetch.Result) bool {
+	if res.FinalStatus != 200 {
+		return true
+	}
+	return softerror.LooksParked(res.Body) || softerror.LooksErrorBoilerplate(res.Body)
+}
+
 // FalseDeadSweep measures each policy's false-dead rate at studyTime.
 // Only the truly-alive links are fetched under the policies: a link
 // that is dead fault-free cannot be false-dead, and the paper's
@@ -66,7 +84,7 @@ func FalseDeadSweep(world *simweb.World, records []core.LinkRecord, studyTime si
 	truth := fetch.New(simweb.NewFaultFreeTransport(world, studyTime))
 	var alive []string
 	for i := range records {
-		if truth.Fetch(ctx, records[i].URL).FinalStatus == 200 {
+		if !deadResult(truth.Fetch(ctx, records[i].URL)) {
 			alive = append(alive, records[i].URL)
 		}
 	}
@@ -87,7 +105,7 @@ func FalseDeadSweep(world *simweb.World, records []core.LinkRecord, studyTime si
 		}
 		pt.MaxFetchesPerLink = attempts * checks
 		for _, url := range alive {
-			if rt.Fetch(ctx, url).FinalStatus != 200 {
+			if deadResult(rt.Fetch(ctx, url)) {
 				pt.FalseDead++
 			}
 		}

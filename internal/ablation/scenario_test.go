@@ -1,0 +1,111 @@
+package ablation
+
+import (
+	"testing"
+
+	"permadead/internal/core"
+	"permadead/internal/fetch"
+	"permadead/internal/simweb"
+	"permadead/internal/worldgen"
+)
+
+// TestScenarioSweepGrid builds a clean (no generated flaky windows)
+// small universe, plants each lifecycle scenario in turn, and checks
+// the grid's expected shape: paywall/geo-block false-deads collapse
+// under confirmation spaced past the window, while parking fools every
+// status-based rung equally, and the world is restored between
+// scenarios.
+func TestScenarioSweepGrid(t *testing.T) {
+	p := worldgen.SmallParams()
+	p.FlakySiteFrac = 0 // scenarios supply their own perturbations
+	u := worldgen.Generate(p)
+
+	cfg := core.DefaultConfig()
+	cfg.SampleSize = u.Params.SampleSize
+	cfg.CrawlArticles = 0
+	s := &core.Study{
+		Config: cfg,
+		Wiki:   u.Wiki,
+		Arch:   u.Archive,
+		Client: fetch.New(simweb.NewTransport(u.World, cfg.StudyTime)),
+	}
+	records := s.Collect()
+	if len(records) == 0 {
+		t.Fatal("no records")
+	}
+
+	// Remember the pre-sweep fault lists to verify restoration.
+	faultLens := map[string]int{}
+	for _, host := range u.World.Hostnames() {
+		faultLens[host] = len(u.World.Site(host).Faults)
+	}
+
+	scenarios := DefaultScenarios()
+	specs := DefaultRetryPolicySpecs()
+	grid := ScenarioSweep(u.World, records, u.Params.StudyTime, scenarios, specs)
+	if len(grid.Cells) != len(scenarios) {
+		t.Fatalf("grid rows = %d", len(grid.Cells))
+	}
+
+	for _, host := range u.World.Hostnames() {
+		if got := len(u.World.Site(host).Faults); got != faultLens[host] {
+			t.Fatalf("site %s fault windows not restored: %d != %d", host, got, faultLens[host])
+		}
+	}
+
+	for _, key := range []string{"paywall", "geoblock", "parking"} {
+		single := grid.Cell(key, "single")
+		confirm := grid.Cell(key, "confirm")
+		if single == nil || confirm == nil {
+			t.Fatalf("missing cells for %s", key)
+		}
+		if single.FalseDead == 0 {
+			t.Errorf("%s: single GET was never fooled — scenario did not bite", key)
+		}
+		switch key {
+		case "parking":
+			// A 200 parked page defeats every status-based cadence: the
+			// retry ladder must be flat and everyone fooled.
+			retry := grid.Cell(key, "retry")
+			if single.FalseDead != retry.FalseDead || retry.FalseDead != confirm.FalseDead {
+				t.Errorf("parking ladder not flat: single=%d retry=%d confirm=%d",
+					single.FalseDead, retry.FalseDead, confirm.FalseDead)
+			}
+		default:
+			// Rate-1 windows: same-day retries never help, but
+			// confirmation checks spaced 45 days apart escape the
+			// 15-day window entirely.
+			retry := grid.Cell(key, "retry")
+			if retry.FalseDead != single.FalseDead {
+				t.Errorf("%s: same-day retries changed a rate-1 outcome: single=%d retry=%d",
+					key, single.FalseDead, retry.FalseDead)
+			}
+			if confirm.FalseDead != 0 {
+				t.Errorf("%s: confirmation past the window still false-dead: %d",
+					key, confirm.FalseDead)
+			}
+		}
+	}
+
+	// The flaky row keeps the PR 5 invariant: strictly decreasing.
+	fl := grid.Cells[0]
+	if grid.Scenarios[0].Key != "flaky" {
+		t.Fatalf("scenario 0 = %q", grid.Scenarios[0].Key)
+	}
+	for j := 1; j < len(fl); j++ {
+		if fl[j].FalseDead >= fl[j-1].FalseDead {
+			t.Errorf("flaky row not strictly decreasing: %+v", fl)
+		}
+	}
+
+	// Determinism: the grid reproduces exactly.
+	again := ScenarioSweep(u.World, records, u.Params.StudyTime, scenarios, specs)
+	for i := range grid.Cells {
+		for j := range grid.Cells[i] {
+			if grid.Cells[i][j] != again.Cells[i][j] {
+				t.Errorf("grid not deterministic at [%d][%d]: %+v vs %+v",
+					i, j, grid.Cells[i][j], again.Cells[i][j])
+			}
+		}
+	}
+}

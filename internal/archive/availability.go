@@ -68,14 +68,13 @@ type AvailabilityQuery struct {
 	Timeout time.Duration
 }
 
-// Query serves an availability lookup. It returns
-// ErrAvailabilityTimeout when the simulated latency exceeds
-// q.Timeout — the caller cannot distinguish "slow" from "absent",
-// exactly the failure mode §4.1 documents.
-func (a *Archive) Query(q AvailabilityQuery) (Snapshot, bool, error) {
-	if q.Timeout > 0 && a.LookupLatency(q.URL) > q.Timeout {
-		return Snapshot{}, false, ErrAvailabilityTimeout
-	}
+// EffectiveAccept folds the query's Before/AsOf bounds into its Accept
+// filter and returns the per-snapshot predicate the lookup actually
+// applies. It is exported so layers that aggregate archives (the pool,
+// internal/federation) evaluate candidate snapshots with exactly the
+// semantics of a single-archive lookup instead of re-deriving — and
+// eventually diverging from — the composition.
+func (q AvailabilityQuery) EffectiveAccept() func(Snapshot) bool {
 	accept := q.Accept
 	if q.Before > 0 {
 		inner := accept
@@ -95,7 +94,18 @@ func (a *Archive) Query(q AvailabilityQuery) (Snapshot, bool, error) {
 			return inner == nil || inner(s)
 		}
 	}
-	snap, ok := a.Closest(q.URL, q.Want, accept)
+	return accept
+}
+
+// Query serves an availability lookup. It returns
+// ErrAvailabilityTimeout when the simulated latency exceeds
+// q.Timeout — the caller cannot distinguish "slow" from "absent",
+// exactly the failure mode §4.1 documents.
+func (a *Archive) Query(q AvailabilityQuery) (Snapshot, bool, error) {
+	if q.Timeout > 0 && a.LookupLatency(q.URL) > q.Timeout {
+		return Snapshot{}, false, ErrAvailabilityTimeout
+	}
+	snap, ok := a.Closest(q.URL, q.Want, q.EffectiveAccept())
 	return snap, ok, nil
 }
 

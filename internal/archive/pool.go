@@ -1,6 +1,8 @@
 package archive
 
 import (
+	"container/heap"
+	"errors"
 	"time"
 
 	"permadead/internal/simclock"
@@ -12,6 +14,13 @@ import (
 // archives" (§2.1); a Pool lets the bots and the study consult the
 // whole federation through one interface while the Wayback Machine
 // remains the primary (and by far largest) member.
+//
+// A Pool is the minimal, latency-unaware aggregate: members are
+// consulted under one shared time budget and the first usable copy in
+// priority order wins. The serving layer's richer shape — hedged
+// requests, per-member coverage views, wall-clock latency realization —
+// lives in internal/federation, which builds on the same
+// AvailabilityQuery semantics.
 type Pool struct {
 	// Members in priority order; the first usable copy wins, so put
 	// the Wayback Machine first, as IABot does.
@@ -31,43 +40,119 @@ func NewPool(members ...Member) *Pool {
 	return &Pool{Members: members}
 }
 
+// MemberError records one member's lookup failure during a federated
+// query. A later member's hit does not erase it: the caller can tell
+// "every member agreed the copies are absent" apart from "the primary
+// was unreachable but a secondary answered" — partial coverage, not
+// certainty.
+type MemberError struct {
+	Member string
+	Err    error
+}
+
+func (e MemberError) Error() string { return e.Member + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e MemberError) Unwrap() error { return e.Err }
+
 // PoolResult is a snapshot together with the member that held it.
 type PoolResult struct {
 	Snapshot Snapshot
 	Member   string
+	// Elapsed is the lookup's simulated cost: the answering member's
+	// latency. Members share one budget and are consulted
+	// concurrently, so the federation pays the winner's latency, not
+	// the sum of every member's.
+	Elapsed time.Duration
+	// MemberErrors lists higher-priority members that failed (timed
+	// out) before the answering member was reached. Non-empty means
+	// the result was computed under partial coverage.
+	MemberErrors []MemberError
 }
 
-// Query runs the availability query against each member in order and
-// returns the first hit. Timeouts are per-member: one slow archive
-// does not hide the others — but every member timing out counts as
-// "no copies", just as with a single archive. The aggregate lookup
-// cost is the sum of per-member costs, which is why IABot queries only
-// its primary for most links.
+// Query runs the availability query against the members under ONE
+// shared time budget: q.Timeout bounds the whole federated lookup, not
+// each member separately, and members are consulted concurrently — a
+// member whose own lookup latency exceeds the budget times out
+// individually without consuming the others' time. Among the members
+// that answer within the budget, the first usable copy in priority
+// order wins; members after the winner are never consulted (their
+// lookups are cancelled, as IABot stops once it has a copy).
+//
+// Failures are not swallowed by a later hit: every member that timed
+// out before the winner rides along in PoolResult.MemberErrors. When
+// no member hits, the error is ErrAvailabilityTimeout if every
+// consulted member timed out (the §4.1 "slow is indistinguishable from
+// absent" failure mode), a joined error otherwise, or nil when the
+// members genuinely agree the copies are absent.
 func (p *Pool) Query(q AvailabilityQuery) (PoolResult, bool, error) {
-	var firstErr error
+	var memberErrs []MemberError
+	allTimeout := true
 	for _, m := range p.Members {
 		snap, ok, err := m.Archive.Query(q)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+			memberErrs = append(memberErrs, MemberError{Member: m.Name, Err: err})
+			if !errors.Is(err, ErrAvailabilityTimeout) {
+				allTimeout = false
 			}
 			continue
 		}
 		if ok {
-			return PoolResult{Snapshot: snap, Member: m.Name}, true, nil
+			elapsed := m.Archive.LookupLatency(q.URL)
+			if q.Timeout > 0 && elapsed > q.Timeout {
+				elapsed = q.Timeout
+			}
+			return PoolResult{
+				Snapshot:     snap,
+				Member:       m.Name,
+				Elapsed:      elapsed,
+				MemberErrors: memberErrs,
+			}, true, nil
 		}
 	}
-	if firstErr != nil {
-		return PoolResult{}, false, firstErr
+	if len(memberErrs) > 0 {
+		if allTimeout {
+			return PoolResult{MemberErrors: memberErrs}, false, ErrAvailabilityTimeout
+		}
+		errs := make([]error, len(memberErrs))
+		for i, me := range memberErrs {
+			errs[i] = me
+		}
+		return PoolResult{MemberErrors: memberErrs}, false, errors.Join(errs...)
 	}
 	return PoolResult{}, false, nil
 }
 
+// mergeCursor is one member's position in the k-way merge: the day of
+// its next unemitted snapshot plus the member's priority index, which
+// breaks day ties so the merge stays stable and deterministic.
+type mergeCursor struct {
+	day    simclock.Day
+	member int // priority index; lower outranks on equal days
+	idx    int // position within the member's own list
+}
+
+// mergeHeap is a min-heap over (day, member priority).
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].day != h[j].day {
+		return h[i].day < h[j].day
+	}
+	return h[i].member < h[j].member
+}
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h mergeHeap) peek() *mergeCursor { return &h[0] }
+
 // Snapshots merges every member's captures of url, oldest first. Ties
 // on Day resolve by member priority order (then by each member's own
-// capture order), so the merge is stable and deterministic: a k-way
-// merge of the members' already-sorted lists rather than a re-sort of
-// the concatenation.
+// capture order), so the merge is stable and deterministic. It is a
+// heap-based k-way merge of the members' already-sorted lists — each
+// emitted row costs O(log k), not a rescan of all k heads — so
+// federated snapshot listing keeps the frozen-index read costs.
 func (p *Pool) Snapshots(url string) []PoolResult {
 	lists := make([][]Snapshot, len(p.Members))
 	total := 0
@@ -78,21 +163,27 @@ func (p *Pool) Snapshots(url string) []PoolResult {
 	if total == 0 {
 		return nil
 	}
-	out := make([]PoolResult, 0, total)
-	idx := make([]int, len(lists))
-	for len(out) < total {
-		best := -1
-		for mi := range lists {
-			if idx[mi] >= len(lists[mi]) {
-				continue
-			}
-			// Strict < keeps the earliest member on equal days.
-			if best < 0 || lists[mi][idx[mi]].Day < lists[best][idx[best]].Day {
-				best = mi
-			}
+	h := make(mergeHeap, 0, len(lists))
+	for mi, list := range lists {
+		if len(list) > 0 {
+			h = append(h, mergeCursor{day: list[0].Day, member: mi, idx: 0})
 		}
-		out = append(out, PoolResult{Snapshot: lists[best][idx[best]], Member: p.Members[best].Name})
-		idx[best]++
+	}
+	heap.Init(&h)
+	out := make([]PoolResult, 0, total)
+	for h.Len() > 0 {
+		cur := h.peek()
+		out = append(out, PoolResult{
+			Snapshot: lists[cur.member][cur.idx],
+			Member:   p.Members[cur.member].Name,
+		})
+		if next := cur.idx + 1; next < len(lists[cur.member]) {
+			cur.idx = next
+			cur.day = lists[cur.member][next].Day
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
 	}
 	return out
 }
@@ -107,7 +198,10 @@ func (p *Pool) First(url string) (PoolResult, bool) {
 }
 
 // TotalLookupLatency sums the members' simulated lookup latencies for
-// url — the cost of consulting the whole federation.
+// url — the cost a SEQUENTIAL consultation of the whole federation
+// would pay, which is why IABot queries only its primary for most
+// links. Query itself consults members concurrently and pays only the
+// winner's latency (PoolResult.Elapsed).
 func (p *Pool) TotalLookupLatency(url string) time.Duration {
 	var total time.Duration
 	for _, m := range p.Members {
@@ -117,9 +211,12 @@ func (p *Pool) TotalLookupLatency(url string) time.Duration {
 }
 
 // CoverageGain reports, for a set of URLs, how many gain their first
-// usable (initial-200, pre-cutoff) copy only through a secondary
-// member — quantifying what the >20 extra archives buy beyond the
-// Wayback Machine.
+// usable pre-cutoff copy only through a secondary member — quantifying
+// what the >20 extra archives buy beyond the Wayback Machine.
+// Usability is AcceptUsable, the same predicate the serving path's
+// lookups apply, so coverage numbers cannot drift from verdicts. Pass
+// simclock.Never as before for "no cutoff"; any valid day — day 0
+// included — restricts to captures strictly earlier than it.
 func (p *Pool) CoverageGain(urls []string, before simclock.Day) int {
 	if len(p.Members) < 2 {
 		return 0
@@ -127,11 +224,11 @@ func (p *Pool) CoverageGain(urls []string, before simclock.Day) int {
 	primary := p.Members[0].Archive
 	gain := 0
 	for _, url := range urls {
-		if hasUsableBefore(primary, url, before) {
+		if hasUsableBefore(primary, url, before, AcceptUsable) {
 			continue
 		}
 		for _, m := range p.Members[1:] {
-			if hasUsableBefore(m.Archive, url, before) {
+			if hasUsableBefore(m.Archive, url, before, AcceptUsable) {
 				gain++
 				break
 			}
@@ -140,13 +237,16 @@ func (p *Pool) CoverageGain(urls []string, before simclock.Day) int {
 	return gain
 }
 
-func hasUsableBefore(a *Archive, url string, before simclock.Day) bool {
-	snaps := a.Snapshots(url)
-	for _, s := range snaps {
-		if before > 0 && !s.Day.Before(before) {
+// hasUsableBefore reports whether a holds a capture of url, strictly
+// earlier than the cutoff, that the accept predicate deems usable.
+// The cutoff applies whenever before is a valid day — day 0 (the
+// simulated epoch) included; simclock.Never disables it.
+func hasUsableBefore(a *Archive, url string, before simclock.Day, accept func(Snapshot) bool) bool {
+	for _, s := range a.Snapshots(url) {
+		if before.Valid() && !s.Day.Before(before) {
 			break
 		}
-		if s.InitialStatus == 200 {
+		if accept(s) {
 			return true
 		}
 	}

@@ -1,8 +1,11 @@
 package archive
 
 import (
+	"errors"
 	"testing"
 	"time"
+
+	"permadead/internal/simclock"
 )
 
 func poolFixture() (*Pool, *Archive, *Archive) {
@@ -68,6 +71,42 @@ func TestPoolTimeoutPropagates(t *testing.T) {
 	}
 }
 
+// A later member's hit must not erase an earlier member's failure:
+// "secondary answered while the primary was unreachable" is partial
+// coverage, and the caller gets to see it.
+func TestPoolQuerySurfacesMemberErrors(t *testing.T) {
+	p, wayback, other := poolFixture()
+	wayback.SetLookupLatency("http://only-other.simtest/p", 10*time.Second)
+	other.SetLookupLatency("http://only-other.simtest/p", 40*time.Millisecond)
+	res, ok, err := p.Query(AvailabilityQuery{
+		URL: "http://only-other.simtest/p", Want: d(100),
+		Accept: AcceptUsable, Timeout: time.Second,
+	})
+	if err != nil || !ok || res.Member != "archive.today" {
+		t.Fatalf("query: %+v %v %v", res, ok, err)
+	}
+	if len(res.MemberErrors) != 1 {
+		t.Fatalf("member errors = %+v, want the primary's timeout", res.MemberErrors)
+	}
+	me := res.MemberErrors[0]
+	if me.Member != "wayback" || !errors.Is(me, ErrAvailabilityTimeout) {
+		t.Errorf("member error = %+v", me)
+	}
+	if res.Elapsed != 40*time.Millisecond {
+		t.Errorf("elapsed = %v, want the winner's latency, not a per-member sum", res.Elapsed)
+	}
+
+	// A clean hit carries no member errors and the answering member's cost.
+	wayback.SetLookupLatency("http://both.simtest/p", 75*time.Millisecond)
+	res, ok, err = p.Query(AvailabilityQuery{
+		URL: "http://both.simtest/p", Want: d(60),
+		Accept: AcceptUsable, Timeout: time.Second,
+	})
+	if err != nil || !ok || len(res.MemberErrors) != 0 || res.Elapsed != 75*time.Millisecond {
+		t.Errorf("clean hit: %+v %v %v", res, ok, err)
+	}
+}
+
 func TestPoolSnapshotsMergedSorted(t *testing.T) {
 	p, _, _ := poolFixture()
 	all := p.Snapshots("http://both.simtest/p")
@@ -113,6 +152,14 @@ func TestPoolCoverageGain(t *testing.T) {
 	single := NewPool(p.Members[0])
 	if gain := single.CoverageGain(urls, d(1000)); gain != 0 {
 		t.Errorf("single-member gain = %d", gain)
+	}
+	// Day 0 is a real cutoff (nothing can precede the epoch), and
+	// Never disables the cutoff entirely.
+	if gain := p.CoverageGain(urls, d(0)); gain != 0 {
+		t.Errorf("day-0 cutoff gain = %d, want 0", gain)
+	}
+	if gain := p.CoverageGain(urls, simclock.Never); gain != 1 {
+		t.Errorf("uncutoff gain = %d, want 1", gain)
 	}
 }
 

@@ -140,7 +140,7 @@ func (s *Study) ArchiveAnalysis(r *Report) {
 // the per-link ClassifyLink entry point.
 func (s *Study) archiveOutcomeFor(rec *LinkRecord, checker *redircheck.Checker) archiveOutcome {
 	var o archiveOutcome
-	pre := s.Arch.SnapshotsBetween(rec.URL, 0, rec.Marked)
+	pre := s.archSnapshotsBetween(rec.URL, 0, rec.Marked)
 
 	has200 := false
 	var firstRedirect *archive.Snapshot
@@ -166,7 +166,7 @@ func (s *Study) archiveOutcomeFor(rec *LinkRecord, checker *redircheck.Checker) 
 	}
 
 	// §3: the first capture after the link was marked dead.
-	if post, ok := s.Arch.FirstAfter(rec.URL, rec.Marked); ok {
+	if post, ok := s.archFirstAfter(rec.URL, rec.Marked); ok {
 		o.postMark = true
 		o.postErr = SnapshotErroneous(post)
 	}
@@ -234,7 +234,7 @@ func (s *Study) TemporalAnalysis(r *Report) {
 // shared by the batch fan-out above and ClassifyLink.
 func (s *Study) temporalOutcomeFor(rec *LinkRecord) temporalOutcome {
 	o := temporalOutcome{analyzed: true}
-	first, ok := s.Arch.First(rec.URL)
+	first, ok := s.archFirst(rec.URL)
 	if !ok {
 		o.noCopy = true
 		return o

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"permadead/internal/archive"
+	"permadead/internal/federation"
 	"permadead/internal/fetch"
 	"permadead/internal/iabot"
 	"permadead/internal/simclock"
@@ -93,6 +94,12 @@ type Study struct {
 	Config Config
 	Wiki   *wikimedia.Wiki
 	Arch   *archive.Archive
+	// Fed, when non-nil, federates archive reads across the manifest's
+	// member views of Arch: the outcome stages consult the members'
+	// union instead of the bare archive. Nil (the default) keeps the
+	// paper's single-archive pipeline — and a single identity-member
+	// federation produces byte-identical verdicts to nil.
+	Fed *federation.Federation
 	// Client fetches the live web as of Config.StudyTime.
 	Client *fetch.Client
 	// Ranks supplies Figure 3(b) data (may be nil).
@@ -150,6 +157,34 @@ func (s *Study) Fetcher() fetch.Fetcher {
 func (s *Study) Memo() *archive.Memo {
 	s.memoOnce.Do(func() { s.memo = archive.NewMemoCapped(s.Arch, s.MemoCap) })
 	return s.memo
+}
+
+// The arch* helpers route the outcome stages' per-link snapshot reads
+// through the federation's union view when one is configured, and
+// straight at Arch otherwise. Only these whole-history reads federate;
+// the CDX-region scans (sibling analysis, coverage counts) stay on the
+// primary archive — they model Wayback-side tooling, which cannot see
+// other archives' holdings.
+
+func (s *Study) archSnapshotsBetween(url string, from, to simclock.Day) []archive.Snapshot {
+	if s.Fed != nil {
+		return s.Fed.SnapshotsBetween(url, from, to)
+	}
+	return s.Arch.SnapshotsBetween(url, from, to)
+}
+
+func (s *Study) archFirst(url string) (archive.Snapshot, bool) {
+	if s.Fed != nil {
+		return s.Fed.First(url)
+	}
+	return s.Arch.First(url)
+}
+
+func (s *Study) archFirstAfter(url string, day simclock.Day) (archive.Snapshot, bool) {
+	if s.Fed != nil {
+		return s.Fed.FirstAfter(url, day)
+	}
+	return s.Arch.FirstAfter(url, day)
 }
 
 // LinkRecord is one sampled permanently-dead link with the §2.4 facts

@@ -1,0 +1,91 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"permadead/internal/archive"
+)
+
+// TestHedgeLoserObservesCancel runs a hedged lookup with a wall-clock
+// TimeScale and proves the loser's in-flight lookup genuinely observes
+// the shared context being cancelled when the winner answers: the call
+// returns in roughly the winner's scaled time — far less than the
+// loser's — and the cancellation is recorded.
+func TestHedgeLoserObservesCancel(t *testing.T) {
+	base := archive.New()
+	base.Add(archive.Snapshot{
+		URL: "http://raced.simtest/p", Day: 50, InitialStatus: 200, FinalStatus: 200,
+	})
+	// Simulated: hedge fires at 500ms, winner answers at 520ms, the
+	// primary would take 8s. Scaled 1:20, the call should take ~26ms —
+	// nowhere near the 400ms a non-cancelled primary would cost.
+	base.SetLookupLatency("http://raced.simtest/p", 8*time.Second)
+	fed, err := New(base, Manifest{
+		BudgetMS:      2000,
+		HedgeFraction: 0.25,
+		TimeScale:     0.05,
+		Members: []MemberSpec{
+			{Name: "wayback"},
+			{Name: "mirror", LatencyMS: 20},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, qerr := fed.Query(context.Background(), archive.AvailabilityQuery{
+		URL: "http://raced.simtest/p", Want: 50, Accept: archive.AcceptUsable,
+	})
+	wall := time.Since(start)
+	if qerr != nil || !res.Found || res.Member != "mirror" || !res.HedgeWin {
+		t.Fatalf("hedge race: %+v %v", res, qerr)
+	}
+	if res.Elapsed != 520*time.Millisecond {
+		t.Errorf("elapsed = %v, want 520ms simulated", res.Elapsed)
+	}
+	if wall < 20*time.Millisecond {
+		t.Errorf("wall clock %v too fast: TimeScale not realized", wall)
+	}
+	if wall > 200*time.Millisecond {
+		t.Errorf("wall clock %v too slow: loser was not cancelled", wall)
+	}
+	if s := fed.Stats(); s.LosersCancelled == 0 {
+		t.Errorf("loser did not observe cancellation: %+v", s)
+	}
+}
+
+// TestQueryHonorsCallerContext cancels the caller's context mid-wait:
+// the query returns the context error promptly instead of sleeping out
+// the simulated elapsed time.
+func TestQueryHonorsCallerContext(t *testing.T) {
+	base := archive.New()
+	base.Add(archive.Snapshot{
+		URL: "http://ctx.simtest/p", Day: 50, InitialStatus: 200, FinalStatus: 200,
+	})
+	base.SetLookupLatency("http://ctx.simtest/p", 2*time.Second)
+	fed, err := New(base, Manifest{
+		TimeScale: 1, // 1:1 — only the caller's cancel keeps this test fast
+		Members:   []MemberSpec{{Name: "wayback"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, qerr := fed.Query(ctx, archive.AvailabilityQuery{
+		URL: "http://ctx.simtest/p", Want: 50, Accept: archive.AcceptUsable,
+	})
+	if !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", qerr)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Errorf("cancelled query took %v", wall)
+	}
+}

@@ -1,0 +1,167 @@
+// Package federation serves availability lookups across N simulated
+// web archives with distinct coverage, latency, and retention
+// policies. The paper's pipeline consults a single archive (the
+// Wayback Machine); §2.1 notes IABot can draw on "more than 20 other
+// web archives", and the related-work surveys ("How Much of the Web
+// Is Archived?", "Where Did the Web Archive Go?") show per-archive
+// coverage and latency skew large enough to flip link verdicts.
+//
+// Each member is a deterministic VIEW over one base archive: a
+// retention policy (some archives drop 3xx or error captures) composed
+// with a hash-thinned coverage fraction. Queries are HEDGED: the
+// primary is asked first, secondaries join after a fraction of the
+// federation-wide time budget has elapsed without an answer, the first
+// usable copy wins, and losers are cancelled. A full-coverage,
+// keep-all, latency-inheriting single member is byte-identical to the
+// bare archive — the federation defaults to the paper's pipeline.
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"permadead/internal/archive"
+)
+
+// Policy names a member archive's snapshot-retention policy.
+type Policy string
+
+const (
+	// PolicyKeepAll retains every capture (the Wayback model).
+	PolicyKeepAll Policy = "keep-all"
+	// PolicyDrop3xx discards redirect captures — some archives store
+	// only the terminal page of a redirect chain.
+	PolicyDrop3xx Policy = "drop-3xx"
+	// PolicyDropErrors discards captures whose initial status is an
+	// error (>= 400) — archives that refuse to store soft-404 pages.
+	PolicyDropErrors Policy = "drop-errors"
+)
+
+// Keeps reports whether the policy retains the snapshot.
+func (p Policy) Keeps(s archive.Snapshot) bool {
+	switch p {
+	case PolicyDrop3xx:
+		return !s.IsRedirect()
+	case PolicyDropErrors:
+		return s.InitialStatus < 400
+	default: // PolicyKeepAll and "" (unset)
+		return true
+	}
+}
+
+func (p Policy) valid() bool {
+	switch p {
+	case PolicyKeepAll, PolicyDrop3xx, PolicyDropErrors, "":
+		return true
+	}
+	return false
+}
+
+// MemberSpec configures one archive member of the federation.
+type MemberSpec struct {
+	// Name identifies the archive ("wayback", "archive.today", ...).
+	Name string `json:"name"`
+	// Coverage is the fraction of the base archive's captures this
+	// member holds, thinned by a deterministic per-capture hash.
+	// Values >= 1 (or 0, meaning unset) give full coverage.
+	Coverage float64 `json:"coverage,omitempty"`
+	// Policy is the member's retention policy; empty means keep-all.
+	Policy Policy `json:"policy,omitempty"`
+	// LatencyMS is the member's base availability-lookup latency. Zero
+	// (together with zero jitter) means "inherit the base archive's
+	// per-URL latency" — which is what makes a single-member
+	// federation byte-identical to the bare archive, planted slow
+	// lookups (§4.1) included.
+	LatencyMS int `json:"latency_ms,omitempty"`
+	// JitterMS spreads per-URL latency deterministically in
+	// [0, JitterMS) on top of LatencyMS.
+	JitterMS int `json:"jitter_ms,omitempty"`
+	// Seed decorrelates this member's coverage/jitter hashes from the
+	// other members'.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Manifest is the federation's serving configuration — the value of
+// permadeadd's -archives flag.
+type Manifest struct {
+	// Members in priority order; the first is the primary that every
+	// query consults immediately.
+	Members []MemberSpec `json:"members"`
+	// BudgetMS bounds the WHOLE federated lookup (not each member).
+	// Zero means unbounded; a query's own Timeout overrides it.
+	BudgetMS int `json:"budget_ms,omitempty"`
+	// HedgeFraction is the fraction of the budget to wait on the
+	// primary before fanning out to secondaries. Zero picks
+	// DefaultHedgeFraction. Hedging needs a deadline: with no budget
+	// secondaries join only after the primary answers with a miss.
+	HedgeFraction float64 `json:"hedge_fraction,omitempty"`
+	// TimeScale converts simulated lookup time to wall-clock time
+	// (wall = simulated × TimeScale) so served latency distributions
+	// are real. Zero keeps lookups instantaneous (pure planning),
+	// which is what the study pipeline and tests want.
+	TimeScale float64 `json:"time_scale,omitempty"`
+}
+
+// DefaultHedgeFraction is how far into the budget a query waits on the
+// primary before hedging to the secondaries.
+const DefaultHedgeFraction = 0.25
+
+// DefaultManifest is the identity federation: one full-coverage,
+// keep-all member inheriting the base archive's latency — the paper's
+// single-archive pipeline, byte for byte.
+func DefaultManifest() Manifest {
+	return Manifest{Members: []MemberSpec{{Name: "wayback"}}}
+}
+
+// Validate checks the manifest for structural errors.
+func (m Manifest) Validate() error {
+	if len(m.Members) == 0 {
+		return fmt.Errorf("federation: manifest has no members")
+	}
+	seen := make(map[string]bool, len(m.Members))
+	for i, ms := range m.Members {
+		if ms.Name == "" {
+			return fmt.Errorf("federation: member %d has no name", i)
+		}
+		if seen[ms.Name] {
+			return fmt.Errorf("federation: duplicate member %q", ms.Name)
+		}
+		seen[ms.Name] = true
+		if ms.Coverage < 0 {
+			return fmt.Errorf("federation: member %q coverage %v < 0", ms.Name, ms.Coverage)
+		}
+		if !ms.Policy.valid() {
+			return fmt.Errorf("federation: member %q has unknown policy %q", ms.Name, ms.Policy)
+		}
+		if ms.LatencyMS < 0 || ms.JitterMS < 0 {
+			return fmt.Errorf("federation: member %q has negative latency", ms.Name)
+		}
+	}
+	if m.BudgetMS < 0 {
+		return fmt.Errorf("federation: budget_ms %d < 0", m.BudgetMS)
+	}
+	if m.HedgeFraction < 0 || m.HedgeFraction >= 1 {
+		return fmt.Errorf("federation: hedge_fraction %v outside [0, 1)", m.HedgeFraction)
+	}
+	if m.TimeScale < 0 {
+		return fmt.Errorf("federation: time_scale %v < 0", m.TimeScale)
+	}
+	return nil
+}
+
+// LoadManifest reads and validates a manifest JSON file.
+func LoadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("federation: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("federation: parse manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,73 @@
+package federation
+
+import "sync/atomic"
+
+// memberStats counts one member's lookup outcomes.
+type memberStats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	errors    atomic.Int64
+	latencyNS atomic.Int64 // summed simulated latency of consulted lookups
+	consulted atomic.Int64
+}
+
+// stats holds the federation-wide counters behind /metrics'
+// federation_* block.
+type stats struct {
+	queries         atomic.Int64
+	hedgesFired     atomic.Int64
+	hedgeWins       atomic.Int64
+	losersCancelled atomic.Int64
+	names           []string
+	members         []*memberStats
+}
+
+func newStats(names []string) *stats {
+	s := &stats{names: names, members: make([]*memberStats, len(names))}
+	for i := range s.members {
+		s.members[i] = &memberStats{}
+	}
+	return s
+}
+
+// MemberStatsSnapshot is one member's counters at a point in time.
+type MemberStatsSnapshot struct {
+	Name          string  `json:"name"`
+	Consulted     int64   `json:"consulted"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Errors        int64   `json:"errors"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+}
+
+// StatsSnapshot is the federation counters at a point in time.
+type StatsSnapshot struct {
+	Queries         int64                 `json:"queries"`
+	HedgesFired     int64                 `json:"hedges_fired"`
+	HedgeWins       int64                 `json:"hedge_wins"`
+	LosersCancelled int64                 `json:"losers_cancelled"`
+	Members         []MemberStatsSnapshot `json:"members"`
+}
+
+func (s *stats) snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Queries:         s.queries.Load(),
+		HedgesFired:     s.hedgesFired.Load(),
+		HedgeWins:       s.hedgeWins.Load(),
+		LosersCancelled: s.losersCancelled.Load(),
+	}
+	for i, m := range s.members {
+		ms := MemberStatsSnapshot{
+			Name:      s.names[i],
+			Consulted: m.consulted.Load(),
+			Hits:      m.hits.Load(),
+			Misses:    m.misses.Load(),
+			Errors:    m.errors.Load(),
+		}
+		if ms.Consulted > 0 {
+			ms.MeanLatencyMS = float64(m.latencyNS.Load()) / float64(ms.Consulted) / 1e6
+		}
+		snap.Members = append(snap.Members, ms)
+	}
+	return snap
+}

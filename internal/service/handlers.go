@@ -88,6 +88,13 @@ func (s *Server) routes() http.Handler {
 		mux.HandleFunc("/v1/shard/info", s.handleShardInfo)
 		mux.HandleFunc("/v1/shard/ownership", s.handleShardOwnership)
 	}
+	if s.fed != nil {
+		// Federation admin plane, also outside the v1 wrapper: flipping
+		// a member down (or inspecting a degraded federation) must land
+		// even when the data plane is saturated or draining.
+		mux.HandleFunc("/v1/federation/info", s.handleFederationInfo)
+		mux.HandleFunc("/v1/federation/member", s.handleFederationMember)
+	}
 	return mux
 }
 
@@ -264,6 +271,10 @@ type availabilityResponse struct {
 	TimedOut  bool                  `json:"timed_out"`
 	LatencyMS int64                 `json:"lookup_latency_ms"`
 	Snapshot  *availabilitySnapshot `json:"snapshot,omitempty"`
+	// Federation appears only on hedged multi-archive lookups
+	// (Config.Federation with >1 member); single-archive responses stay
+	// byte-identical to a federation-unaware build.
+	Federation *availabilityFederation `json:"federation,omitempty"`
 }
 
 type availabilityPolicy struct {
@@ -337,6 +348,12 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		"a", urlutil.SchemeAgnosticKey(rawURL), rawURL, strconv.Itoa(int(want)),
 		strconv.Itoa(int(asOf)), timeout.String(), acceptName,
 	}, "\x00")
+	if s.federated() {
+		// The member population is part of the answer: an admin
+		// down-flip bumps the epoch, orphaning everything cached under
+		// the previous population.
+		key += "\x00fed" + strconv.FormatInt(s.fedEpoch.Load(), 10)
+	}
 	// "No usable snapshot" by frozen-index absence is the negative
 	// class: cheap to recompute, endless to enumerate. A §4.1 lookup
 	// timeout is NOT: the scan never finished, so "timed_out with no
@@ -348,6 +365,11 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case resp.TimedOut:
 			return cacheSkip
+		case resp.Federation != nil && len(resp.Federation.Degraded) > 0:
+			// A degraded federated answer reflects which members were
+			// down or over budget this moment — transient, like a
+			// timeout, not a fact about the frozen indexes.
+			return cacheSkip
 		case !resp.Available:
 			return cacheNegative
 		}
@@ -355,13 +377,17 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cachedJSON(w, key, class, func() (any, error) {
 		resp := availabilityResponse{
-			URL:       rawURL,
-			Policy:    availabilityPolicy{TimeoutMS: int64(timeout / time.Millisecond), Accept: acceptName},
-			LatencyMS: int64(s.study.Arch.LookupLatency(rawURL) / time.Millisecond),
+			URL:    rawURL,
+			Policy: availabilityPolicy{TimeoutMS: int64(timeout / time.Millisecond), Accept: acceptName},
 		}
-		snap, ok, err := s.study.Arch.Query(archive.AvailabilityQuery{
+		aq := archive.AvailabilityQuery{
 			URL: rawURL, Want: want, AsOf: asOf, Accept: accept, Timeout: timeout,
-		})
+		}
+		if s.federated() {
+			return s.federatedAvailability(r.Context(), resp, aq)
+		}
+		resp.LatencyMS = int64(s.study.Arch.LookupLatency(rawURL) / time.Millisecond)
+		snap, ok, err := s.study.Arch.Query(aq)
 		switch {
 		case errors.Is(err, archive.ErrAvailabilityTimeout):
 			resp.TimedOut = true

@@ -62,6 +62,7 @@ import (
 
 	"permadead/internal/core"
 	"permadead/internal/eventstream"
+	"permadead/internal/federation"
 	"permadead/internal/fetch"
 	"permadead/internal/iabot"
 	"permadead/internal/journal"
@@ -167,6 +168,15 @@ type Config struct {
 	ShardName    string
 	ShardMembers []string
 	ShardVNodes  int
+
+	// Federation, when set, federates the server's archive reads across
+	// the manifest's member views of the bundle archive: /v1/availability
+	// becomes a hedged multi-archive lookup, classification consults the
+	// members' union view, and the /v1/federation admin endpoints
+	// activate. Nil serves the bare archive (the paper's single-archive
+	// pipeline); a single-member manifest is the identity federation and
+	// keeps every response byte-identical to nil.
+	Federation *federation.Manifest
 }
 
 // DefaultConfig returns production-shaped defaults over the paper's
@@ -232,6 +242,17 @@ type Server struct {
 	ring          atomic.Pointer[shard.Ring]
 	recordDomains []string
 
+	// Federation mode (fed is nil when serving the bare archive).
+	// fedEpoch counts member up/down flips; it rides in federated
+	// availability cache keys so an admin flip invalidates answers
+	// cached under the previous member population. The usable-coverage
+	// gain over the sampled links is manifest-determined, so it is
+	// computed once, on first /v1/federation/info request.
+	fed         *federation.Federation
+	fedEpoch    atomic.Int64
+	fedGainOnce sync.Once
+	fedGain     int
+
 	// startupMS holds named startup-phase durations (load, freeze,
 	// listen) recorded by the serving binary and exported under the
 	// /metrics key "startup_ms".
@@ -285,6 +306,16 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		Ranks:   b.World,
 		MemoCap: cfg.MemoCap,
 	}
+	var fed *federation.Federation
+	if cfg.Federation != nil {
+		var err error
+		fed, err = federation.New(b.Archive, *cfg.Federation)
+		if err != nil {
+			return nil, fmt.Errorf("service: federation manifest: %w", err)
+		}
+		study.Fed = fed
+	}
+
 	records := study.Collect()
 	if len(records) == 0 {
 		return nil, fmt.Errorf("service: universe has no IABot-marked permanently dead links to serve")
@@ -304,6 +335,7 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		retryStats:   new(fetch.RetryStats),
 		started:      time.Now(),
 		startupMS:    make(map[string]int64),
+		fed:          fed,
 	}
 	for _, rec := range records {
 		key := urlutil.SchemeAgnosticKey(rec.URL)
@@ -342,6 +374,9 @@ func New(b *persist.Bundle, cfg Config) (*Server, error) {
 		out["total_ms"] = total
 		return out
 	})
+	if s.fed != nil {
+		s.met.publishFunc("federation", func() any { return s.fed.Stats() })
+	}
 	s.met.publishFunc("mem", func() any { return memSnapshot() })
 	s.met.publishFunc("admission", func() any {
 		return map[string]any{

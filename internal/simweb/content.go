@@ -196,6 +196,17 @@ func geoBlockBody(s *Site) string {
 		s.Hostname)
 }
 
+// paywallBody is the 402 page served when a FaultPaywall window fires:
+// the article survives, but only for subscribers.
+func paywallBody(s *Site) string {
+	return fmt.Sprintf(
+		"<html><head><title>Subscribe to continue - %s</title></head><body>"+
+			"<h1>Subscribe to continue reading</h1><p>This article is "+
+			"available to %s subscribers. Sign in or start a free trial.</p>"+
+			"</body></html>\n",
+		s.Hostname, s.Hostname)
+}
+
 // redirectBody is the tiny HTML body that accompanies 3xx responses.
 func redirectBody(location string) string {
 	return fmt.Sprintf(

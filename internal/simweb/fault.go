@@ -11,6 +11,13 @@ import (
 // failure mode the paper's §3 blames for a share of false "permanently
 // dead" verdicts: the link checker caught the site on a bad day.
 //
+// Windows also model bounded LIFECYCLE scenarios past PR 5's transient
+// faults: paywall rollouts (402), geo-blocks against the checker's
+// vantage (403), and parking waves (a lapsed-then-re-registered domain
+// serving a 200 parked page). These typically run at Rate 1 — retrying
+// inside the window never helps; only checks spaced past it do — which
+// is exactly what the per-scenario ablation grid measures.
+//
 // Fault decisions are stateless and deterministic: whether a window
 // fires is a pure hash of (window seed, day, attempt number), so the
 // same universe seed always yields the same fault schedule, any
@@ -35,6 +42,18 @@ const (
 	// FaultDNSFlap fails hostname resolution — an expiring lease or a
 	// flaky resolver, not a lapsed registration.
 	FaultDNSFlap
+	// FaultPaywall answers 402 Payment Required — the publisher moved
+	// the page behind a paywall for the window's duration. The content
+	// still exists; the checker just cannot see it.
+	FaultPaywall
+	// FaultGeoBlock answers 403 with a region-denial page — the site
+	// blocks the checker's vantage point, not the world.
+	FaultGeoBlock
+	// FaultParking serves a 200 parked-domain page — a registrar
+	// interregnum (lapsed then re-registered) during which the URL
+	// "works" but the content is gone. Status-based checkers see a
+	// healthy page; only content inspection catches it.
+	FaultParking
 )
 
 func (m FaultMode) String() string {
@@ -47,6 +66,12 @@ func (m FaultMode) String() string {
 		return "timeout"
 	case FaultDNSFlap:
 		return "dns-flap"
+	case FaultPaywall:
+		return "paywall"
+	case FaultGeoBlock:
+		return "geo-block"
+	case FaultParking:
+		return "parking"
 	default:
 		return "unknown"
 	}
@@ -144,6 +169,14 @@ func faultResult(s *Site, fw FaultWindow) Result {
 		return Result{Kind: KindDNSFailure}
 	case FaultTimeout:
 		return Result{Kind: KindTimeout}
+	case FaultPaywall:
+		return Result{Kind: KindResponse, Status: 402, Body: paywallBody(s)}
+	case FaultGeoBlock:
+		return Result{Kind: KindResponse, Status: 403, Body: geoBlockBody(s)}
+	case FaultParking:
+		// 200 with a parked-domain page: the one scenario a status-code
+		// checker cannot catch.
+		return Result{Kind: KindResponse, Status: 200, Body: parkedBody(s)}
 	case FaultRateLimit:
 		return Result{
 			Kind:          KindResponse,

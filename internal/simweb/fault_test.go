@@ -93,6 +93,44 @@ func TestFaultModes(t *testing.T) {
 	}
 }
 
+// TestScenarioFaultModes exercises the lifecycle-scenario windows:
+// paywall (402), geo-block (403), and parking — the last one a 200
+// whose body only content inspection can flag.
+func TestScenarioFaultModes(t *testing.T) {
+	day := simclock.StudyTime
+	url := "http://flaky.simtest/page.html"
+
+	res := faultWorld(FaultPaywall, 1, 0).Get(url, day)
+	if res.Kind != KindResponse || res.Status != 402 || !strings.Contains(res.Body, "Subscribe") {
+		t.Errorf("paywall: %+v", res)
+	}
+	res = faultWorld(FaultGeoBlock, 1, 0).Get(url, day)
+	if res.Kind != KindResponse || res.Status != 403 || !strings.Contains(res.Body, "region") {
+		t.Errorf("geo-block: %+v", res)
+	}
+	res = faultWorld(FaultParking, 1, 0).Get(url, day)
+	if res.Kind != KindResponse || res.Status != 200 {
+		t.Errorf("parking: %+v", res)
+	}
+	if !strings.Contains(strings.ToLower(res.Body), "domain may be for sale") {
+		t.Errorf("parked body lacks parking markers: %q", res.Body)
+	}
+	// Scenario windows still respect attempts and bounds: the ground
+	// truth and post-window checks see the real page.
+	w := faultWorld(FaultParking, 1, 0)
+	if r := w.GetAttempt(url, day, NoFaultAttempt); r.Status != 200 || strings.Contains(r.Body, "for sale") {
+		t.Errorf("ground truth saw the parked page: %+v", r)
+	}
+	if r := w.Get(url, simclock.StudyTime.Add(20)); r.Status != 200 || strings.Contains(r.Body, "for sale") {
+		t.Errorf("post-window check saw the parked page: %+v", r)
+	}
+	for _, mode := range []FaultMode{FaultPaywall, FaultGeoBlock, FaultParking} {
+		if mode.String() == "unknown" {
+			t.Errorf("mode %d has no name", mode)
+		}
+	}
+}
+
 func TestFaultOutsideWindowAndBypass(t *testing.T) {
 	w := faultWorld(FaultServerBusy, 1, 0)
 	url := "http://flaky.simtest/page.html"

@@ -1,0 +1,69 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"permadead/internal/federation"
+)
+
+// Per-archive crawler skew. The related-work surveys (PAPERS.md) show
+// the >20 non-Wayback archives IABot can draw on differ wildly in
+// coverage, crawl latency, and what they bother to retain; a federated
+// study needs member specs that reproduce that skew deterministically
+// from the universe seed rather than hand-written manifests.
+
+// secondaryNames are the flavor names given to non-primary members.
+var secondaryNames = []string{
+	"archive.today", "memento.mirror", "bibalex.mirror",
+	"loc.webarchive", "natlib.mirror", "commoncrawl.cache",
+}
+
+// secondaryPolicies is the retention-policy rotation for secondaries:
+// some archives drop redirect captures, some refuse soft-404s, some
+// keep everything.
+var secondaryPolicies = []federation.Policy{
+	federation.PolicyDrop3xx,
+	federation.PolicyDropErrors,
+	federation.PolicyKeepAll,
+}
+
+// FederationManifest derives an n-member federation manifest from the
+// universe parameters. The primary is always the full-coverage,
+// keep-all, latency-inheriting "wayback" member — so a 1-member
+// manifest is the identity federation, byte-identical to the bare
+// archive (no budget is set either: planted slow lookups must time
+// out, or not, exactly as they do against the single archive).
+// Secondaries get seed-deterministic skew: thinner coverage
+// (0.35–0.60), faster base latency (30–90ms plus jitter — mirrors are
+// smaller and closer), a rotating retention policy, and decorrelated
+// hash seeds.
+func FederationManifest(p Params, n int) federation.Manifest {
+	if n < 1 {
+		n = 1
+	}
+	m := federation.Manifest{
+		Members: []federation.MemberSpec{{Name: "wayback"}},
+	}
+	if n == 1 {
+		return m
+	}
+	m.BudgetMS = 2000
+	m.HedgeFraction = federation.DefaultHedgeFraction
+	rng := rand.New(rand.NewSource(p.Seed + 0xa2c41e))
+	for i := 1; i < n; i++ {
+		name := fmt.Sprintf("mirror-%d", i)
+		if i-1 < len(secondaryNames) {
+			name = secondaryNames[i-1]
+		}
+		m.Members = append(m.Members, federation.MemberSpec{
+			Name:      name,
+			Coverage:  0.35 + 0.25*rng.Float64(),
+			Policy:    secondaryPolicies[(i-1)%len(secondaryPolicies)],
+			LatencyMS: 30 + rng.Intn(61),
+			JitterMS:  10 + rng.Intn(31),
+			Seed:      p.Seed ^ int64(i)*0x9e37,
+		})
+	}
+	return m
+}

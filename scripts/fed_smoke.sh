@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# Smoke-test the archive federation end to end: generate one paged
+# universe (with a 3-member federation manifest), then check every
+# federation contract —
+#
+#   * byte parity: a single-member federation server answers
+#     /v1/availability and /v1/classify byte-identically to a
+#     federation-less server over the same universe file (defaults off
+#     IS the paper's pipeline)
+#   * coverage: the 3-member skewed manifest strictly increases usable
+#     coverage over the sampled links (/v1/federation/info usable_gain)
+#   * hedging: federated p99 simulated lookup latency is <= 2x the
+#     single-archive p99 over the same URLs — the budget+hedge bound
+#     beats the bare archive's heavy-tailed planted slow lookups
+#   * degradation: with one archive member killed through the admin
+#     plane, every availability/classify answer is still a 200 (zero
+#     5xx) and misses surface the dead member as degraded coverage
+#   * ablation: the per-scenario x per-policy false-dead grid has its
+#     expected robustness shape (ablate -scenarios gates internally)
+#
+# Availability throughput for both servers and the scenario grid land
+# in BENCH_PR10.json via cmd/benchjson.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE=${SCALE:-0.05}
+N_URLS=${N_URLS:-120}
+N_REQS=${N_REQS:-300}
+GRID_SCALE=${GRID_SCALE:-0.06}
+
+workdir=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/permadeadd" ./cmd/permadeadd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+go build -o "$workdir/worldgen" ./cmd/worldgen
+go build -o "$workdir/ablate" ./cmd/ablate
+
+fail() { echo "FAIL: $1"; tail -n 40 "$workdir"/*.log 2>/dev/null; exit 1; }
+
+# One universe for every server, saved paged, plus the 3-member
+# federation manifest worldgen -archives writes.
+"$workdir/worldgen" -scale "$SCALE" -save "$workdir/u.pduniv" -archives 3 >"$workdir/worldgen.log" 2>&1 \
+  || fail "worldgen"
+[ -s "$workdir/u.pduniv.archives.json" ] || fail "worldgen -archives wrote no federation manifest"
+grep -q '"wayback"' "$workdir/u.pduniv.archives.json" || fail "federation manifest lacks the wayback primary"
+
+# The identity federation: one full-coverage keep-all member, no budget.
+printf '{"members":[{"name":"wayback"}]}\n' >"$workdir/single.archives.json"
+
+wait_addr() { # wait_addr <file> <pid> <what>
+  for _ in $(seq 1 150); do
+    [ -s "$1" ] && return 0
+    kill -0 "$2" 2>/dev/null || fail "$3 died during startup"
+    sleep 0.2
+  done
+  fail "$3 never wrote its address"
+}
+
+boot() { # boot <name> <extra flags...>; sets $addr
+  local name=$1; shift
+  rm -f "$workdir/$name.addr"
+  "$workdir/permadeadd" -addr 127.0.0.1:0 -addr-file "$workdir/$name.addr" \
+    -load "$workdir/u.pduniv" -no-monitor \
+    -cache-entries 0 -neg-cache-entries 0 \
+    "$@" >"$workdir/$name.log" 2>&1 &
+  local pid=$!; pids+=($pid)
+  wait_addr "$workdir/$name.addr" "$pid" "$name"
+  addr=$(cat "$workdir/$name.addr")
+}
+
+boot bare
+bare_addr=$addr
+boot single -archives "$workdir/single.archives.json"
+single_addr=$addr
+boot fed -archives "$workdir/u.pduniv.archives.json"
+fed_addr=$addr
+echo "bare on $bare_addr, single-member federation on $single_addr, 3-member federation on $fed_addr"
+
+enc() { python3 -c 'import sys,urllib.parse; print(urllib.parse.quote(sys.argv[1], safe=""))' "$1" 2>/dev/null \
+  || printf '%s' "$1" | sed 's|:|%3A|g; s|/|%2F|g; s|?|%3F|g; s|&|%26|g; s|=|%3D|g'; }
+
+urls=$(curl -sf "http://$bare_addr/v1/sample?n=$N_URLS" \
+  | sed -n 's/.*"urls":\[\([^]]*\)\].*/\1/p' | tr ',' '\n' | tr -d '"')
+[ -n "$urls" ] || fail "/v1/sample returned no URLs"
+
+# --- Byte parity: single-member federation vs bare, every knob shape ---
+n_checked=0
+for u in $(echo "$urls" | head -24); do
+  q=$(enc "$u")
+  for path in "/v1/availability?url=$q" "/v1/availability?url=$q&accept=any&timeout=200ms" "/v1/classify?url=$q"; do
+    curl -sf "http://$bare_addr$path" >"$workdir/bare.json" || fail "bare GET $path"
+    curl -sf "http://$single_addr$path" >"$workdir/single.json" || fail "single-member GET $path"
+    cmp -s "$workdir/bare.json" "$workdir/single.json" \
+      || fail "single-member federation diverged from bare archive on $path"
+  done
+  n_checked=$((n_checked+1))
+done
+echo "byte parity: $n_checked URLs x 3 request shapes identical"
+
+# --- Coverage: the skewed manifest strictly increases usable coverage ---
+curl -sf "http://$fed_addr/v1/federation/info" >"$workdir/info.json" || fail "/v1/federation/info"
+gain=$(sed -n 's/.*"usable_gain":\([0-9]*\).*/\1/p' "$workdir/info.json")
+[ -n "$gain" ] || fail "federation info has no usable_gain"
+[ "$gain" -ge 1 ] || fail "3-member federation adds no usable coverage (gain $gain)"
+echo "coverage gain: $gain sampled links gain a usable copy from the secondaries"
+
+# --- Hedging: federated p99 simulated latency <= 2x single-archive p99 ---
+: >"$workdir/bare.lat"; : >"$workdir/fed.lat"
+for u in $urls; do
+  q=$(enc "$u")
+  curl -sf "http://$bare_addr/v1/availability?url=$q" \
+    | sed -n 's/.*"lookup_latency_ms":\([0-9]*\).*/\1/p' >>"$workdir/bare.lat"
+  curl -sf "http://$fed_addr/v1/availability?url=$q" \
+    | sed -n 's/.*"lookup_latency_ms":\([0-9]*\).*/\1/p' >>"$workdir/fed.lat"
+done
+p99() { sort -n "$1" | awk '{a[NR]=$1} END{i=int(NR*0.99); if(i<1)i=1; print a[i]}'; }
+bare_p99=$(p99 "$workdir/bare.lat")
+fed_p99=$(p99 "$workdir/fed.lat")
+[ -n "$bare_p99" ] && [ -n "$fed_p99" ] || fail "no lookup latencies collected"
+awk -v f="$fed_p99" -v b="$bare_p99" 'BEGIN{exit !(f <= 2*b)}' \
+  || fail "hedged p99 ${fed_p99}ms exceeds 2x single-archive p99 ${bare_p99}ms"
+echo "hedged lookup p99 ${fed_p99}ms vs single-archive ${bare_p99}ms (<= 2x)"
+hedges=$(curl -sf "http://$fed_addr/v1/federation/info" | sed -n 's/.*"hedges_fired":\([0-9]*\).*/\1/p')
+[ -n "$hedges" ] && [ "$hedges" -ge 1 ] || fail "no hedges fired across $N_URLS lookups (got '$hedges')"
+echo "hedges fired: $hedges"
+
+# --- Degraded mode: kill one archive member; zero 5xx, surfaced coverage loss ---
+curl -sf -X POST -d '{"member":"archive.today","down":true}' \
+  "http://$fed_addr/v1/federation/member" | grep -q '"down":true' || fail "member down-flip"
+degraded=0
+for u in $urls; do
+  q=$(enc "$u")
+  code=$(curl -s -o "$workdir/resp.json" -w '%{http_code}' --max-time 10 \
+    "http://$fed_addr/v1/availability?url=$q") || fail "availability $u hung with a member down"
+  [ "$code" = "200" ] || fail "availability $u answered $code with a member down"
+  grep -q 'archive.today' "$workdir/resp.json" && degraded=$((degraded+1))
+done
+for u in $(echo "$urls" | head -12); do
+  q=$(enc "$u")
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 30 \
+    "http://$fed_addr/v1/classify?url=$q") || fail "classify $u hung with a member down"
+  [ "$code" = "200" ] || fail "classify $u answered $code with a member down"
+done
+[ "$degraded" -ge 1 ] || fail "no availability answer surfaced the dead member as degraded coverage"
+echo "degraded mode: zero 5xx with archive.today down, $degraded answers flagged the coverage loss"
+curl -sf "http://$fed_addr/v1/federation/info" | grep -q '"down":true' || fail "info does not report the down member"
+curl -sf -X POST -d '{"member":"archive.today","down":false}' \
+  "http://$fed_addr/v1/federation/member" >/dev/null || fail "member revive"
+
+# --- Availability throughput for the bench record (zero-5xx via exit code) ---
+: >"$workdir/bench.txt"
+"$workdir/loadgen" -addr "$bare_addr" -workload avail -n "$N_REQS" -c 16 -sample 64 \
+  -bench SoloAvail >"$workdir/solo_load.txt" || { cat "$workdir/solo_load.txt"; fail "bare avail loadgen"; }
+"$workdir/loadgen" -addr "$fed_addr" -workload avail -n "$N_REQS" -c 16 -sample 64 \
+  -bench FedAvail >"$workdir/fed_load.txt" || { cat "$workdir/fed_load.txt"; fail "federated avail loadgen"; }
+cat "$workdir/solo_load.txt" "$workdir/fed_load.txt" | tee -a "$workdir/bench.txt" | grep '^Benchmark'
+
+# --- Scenario grid: per-scenario x per-policy false-dead ablation ---
+"$workdir/ablate" -scale "$GRID_SCALE" -seed 1 -scenarios >"$workdir/grid.txt" \
+  || { cat "$workdir/grid.txt"; fail "scenario grid"; }
+grep '^BenchmarkScenario' "$workdir/grid.txt" >>"$workdir/bench.txt"
+grep -c '^BenchmarkScenario' "$workdir/bench.txt" >/dev/null || fail "grid produced no bench lines"
+echo "scenario grid OK ($(grep -c '^BenchmarkScenario' "$workdir/bench.txt") cells)"
+
+go run ./cmd/benchjson -o BENCH_PR10.json <"$workdir/bench.txt" >/dev/null
+echo "federation smoke OK (BENCH_PR10.json updated)"
